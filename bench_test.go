@@ -1,0 +1,282 @@
+package appx
+
+// The benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6), each regenerating its artifact against the
+// emulated testbed and reporting headline metrics. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the rendered table/figure via b.Log (visible with
+// -v) and reports the paper-comparable scalar (latency reduction, data-usage
+// multiplier, signature counts) through b.ReportMetric. Parameters are kept
+// small so the full suite finishes in minutes; cmd/appx-bench runs the same
+// experiments at any size.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"appx/internal/exp"
+)
+
+// settle lets the previous benchmark's labs fully drain (closing servers,
+// scheduler workers, and emulated connections) so wire-lab measurements do
+// not bleed into each other.
+func settle(b *testing.B) {
+	b.Helper()
+	runtime.GC()
+	time.Sleep(300 * time.Millisecond)
+	b.ResetTimer()
+}
+
+// benchParams sizes the experiments for benchmark runs.
+func benchParams() exp.Params {
+	return exp.Params{
+		Scale:         0.1,
+		Runs:          3,
+		Users:         4,
+		TraceDuration: 150 * time.Second,
+		ThinkSpeed:    8,
+		FuzzEvents:    200,
+		Seed:          42,
+	}
+}
+
+// The RTT sweep feeds both Figure 15 and Figure 16 (the paper derives both
+// from the same replays); run it once and share.
+var (
+	sweepOnce sync.Once
+	sweepRes  *exp.RTTSweep
+	sweepErr  error
+)
+
+func sharedSweep(p exp.Params) (*exp.RTTSweep, error) {
+	sweepOnce.Do(func() {
+		sweepRes, sweepErr = exp.RunFig15(p, nil)
+	})
+	return sweepRes, sweepErr
+}
+
+func BenchmarkTable1Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.RunTable1()
+		if len(res.Rows) != 5 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTable2RTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.RunTable2()
+		if len(res.Rows) == 0 {
+			b.Fatal("empty")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTable3Signatures(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var appxSigs, fuzzSigs, userSigs int
+		for _, r := range res.Rows {
+			appxSigs += r.SigsTotal
+			fuzzSigs += r.FuzzSigs
+			userSigs += r.UserSigs
+		}
+		b.ReportMetric(float64(appxSigs), "appx-sigs")
+		b.ReportMetric(float64(fuzzSigs), "fuzz-sigs")
+		b.ReportMetric(float64(userSigs), "user-sigs")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig11ChainCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Chain)), "chain-len")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig12FanOutCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.FanOut)), "fan-out")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig13MainInteraction(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig13(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res.Rows {
+			sum += r.Reduction
+		}
+		b.ReportMetric(sum/float64(len(res.Rows))*100, "avg-reduction-%")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig14Launch(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig14(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res.Rows {
+			sum += r.Reduction
+		}
+		b.ReportMetric(sum/float64(len(res.Rows))*100, "avg-reduction-%")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig15RTTSweep(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := sharedSweep(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p90, med float64
+		for _, r := range res.Rows {
+			p90 += r.Reduction
+			med += r.MedReduction
+		}
+		b.ReportMetric(p90/float64(len(res.Rows))*100, "avg-p90-reduction-%")
+		b.ReportMetric(med/float64(len(res.Rows))*100, "avg-median-reduction-%")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig16CDF(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		sweep, err := sharedSweep(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exp.RunFig16(p, sweep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var usage, red float64
+		for _, r := range res.Rows {
+			usage += r.DataUsage
+			red += r.MedianReduction
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(usage/n, "avg-data-usage-x")
+		b.ReportMetric(red/n*100, "avg-median-reduction-%")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig17Tradeoff(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig17(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(first.Median.Milliseconds()), "p0-median-ms")
+		b.ReportMetric(float64(last.Median.Milliseconds()), "p100-median-ms")
+		b.ReportMetric(last.DataUsage, "p100-data-usage-x")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkAblationAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fullDeps, baseDeps int
+		for _, r := range res.Rows {
+			switch r.Variant {
+			case "full":
+				fullDeps += r.Deps
+			case "baseline":
+				baseDeps += r.Deps
+			}
+		}
+		b.ReportMetric(float64(fullDeps), "full-deps")
+		b.ReportMetric(float64(baseDeps), "baseline-deps")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkMechAblation(b *testing.B) {
+	p := benchParams()
+	settle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunMechAblation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			switch r.Variant {
+			case "full":
+				b.ReportMetric(float64(r.StoreOpen.Milliseconds()), "full-ms")
+			case "no-chain":
+				b.ReportMetric(float64(r.StoreOpen.Milliseconds()), "nochain-ms")
+			case "no-prefetch":
+				b.ReportMetric(float64(r.StoreOpen.Milliseconds()), "orig-ms")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}

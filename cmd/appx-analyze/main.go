@@ -1,0 +1,170 @@
+// Command appx-analyze runs APPx Phase 1: static program analysis of an app
+// package, producing the message-signature and dependency graph the
+// acceleration proxy consumes.
+//
+// Usage:
+//
+//	appx-analyze -app wish -o wish.sigs.json
+//	appx-analyze -apk custom.apk.json -o sigs.json -features no-alias
+//	appx-analyze -air custom.air -entries Main.onCreate -o sigs.json
+//	appx-analyze -app doordash -dump-apk doordash.apk.json
+//
+// The -app flag selects one of the built-in evaluation apps; -apk analyzes a
+// serialized package instead; -air analyzes a textual AIR program (see
+// internal/air's assembler), with -entries naming the entry-point methods
+// (default: every zero-parameter method of activity/service classes).
+// -features enables ablated analysis variants (all, baseline, no-intents,
+// no-rx, no-alias).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"appx/internal/air"
+	"appx/internal/apk"
+	"appx/internal/apps"
+	"appx/internal/static"
+)
+
+// defaultEntries picks every zero-parameter method of activity and service
+// classes — the components the Android system invokes directly.
+func defaultEntries(prog *air.Program) []string {
+	var out []string
+	for _, c := range prog.Classes {
+		if c.Kind == air.KindPlain {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.NumParams == 0 {
+				out = append(out, m.QualifiedName())
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "built-in app to analyze (wish, geek, doordash, purpleocean, postmates)")
+		apkPath  = flag.String("apk", "", "path to a serialized app package to analyze instead of a built-in")
+		airPath  = flag.String("air", "", "path to a textual AIR program to analyze")
+		entries  = flag.String("entries", "", "comma-separated entry methods for -air (default: auto)")
+		out      = flag.String("o", "", "output path for the signature graph JSON (default stdout)")
+		features = flag.String("features", "all", "analysis variant: all, baseline, no-intents, no-rx, no-alias")
+		dumpAPK  = flag.String("dump-apk", "", "write the selected built-in app's package to this path and exit")
+		quiet    = flag.Bool("q", false, "suppress the summary on stderr")
+	)
+	flag.Parse()
+
+	if err := run(*appName, *apkPath, *airPath, *entries, *out, *features, *dumpAPK, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, apkPath, airPath, entriesFlag, out, features, dumpAPK string, quiet bool) error {
+	var prog *air.Program
+	var entryList []string
+	var pkg *apk.APK
+	name := appName
+	switch {
+	case (appName != "" && apkPath != "") || (appName != "" && airPath != "") || (apkPath != "" && airPath != ""):
+		return fmt.Errorf("use exactly one of -app, -apk, or -air")
+	case appName != "":
+		a := apps.ByName(appName)
+		if a == nil {
+			return fmt.Errorf("unknown app %q (have: wish, geek, doordash, purpleocean, postmates)", appName)
+		}
+		pkg = a.APK
+	case apkPath != "":
+		b, err := os.ReadFile(apkPath)
+		if err != nil {
+			return err
+		}
+		pkg, err = apk.Unmarshal(b)
+		if err != nil {
+			return err
+		}
+		name = pkg.Manifest.Package
+	case airPath != "":
+		b, err := os.ReadFile(airPath)
+		if err != nil {
+			return err
+		}
+		prog, err = air.Assemble(string(b))
+		if err != nil {
+			return err
+		}
+		name = strings.TrimSuffix(filepath.Base(airPath), filepath.Ext(airPath))
+		if entriesFlag != "" {
+			entryList = strings.Split(entriesFlag, ",")
+		} else {
+			entryList = defaultEntries(prog)
+		}
+		if len(entryList) == 0 {
+			return fmt.Errorf("no entry points: pass -entries")
+		}
+	default:
+		return fmt.Errorf("one of -app, -apk, or -air is required")
+	}
+	if pkg != nil {
+		prog = pkg.Program
+		entryList = pkg.Entries()
+	}
+
+	if dumpAPK != "" {
+		if pkg == nil {
+			return fmt.Errorf("-dump-apk needs -app or -apk")
+		}
+		b, err := pkg.Marshal()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dumpAPK, b, 0o644)
+	}
+
+	feats, err := parseFeatures(features)
+	if err != nil {
+		return err
+	}
+	g, err := static.Analyze(prog, name, entryList, static.Options{Features: feats})
+	if err != nil {
+		return err
+	}
+	b, err := g.Marshal()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		os.Stdout.Write(b)
+		fmt.Println()
+	} else if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "analyzed %s: %d signatures, %d prefetchable, %d dependencies, max chain %d\n",
+			name, len(g.Sigs), len(g.Prefetchable()), len(g.Deps), g.MaxChainLen())
+	}
+	return nil
+}
+
+func parseFeatures(s string) (static.Features, error) {
+	switch s {
+	case "all", "":
+		return static.AllFeatures(), nil
+	case "baseline":
+		return static.BaselineFeatures(), nil
+	case "no-intents":
+		return static.Features{Rx: true, Alias: true}, nil
+	case "no-rx":
+		return static.Features{Intents: true, Alias: true}, nil
+	case "no-alias":
+		return static.Features{Intents: true, Rx: true}, nil
+	default:
+		return static.Features{}, fmt.Errorf("unknown feature set %q", s)
+	}
+}

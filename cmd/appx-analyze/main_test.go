@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"appx/internal/sig"
+	"appx/internal/static"
+)
+
+func TestRunBuiltinApp(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sigs.json")
+	if err := run("wish", "", "", "", out, "all", "", true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sig.Unmarshal(b)
+	if err != nil {
+		t.Fatalf("output not a signature graph: %v", err)
+	}
+	if len(g.Sigs) == 0 || len(g.Deps) == 0 {
+		t.Fatalf("empty graph: %d sigs %d deps", len(g.Sigs), len(g.Deps))
+	}
+}
+
+func TestRunDumpAndReanalyzeAPK(t *testing.T) {
+	dir := t.TempDir()
+	apkPath := filepath.Join(dir, "wish.apk.json")
+	if err := run("wish", "", "", "", "", "all", apkPath, true); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	sigsPath := filepath.Join(dir, "sigs.json")
+	if err := run("", apkPath, "", "", sigsPath, "all", "", true); err != nil {
+		t.Fatalf("reanalyze: %v", err)
+	}
+	b, _ := os.ReadFile(sigsPath)
+	g, err := sig.Unmarshal(b)
+	if err != nil || len(g.Sigs) == 0 {
+		t.Fatalf("round-tripped apk analysis failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", "", "", "all", "", true); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run("nope", "", "", "", "", "all", "", true); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("wish", "also.apk", "", "", "", "all", "", true); err == nil {
+		t.Fatal("both -app and -apk accepted")
+	}
+	if err := run("wish", "", "", "", "", "bogus-features", "", true); err == nil {
+		t.Fatal("unknown features accepted")
+	}
+	if err := run("", filepath.Join(t.TempDir(), "missing.apk"), "", "", "", "all", "", true); err == nil {
+		t.Fatal("missing apk file accepted")
+	}
+}
+
+func TestParseFeatures(t *testing.T) {
+	all, err := parseFeatures("all")
+	if err != nil || all != static.AllFeatures() {
+		t.Fatalf("all = %+v, %v", all, err)
+	}
+	ni, err := parseFeatures("no-intents")
+	if err != nil || ni.Intents || !ni.Rx || !ni.Alias {
+		t.Fatalf("no-intents = %+v, %v", ni, err)
+	}
+	if _, err := parseFeatures("x"); err == nil {
+		t.Fatal("bogus features accepted")
+	}
+}
+
+func TestRunAIRInput(t *testing.T) {
+	dir := t.TempDir()
+	airPath := filepath.Join(dir, "custom.air")
+	src := `activity Main {
+  method onCreate(params=0, regs=8) {
+    b0:
+      const-str v0, "GET"
+      call-api v1, http.newRequest(v0)
+      const-str v2, "http://api.example/feed"
+      call-api v3, http.setURL(v1, v2)
+      call-api v4, http.execute(v1)
+      call-api v5, http.respBody(v4)
+      const-str v6, "items[*].id"
+      call-api v7, json.get(v5, v6)
+      for-each v7, Main.loadItem(item)
+      return _
+  }
+  method loadItem(params=1, regs=6) {
+    b0:
+      const-str v1, "GET"
+      call-api v2, http.newRequest(v1)
+      const-str v3, "http://api.example/item"
+      call-api v4, http.setURL(v2, v3)
+      const-str v5, "id"
+      call-api v1, http.addQuery(v2, v5, v0)
+      call-api v1, http.execute(v2)
+      return _
+  }
+}
+`
+	if err := os.WriteFile(airPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "sigs.json")
+	if err := run("", "", airPath, "", out, "all", "", true); err != nil {
+		t.Fatalf("run -air: %v", err)
+	}
+	b, _ := os.ReadFile(out)
+	g, err := sig.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sigs) != 2 || len(g.Deps) != 1 {
+		t.Fatalf("air analysis: %d sigs, %d deps", len(g.Sigs), len(g.Deps))
+	}
+}

@@ -1,0 +1,143 @@
+// Command appx-bench regenerates the tables and figures of the paper's
+// evaluation (§6) against the emulated testbed.
+//
+// Usage:
+//
+//	appx-bench                         # everything, default parameters
+//	appx-bench -experiment fig13       # one experiment
+//	appx-bench -users 30 -duration 3m  # the full-size user study
+//
+// Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
+// fig17 ablation mech all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"appx/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "experiment to run")
+		scale    = flag.Float64("scale", 0.2, "emulated time scale (1 = paper-real)")
+		runs     = flag.Int("runs", 5, "microbenchmark repetitions per app")
+		users    = flag.Int("users", 8, "user-study participants")
+		duration = flag.Duration("duration", 3*time.Minute, "per-user session length")
+		think    = flag.Float64("think-speed", 10, "extra think-time compression")
+		events   = flag.Int("fuzz-events", 400, "fuzzing events for Table 3")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	p := exp.Params{
+		Scale:         *scale,
+		Runs:          *runs,
+		Users:         *users,
+		TraceDuration: *duration,
+		ThinkSpeed:    *think,
+		FuzzEvents:    *events,
+		Seed:          *seed,
+	}
+
+	if err := run(*which, p); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, p exp.Params) error {
+	sel := map[string]bool{}
+	for _, w := range strings.Split(which, ",") {
+		sel[strings.TrimSpace(w)] = true
+	}
+	want := func(name string) bool { return sel["all"] || sel[name] }
+	section := func(s string) { fmt.Println(s); fmt.Println() }
+
+	if want("table1") {
+		section(exp.RunTable1().Render())
+	}
+	if want("table2") {
+		section(exp.RunTable2().Render())
+	}
+	if want("table3") {
+		res, err := exp.RunTable3(p)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("fig11") {
+		res, err := exp.RunFig11()
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("fig12") {
+		res, err := exp.RunFig12()
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("fig13") {
+		res, err := exp.RunFig13(p)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("fig14") {
+		res, err := exp.RunFig14(p)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+
+	var sweep *exp.RTTSweep
+	if want("fig15") || want("fig16") {
+		var err error
+		sweep, err = exp.RunFig15(p, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if want("fig15") {
+		section(sweep.Render())
+	}
+	if want("fig16") {
+		res, err := exp.RunFig16(p, sweep, nil)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("fig17") {
+		res, err := exp.RunFig17(p, nil)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("ablation") {
+		res, err := exp.RunAblation()
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("mech") {
+		res, err := exp.RunMechAblation(p)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	return nil
+}

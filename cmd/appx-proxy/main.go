@@ -1,0 +1,143 @@
+// Command appx-proxy runs the APPx acceleration proxy for one app.
+//
+// In emulation mode (the default) it also starts the app's origin servers in
+// process behind emulated WAN links, so the whole §2 deployment — device,
+// edge proxy, remote origins — is reachable from one machine:
+//
+//	appx-proxy -app wish -listen 127.0.0.1:8080
+//	curl -x http://127.0.0.1:8080 http://api.wish.example/api/get-feed -X POST -d offset=0
+//
+// With -origin mappings the proxy fronts externally running origins instead:
+//
+//	appx-proxy -app wish -listen :8080 -origin api.wish.example=10.0.0.5:80,img.wish.example=10.0.0.6:80
+//
+// Signatures and configuration default to running Phase 1 (and optionally
+// Phase 2 with -verify) at startup; pass -sigs/-config to use files from
+// appx-analyze / appx-verify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/netem"
+	"appx/internal/proxy"
+	"appx/internal/sig"
+	"appx/internal/static"
+	"appx/internal/verify"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "built-in app to accelerate")
+		listen   = flag.String("listen", "127.0.0.1:8080", "proxy listen address")
+		sigsPath = flag.String("sigs", "", "signature graph JSON (default: analyze at startup)")
+		cfgPath  = flag.String("config", "", "proxy configuration JSON (default: derived)")
+		origins  = flag.String("origin", "", "comma-separated host=addr overrides; empty = start built-in origins in process")
+		doVerify = flag.Bool("verify", false, "run Phase 2 verification before serving")
+		scale    = flag.Float64("scale", 1, "emulated time scale for in-process origins")
+		workers  = flag.Int("workers", 8, "prefetch worker pool size")
+	)
+	flag.Parse()
+
+	if err := run(*appName, *listen, *sigsPath, *cfgPath, *origins, *doVerify, *scale, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, listen, sigsPath, cfgPath, origins string, doVerify bool, scale float64, workers int) error {
+	a := apps.ByName(appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+
+	g, err := loadGraph(a, sigsPath)
+	if err != nil {
+		return err
+	}
+
+	var cfg *config.Config
+	switch {
+	case cfgPath != "":
+		b, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = config.Unmarshal(b)
+		if err != nil {
+			return err
+		}
+	case doVerify:
+		rep, err := verify.Run(verify.Options{
+			APK: a.APK, Graph: g, Origin: a.Handler(scale),
+			FuzzEvents: 200, ProbeMax: time.Second,
+		})
+		if err != nil {
+			return fmt.Errorf("verification: %w", err)
+		}
+		cfg = rep.Config
+		fmt.Fprintf(os.Stderr, "verification: %d cleared, %d disabled\n", len(rep.Verified), len(rep.Disabled))
+	default:
+		cfg = config.Default(g)
+	}
+
+	resolve := map[string]string{}
+	links := map[string]netem.Link{}
+	if origins == "" {
+		// Emulation mode: start the app's origins in process.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: a.Handler(scale)}
+		go srv.Serve(ln)
+		for _, h := range a.Hosts {
+			resolve[h] = ln.Addr().String()
+			links[h] = netem.Link{
+				RTT:       time.Duration(float64(a.HostRTT[h]) * scale),
+				Bandwidth: int64(25_000_000 / scale),
+			}
+		}
+		fmt.Fprintf(os.Stderr, "origins for %s emulated at %s (hosts: %s)\n",
+			a.Name, ln.Addr(), strings.Join(a.Hosts, ", "))
+	} else {
+		for _, pair := range strings.Split(origins, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("bad -origin entry %q (want host=addr)", pair)
+			}
+			resolve[kv[0]] = kv[1]
+		}
+	}
+
+	px := proxy.New(proxy.Options{
+		Graph:    g,
+		Config:   cfg,
+		Upstream: proxy.NewNetUpstream(resolve, links),
+		Workers:  workers,
+	})
+	defer px.Close()
+
+	fmt.Fprintf(os.Stderr, "appx-proxy for %s listening on %s (%d signatures, %d prefetchable)\n",
+		a.Name, listen, len(g.Sigs), len(g.Prefetchable()))
+	return http.ListenAndServe(listen, px)
+}
+
+func loadGraph(a *apps.App, sigsPath string) (*sig.Graph, error) {
+	if sigsPath != "" {
+		b, err := os.ReadFile(sigsPath)
+		if err != nil {
+			return nil, err
+		}
+		return sig.Unmarshal(b)
+	}
+	return static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+}

@@ -1,0 +1,168 @@
+// Command appx-trace works with user-study traces: it generates the seeded
+// synthetic study (the stand-in for the paper's 30 recorded participants),
+// inspects trace files, and replays them against a running acceleration
+// proxy, reporting per-interaction latencies.
+//
+// Usage:
+//
+//	appx-trace -app wish -generate -users 30 -duration 3m -o traces/
+//	appx-trace -inspect traces/wish-u00.json
+//	appx-trace -app wish -replay traces/wish-u00.json -proxy 127.0.0.1:8080 -speed 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/device"
+	"appx/internal/interp"
+	"appx/internal/netem"
+	"appx/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "built-in app")
+		generate = flag.Bool("generate", false, "generate the synthetic user study")
+		users    = flag.Int("users", 30, "number of users to generate")
+		duration = flag.Duration("duration", 3*time.Minute, "session length per user")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		out      = flag.String("o", "traces", "output directory for generated traces")
+		inspect  = flag.String("inspect", "", "print a summary of a trace file")
+		replay   = flag.String("replay", "", "replay a trace file against -proxy")
+		proxy    = flag.String("proxy", "127.0.0.1:8080", "proxy address for replay")
+		speed    = flag.Float64("speed", 1, "think-time compression during replay")
+		scale    = flag.Float64("scale", 1, "render-delay scale during replay")
+	)
+	flag.Parse()
+
+	if err := run(*appName, *generate, *users, *duration, *seed, *out, *inspect, *replay, *proxy, *speed, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName string, generate bool, users int, duration time.Duration, seed int64,
+	out, inspect, replay, proxyAddr string, speed, scale float64,
+) error {
+	switch {
+	case inspect != "":
+		return runInspect(inspect)
+	case generate:
+		return runGenerate(appName, users, duration, seed, out)
+	case replay != "":
+		return runReplay(appName, replay, proxyAddr, speed, scale)
+	default:
+		return fmt.Errorf("one of -generate, -inspect, or -replay is required")
+	}
+}
+
+func runGenerate(appName string, users int, duration time.Duration, seed int64, out string) error {
+	a := apps.ByName(appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	traces := trace.GenerateStudy(a.APK, users, seed, duration)
+	for _, tr := range traces {
+		b, err := tr.Marshal()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, fmt.Sprintf("%s-%s.json", a.Name, tr.User))
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d traces to %s\n", len(traces), out)
+	return nil
+}
+
+func runInspect(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	var taps, mains, backs int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.Tap:
+			taps++
+			if e.Main {
+				mains++
+			}
+		case trace.BackNav:
+			backs++
+		}
+	}
+	fmt.Printf("app=%s user=%s events=%d taps=%d main-interactions=%d backs=%d duration~%s\n",
+		tr.App, tr.User, len(tr.Events), taps, mains, backs, tr.Duration().Round(time.Second))
+	return nil
+}
+
+func runReplay(appName, path, proxyAddr string, speed, scale float64) error {
+	a := apps.ByName(appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	d, err := device.New(device.Config{
+		APK:         a.APK,
+		RenderDelay: a.RenderDelay,
+		Scale:       scale,
+		ProxyAddr:   proxyAddr,
+		ClientLink:  scaleLink(netem.Mobile4G(), scale),
+		User:        tr.User,
+		Props: interp.DeviceProps{
+			UserAgent:  "AppxTrace/1.0",
+			Locale:     "en-US",
+			AppVersion: a.APK.Manifest.Version,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	results := trace.Replay(d, tr, speed)
+	for _, m := range results {
+		if m.Err != nil {
+			fmt.Printf("%-8s %-12s ERROR %v\n", m.Event.Kind, m.Event.Widget, m.Err)
+			continue
+		}
+		tag := ""
+		if m.Event.Main {
+			tag = " [main]"
+		}
+		fmt.Printf("%-8s %-12s total=%v network=%v%s\n",
+			m.Event.Kind, m.Event.Widget, m.Measure.Total.Round(time.Millisecond),
+			m.Measure.Network.Round(time.Millisecond), tag)
+	}
+	return nil
+}
+
+func scaleLink(l netem.Link, s float64) netem.Link {
+	if s <= 0 {
+		s = 1
+	}
+	out := netem.Link{RTT: time.Duration(float64(l.RTT) * s)}
+	if l.Bandwidth > 0 {
+		out.Bandwidth = int64(float64(l.Bandwidth) / s)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("wish", true, 3, time.Minute, 7, dir, "", "", "", 1, 1); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("traces = %d, want 3", len(entries))
+	}
+	if err := run("", false, 0, 0, 0, "", filepath.Join(dir, entries[0].Name()), "", "", 1, 1); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, 0, 0, 0, "", "", "", "", 1, 1); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run("nope", true, 1, time.Minute, 1, t.TempDir(), "", "", "", 1, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("", false, 0, 0, 0, "", filepath.Join(t.TempDir(), "missing.json"), "", "", 1, 1); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run("nope", false, 0, 0, 0, "", "", "some.json", "", 1, 1); err == nil {
+		t.Fatal("replay with unknown app accepted")
+	}
+}

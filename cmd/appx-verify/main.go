@@ -1,0 +1,107 @@
+// Command appx-verify runs APPx Phase 2: it drives the app through a freshly
+// generated proxy with random UI events against the app's origin servers,
+// disables signatures whose reconstructed requests fail, estimates
+// per-signature expiration times, and writes the resulting initial proxy
+// configuration (§4.3 of the paper).
+//
+// Usage:
+//
+//	appx-verify -app wish -sigs wish.sigs.json -o wish.config.json
+//	appx-verify -app wish -events 400 -report report.json
+//
+// When -sigs is omitted, Phase 1 analysis runs first. Origins are the
+// built-in in-process implementations of the selected app.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/sig"
+	"appx/internal/static"
+	"appx/internal/verify"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "built-in app to verify")
+		sigs    = flag.String("sigs", "", "signature graph JSON from appx-analyze (default: run analysis)")
+		out     = flag.String("o", "", "output path for the verified configuration (default stdout)")
+		report  = flag.String("report", "", "optional path for the full verification report JSON")
+		seed    = flag.Int64("seed", 1, "fuzzing seed")
+		events  = flag.Int("events", 200, "number of fuzzing UI events")
+		probeMx = flag.Duration("probe-max", 2*time.Second, "maximum expiration probe period")
+	)
+	flag.Parse()
+
+	if err := run(*appName, *sigs, *out, *report, *seed, *events, *probeMx); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, sigsPath, out, reportPath string, seed int64, events int, probeMax time.Duration) error {
+	a := apps.ByName(appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	var g *sig.Graph
+	if sigsPath != "" {
+		b, err := os.ReadFile(sigsPath)
+		if err != nil {
+			return err
+		}
+		g, err = sig.Unmarshal(b)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		g, err = static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+		if err != nil {
+			return err
+		}
+	}
+
+	rep, err := verify.Run(verify.Options{
+		APK:        a.APK,
+		Graph:      g,
+		Origin:     a.Handler(1),
+		FuzzSeed:   seed,
+		FuzzEvents: events,
+		ProbeMax:   probeMax,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfgBytes, err := rep.Config.Marshal()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		os.Stdout.Write(cfgBytes)
+		fmt.Println()
+	} else if err := os.WriteFile(out, cfgBytes, 0o644); err != nil {
+		return err
+	}
+	if reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, b, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "verified %s: %d signatures cleared, %d disabled (%d fuzz events, %d errors)\n",
+		a.Name, len(rep.Verified), len(rep.Disabled), rep.FuzzEvents, rep.FuzzErrors)
+	for _, d := range rep.Disabled {
+		fmt.Fprintf(os.Stderr, "  disabled %s: %s\n", d.SigID, d.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"appx/internal/config"
+)
+
+func TestRunVerifyBuiltin(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "config.json")
+	repPath := filepath.Join(dir, "report.json")
+	if err := run("postmates", "", cfgPath, repPath, 2, 80, 2*time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Unmarshal(b)
+	if err != nil || len(cfg.Policies) == 0 {
+		t.Fatalf("config output bad: %v", err)
+	}
+	rb, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(rb, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep["app"] != "postmates" {
+		t.Fatalf("report app = %v", rep["app"])
+	}
+}
+
+func TestRunVerifyErrors(t *testing.T) {
+	if err := run("nope", "", "", "", 1, 10, time.Millisecond); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("wish", filepath.Join(t.TempDir(), "missing.json"), "", "", 1, 10, time.Millisecond); err == nil {
+		t.Fatal("missing sigs file accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package appx is a complete Go reproduction of "APPx: An Automated App
+// Acceleration Framework for Low Latency Mobile App" (Choi, Kim, Cho, Kim,
+// Han — CoNEXT 2018).
+//
+// APPx takes a mobile app binary as input, statically extracts the message
+// formats and inter-transaction dependencies of the HTTP traffic the app can
+// generate, and emits an acceleration proxy that combines that static
+// knowledge with dynamic learning over live traffic to prefetch responses
+// before the client asks for them.
+//
+// The repository layout:
+//
+//	internal/air       the app intermediate representation (dex stand-in)
+//	internal/apk       app packaging: manifest, UI model, AIR program
+//	internal/static    Phase 1 — network-aware static taint analysis
+//	internal/sig       message signatures and the dependency graph
+//	internal/verify    Phase 2 — fuzz-driven testing & verification
+//	internal/config    Phase 3 — proxy policy configuration
+//	internal/core      framework orchestration (Figure 4)
+//	internal/proxy     the acceleration proxy: dynamic learning, prefetching
+//	internal/interp    AIR interpreter (the emulated app runtime)
+//	internal/device    the emulated handset and latency measurement
+//	internal/netem     WAN link emulation (RTT + bandwidth shaping)
+//	internal/apps      the five synthetic evaluation apps + origin servers
+//	internal/trace     user-study traces: generation, record, replay
+//	internal/fuzz      Monkey-style UI fuzzing
+//	internal/lab       end-to-end evaluation wiring
+//	internal/exp       the §6 experiments (tables and figures)
+//	cmd/...            appx-analyze, appx-verify, appx-proxy, appx-bench
+//	examples/...       runnable scenarios on the public pipeline
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package appx

@@ -1,0 +1,85 @@
+// Fooddelivery: chained prefetching on the DoorDash scenario (Figures 3(c)
+// and 11 of the paper).
+//
+// The store list's response seeds a successive dependency chain — store info
+// → schedule, menu → menu items → suggestions — and the proxy walks it
+// recursively: each prefetched response re-enters dynamic learning as a
+// predecessor, so by the time the user taps a store, several levels of the
+// tree are already cached.
+//
+// Run with: go run ./examples/fooddelivery
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/device"
+	"appx/internal/lab"
+)
+
+func main() {
+	app := apps.DoorDash()
+	l, err := lab.New(lab.Options{App: app, Scale: 0.2, Prefetch: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	fmt.Println("dependency chain found by static analysis:")
+	for i, id := range l.Graph.Chain() {
+		s := l.Graph.Sig(id)
+		fmt.Printf("  %d. %s %s\n", i+1, s.Method, s.URI.String())
+	}
+
+	d, err := l.NewDevice("hungry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Launch(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Teach the proxy the run-time values by walking the chain once.
+	if _, err := d.TapMain(0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Tap("menu-item", 0); err != nil {
+		log.Fatal(err)
+	}
+	d.Back()
+	d.Back()
+	l.Proxy.Drain()
+
+	// Now every other store's subtree is prefetched; opening one is fast.
+	first := openStore(l, d, 1)
+	d.Back()
+	second := openStore(l, d, 2)
+	d.Back()
+	fmt.Printf("\nstore opens after chain warm-up: %v then %v\n", first, second)
+
+	snap := l.Proxy.Stats().Snapshot()
+	ids := make([]string, 0, len(snap.PerSig))
+	for id := range snap.PerSig {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Println("\nper-signature prefetching (note depth >= 2 chain levels):")
+	for _, id := range ids {
+		st := snap.PerSig[id]
+		if st.Prefetches > 0 {
+			fmt.Printf("  %-38s prefetched %3d, served %3d\n", id, st.Prefetches, st.Hits)
+		}
+	}
+}
+
+func openStore(l *lab.Lab, d *device.Device, idx int) time.Duration {
+	m, err := d.TapMain(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l.Unscale(m.Total)
+}

@@ -1,0 +1,81 @@
+// Quickstart: the complete APPx pipeline on one app, end to end, in one
+// process.
+//
+//  1. Phase 1 — static analysis of the Wish app package extracts message
+//     signatures and inter-transaction dependencies.
+//  2. Phase 2 — UI-fuzz-driven verification filters the prefetchable set and
+//     estimates expiration times.
+//  3. Deployment — a lab wires origins, WAN emulation, the acceleration
+//     proxy, and an emulated handset together.
+//  4. Measurement — the same main interaction is timed with and without
+//     prefetching.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/core"
+	"appx/internal/lab"
+)
+
+func main() {
+	app := apps.Wish()
+
+	// Phases 1-3: analyze, verify, configure.
+	art, err := core.Generate(core.Options{
+		App: app.Name,
+		APK: app.APK,
+		Verify: &core.VerifyOptions{
+			Origin:       app.Handler(0),
+			FuzzSeed:     1,
+			FuzzEvents:   200,
+			ProbeMin:     time.Millisecond,
+			ProbeMax:     4 * time.Millisecond,
+			InstantProbe: true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: %d signatures, %d prefetchable, %d dependencies (max chain %d)\n",
+		len(art.Graph.Sigs), len(art.Graph.Prefetchable()), len(art.Graph.Deps), art.Graph.MaxChainLen())
+	fmt.Printf("phase 2: %d verified, %d disabled\n",
+		len(art.Verification.Verified), len(art.Verification.Disabled))
+
+	// Measure the main interaction (open an item detail) with and without
+	// the acceleration proxy's prefetching, at 1/5 of paper-real time.
+	for _, prefetch := range []bool{false, true} {
+		l, err := lab.New(lab.Options{App: app, Scale: 0.2, Prefetch: prefetch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := l.NewDevice("quickstart")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.Launch(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.TapMain(0); err != nil { // warm-up: teaches run-time values
+			log.Fatal(err)
+		}
+		d.Back()
+		l.Proxy.Drain()
+		m, err := d.TapMain(3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "Orig"
+		if prefetch {
+			mode = "APPx"
+		}
+		fmt.Printf("%s: item detail in %v (network %v, processing %v)\n",
+			mode, l.Unscale(m.Total), l.Unscale(m.Network), l.Unscale(m.Processing))
+		l.Close()
+	}
+}

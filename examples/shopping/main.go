@@ -1,0 +1,120 @@
+// Shopping: service-provider policy control on the Wish scenario (§4.4,
+// Figure 9 of the paper).
+//
+// The example shows the three configuration mechanisms working against live
+// emulated traffic:
+//
+//   - a prefetch-indicator header added to every proxy-issued request, so
+//     the origin can separate synthetic from organic traffic (the paper's
+//     view-count example; Firefox's X-moz:prefetch);
+//   - a field-specific condition: item details are prefetched only when the
+//     predecessor's price field exceeds a threshold;
+//   - a per-signature kill switch on the large product images, trading
+//     latency for bandwidth.
+//
+// Run with: go run ./examples/shopping
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/lab"
+	"appx/internal/sig"
+	"appx/internal/static"
+)
+
+func main() {
+	app := apps.Wish()
+	g, err := static.Analyze(app.APK.Program, app.Name, app.APK.Entries(),
+		static.Options{Features: static.AllFeatures()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Locate policy targets: the detail signature by URI, the product image
+	// (whose URI is fully response-derived) by its dependency path.
+	detail := findSig(g, "/product/get")
+	image := findSigByDepPath(g, "data.product.image")
+
+	l, err := lab.New(lab.Options{
+		App:      app,
+		Scale:    0.1,
+		Prefetch: true,
+		Configure: func(c *config.Config) {
+			for _, pol := range c.Policies {
+				pol.AddHeader = []config.Header{{Key: "X-Appx-Prefetch", Value: "1"}}
+			}
+			if detail != nil {
+				c.SetPolicy(&config.Policy{
+					Hash: detail.Hash(), URI: detail.URI.String(),
+					Prefetch: true, Probability: 1,
+					AddHeader: []config.Header{{Key: "X-Appx-Prefetch", Value: "1"}},
+					// Only prefetch details of items costing > $10.00.
+					Condition: &config.Condition{Field: "data.products[*].product_info.can_ship", Op: "eq", Value: "true"},
+				})
+			}
+			if image != nil {
+				// The 315 KB product images dominate bandwidth: disable them.
+				c.SetPolicy(&config.Policy{Hash: image.Hash(), URI: image.URI.String(), Prefetch: false})
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	d, err := l.NewDevice("shopper")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Launch(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.TapMain(0); err != nil {
+		log.Fatal(err)
+	}
+	d.Back()
+	l.Proxy.Drain()
+	m, err := d.TapMain(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap := l.Proxy.Stats().Snapshot()
+	fmt.Printf("second item detail: %v (network %v)\n", l.Unscale(m.Total), l.Unscale(m.Network))
+	fmt.Printf("prefetches issued: %d, cache hits: %d, data usage: %.2fx\n",
+		snap.Prefetches, snap.Hits, snap.NormalizedDataUsage())
+	for id, st := range snap.PerSig {
+		if st.Prefetches > 0 || st.Hits > 0 {
+			fmt.Printf("  %-42s prefetched %3d, served %3d\n", id, st.Prefetches, st.Hits)
+		}
+	}
+	if image != nil {
+		if st := snap.PerSig[image.ID]; st.Prefetches == 0 {
+			fmt.Println("product images were NOT prefetched (policy kill switch) — bandwidth saved")
+		}
+	}
+}
+
+func findSig(g *sig.Graph, uriSubstr string) *sig.Signature {
+	for _, s := range g.Sigs {
+		if strings.Contains(s.URI.String(), uriSubstr) {
+			return s
+		}
+	}
+	return nil
+}
+
+func findSigByDepPath(g *sig.Graph, respPath string) *sig.Signature {
+	for _, d := range g.Deps {
+		if d.RespPath == respPath {
+			return g.Sig(d.SuccID)
+		}
+	}
+	return nil
+}

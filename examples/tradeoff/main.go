@@ -1,0 +1,61 @@
+// Tradeoff: the latency/bandwidth knob of §6.3 (Figure 17 of the paper), on
+// live emulation.
+//
+// The proxy operator sets a global prefetch probability; as it rises, median
+// main-interaction latency falls while proxy↔origin data usage climbs. The
+// example sweeps the knob on the Wish workload and prints the curve.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/lab"
+	"appx/internal/metrics"
+	"appx/internal/trace"
+)
+
+func main() {
+	app := apps.Wish()
+	fmt.Println("probability  median-latency  data-usage")
+	for _, prob := range []float64{0, 0.5, 1.0} {
+		prob := prob
+		l, err := lab.New(lab.Options{
+			App:      app,
+			Scale:    0.1,
+			Prefetch: prob > 0,
+			Configure: func(c *config.Config) {
+				c.GlobalProbability = prob
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// A small user-study replay per probability point.
+		var mains []time.Duration
+		for _, tr := range trace.GenerateStudy(app.APK, 3, 7, time.Minute) {
+			d, err := l.NewDevice(tr.User)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, m := range trace.Replay(d, tr, 80) {
+				if m.Err != nil {
+					log.Fatal(m.Err)
+				}
+				if m.Event.Main {
+					mains = append(mains, l.Unscale(m.Measure.Total))
+				}
+			}
+		}
+		l.Proxy.Drain()
+		usage := l.Proxy.Stats().Snapshot().NormalizedDataUsage()
+		fmt.Printf("%10.0f%%  %14v  %9.2fx\n", prob*100, metrics.Median(mains).Round(time.Millisecond), usage)
+		l.Close()
+	}
+}

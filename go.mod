@@ -1,0 +1,3 @@
+module appx
+
+go 1.22

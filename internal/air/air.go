@@ -1,0 +1,345 @@
+// Package air defines AIR (App Intermediate Representation), a compact
+// register-based intermediate representation with Android-flavoured semantics.
+//
+// AIR plays the role that dex bytecode plays in the APPx paper: synthetic
+// mobile apps are "compiled" into AIR, packaged into an app container
+// (package apk), and then
+//
+//   - analyzed statically (package static) to extract HTTP message-format
+//     signatures and inter-transaction dependencies, and
+//   - executed dynamically (package interp) by the emulated device to
+//     generate real HTTP traffic.
+//
+// Because both the analyzer and the runtime consume the very same IR, the
+// static analysis faces the same ground truth the paper's Extractocol-based
+// analysis faces: request construction scattered across methods and heap
+// objects, values flowing through Intents and Rx operator chains, and
+// branch-dependent optional fields.
+//
+// The instruction set is deliberately small but expressive enough to encode
+// the patterns §4.1 of the paper calls out: field access on heap objects with
+// aliasing, Intent put/get pairs, Rx map/flatMap/defer pipelines, string
+// concatenation for URL building, and semantic API calls for HTTP, JSON and
+// device properties.
+package air
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates AIR opcodes.
+type Op uint8
+
+const (
+	// OpConstStr loads a string constant: dst = Str.
+	OpConstStr Op = iota
+	// OpConstInt loads an integer constant: dst = Int.
+	OpConstInt
+	// OpConstBool loads a boolean constant: dst = Int != 0.
+	OpConstBool
+	// OpMove copies a register: dst = src(A).
+	OpMove
+	// OpConcat concatenates string representations: dst = A + B.
+	OpConcat
+	// OpNewObject allocates an object of class Sym: dst = new Sym.
+	OpNewObject
+	// OpIPut stores into an instance field: obj(A).field(Sym) = src(B).
+	OpIPut
+	// OpIGet loads from an instance field: dst = obj(A).field(Sym).
+	OpIGet
+	// OpNewMap allocates a map: dst = {}.
+	OpNewMap
+	// OpMapPut stores map[key]: map(A)[Sym] = src(B).
+	OpMapPut
+	// OpMapGet loads map[key]: dst = map(A)[Sym].
+	OpMapGet
+	// OpNewList allocates a list: dst = [].
+	OpNewList
+	// OpListAdd appends: list(A) += src(B).
+	OpListAdd
+	// OpInvoke calls a user-defined method Sym with Args; dst = return value.
+	OpInvoke
+	// OpCallAPI calls a semantic API Sym (see API constants) with Args;
+	// dst = return value.
+	OpCallAPI
+	// OpIf branches to block Target when src(A) is truthy.
+	OpIf
+	// OpIfNull branches to block Target when src(A) is null.
+	OpIfNull
+	// OpGoto jumps unconditionally to block Target.
+	OpGoto
+	// OpForEach iterates the list in A, invoking method Sym with each
+	// element (appended to Args) per iteration. It models the ubiquitous
+	// "for item in list: handle(item)" loop so that the analyzer can reason
+	// about per-element fan-out (one prefetch instance per array element).
+	OpForEach
+	// OpReturn returns src(A); A == NoReg returns null.
+	OpReturn
+)
+
+var opNames = map[Op]string{
+	OpConstStr:  "const-str",
+	OpConstInt:  "const-int",
+	OpConstBool: "const-bool",
+	OpMove:      "move",
+	OpConcat:    "concat",
+	OpNewObject: "new-object",
+	OpIPut:      "iput",
+	OpIGet:      "iget",
+	OpNewMap:    "new-map",
+	OpMapPut:    "map-put",
+	OpMapGet:    "map-get",
+	OpNewList:   "new-list",
+	OpListAdd:   "list-add",
+	OpInvoke:    "invoke",
+	OpCallAPI:   "call-api",
+	OpIf:        "if",
+	OpIfNull:    "if-null",
+	OpGoto:      "goto",
+	OpForEach:   "for-each",
+	OpReturn:    "return",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Reg identifies a virtual register within a method frame.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("v%d", int32(r))
+}
+
+// Semantic API names understood by both the static analyzer and the
+// interpreter. They model the Android/OkHttp/Gson/RxJava surface the paper's
+// semantic models cover.
+const (
+	// HTTP request construction and execution.
+	APIHTTPNewRequest   = "http.newRequest"   // (method) -> request
+	APIHTTPSetURL       = "http.setURL"       // (request, url)
+	APIHTTPAddQuery     = "http.addQuery"     // (request, key, value)
+	APIHTTPAddHeader    = "http.addHeader"    // (request, key, value)
+	APIHTTPSetBodyField = "http.setBodyField" // (request, key, value) form body
+	APIHTTPExecute      = "http.execute"      // (request) -> response   [network I/O]
+	APIHTTPRespBody     = "http.respBody"     // (response) -> parsed JSON value
+
+	// JSON access on parsed values.
+	APIJSONGet     = "json.get"     // (value, path) -> value
+	APIJSONForEach = "json.forEach" // handled via OpForEach on json.get result
+	APIListGet     = "list.get"     // (list, index) -> element
+	APIListLen     = "list.len"     // (list) -> int
+
+	// Device- and session-scoped run-time values, unknowable statically.
+	APIDeviceUserAgent = "device.userAgent"  // () -> string
+	APIDeviceCookie    = "device.cookie"     // (host) -> string
+	APIDeviceLocale    = "device.locale"     // () -> string
+	APIDeviceVersion   = "device.appVersion" // () -> string
+	APIDeviceFlag      = "device.flag"       // (name) -> bool, run-time condition
+
+	// Intent passing across components (the paper's Intent map).
+	APIIntentPut = "intent.put" // (key, value)
+	APIIntentGet = "intent.get" // (key) -> value
+
+	// Rx-style observable pipeline (the paper's RxAndroid models).
+	APIRxJust      = "rx.just"      // (value) -> observable
+	APIRxDefer     = "rx.defer"     // (methodName) -> observable
+	APIRxMap       = "rx.map"       // (observable, methodName) -> observable
+	APIRxFlatMap   = "rx.flatMap"   // (observable, methodName) -> observable
+	APIRxSubscribe = "rx.subscribe" // (observable, methodName) terminal
+
+	// UI effects.
+	APIUIRender    = "ui.render"    // (screenName) marks interaction completion
+	APIUIShowImage = "ui.showImage" // (bytesValue) render an image blob
+)
+
+// Instr is one AIR instruction. Operand meaning depends on Op; unused
+// operands hold zero values (NoReg for registers).
+type Instr struct {
+	Op     Op
+	Dst    Reg
+	A, B   Reg
+	Sym    string // field name, map key, method name, API name, class name
+	Str    string // string constant
+	Int    int64  // integer constant
+	Args   []Reg  // invoke/call-api arguments
+	Target int    // branch target block index
+}
+
+// String renders the instruction in disassembly form.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConstStr:
+		return fmt.Sprintf("%s %s, %q", in.Op, in.Dst, in.Str)
+	case OpConstInt, OpConstBool:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Int)
+	case OpMove:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.A)
+	case OpConcat:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.A, in.B)
+	case OpNewObject:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Sym)
+	case OpIPut:
+		return fmt.Sprintf("%s %s.%s, %s", in.Op, in.A, in.Sym, in.B)
+	case OpIGet:
+		return fmt.Sprintf("%s %s, %s.%s", in.Op, in.Dst, in.A, in.Sym)
+	case OpNewMap, OpNewList:
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	case OpMapPut:
+		return fmt.Sprintf("%s %s[%q], %s", in.Op, in.A, in.Sym, in.B)
+	case OpMapGet:
+		return fmt.Sprintf("%s %s, %s[%q]", in.Op, in.Dst, in.A, in.Sym)
+	case OpListAdd:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.A, in.B)
+	case OpInvoke, OpCallAPI:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		return fmt.Sprintf("%s %s, %s(%s)", in.Op, in.Dst, in.Sym, strings.Join(args, ", "))
+	case OpIf:
+		return fmt.Sprintf("%s %s, ->b%d", in.Op, in.A, in.Target)
+	case OpIfNull:
+		return fmt.Sprintf("%s %s, ->b%d", in.Op, in.A, in.Target)
+	case OpGoto:
+		return fmt.Sprintf("%s ->b%d", in.Op, in.Target)
+	case OpForEach:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		return fmt.Sprintf("%s %s, %s(item%s)", in.Op, in.A, in.Sym, joinPrefixed(args))
+	case OpReturn:
+		return fmt.Sprintf("%s %s", in.Op, in.A)
+	}
+	return in.Op.String()
+}
+
+func joinPrefixed(args []string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(args, ", ")
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// control transfer (or falling through to the next block).
+type Block struct {
+	Instrs []Instr
+}
+
+// Method is a callable unit. Registers 0..NumParams-1 hold the arguments on
+// entry.
+type Method struct {
+	Name      string
+	Class     string
+	NumParams int
+	NumRegs   int
+	Blocks    []Block
+}
+
+// QualifiedName returns "Class.Name".
+func (m *Method) QualifiedName() string {
+	return m.Class + "." + m.Name
+}
+
+// Class groups methods, mirroring an Android component (activity, service,
+// fragment...).
+type Class struct {
+	Name    string
+	Kind    ComponentKind
+	Methods []*Method
+}
+
+// ComponentKind tags the Android component flavour of a class. The analyzer
+// uses it when building the Intent map (Intents connect components).
+type ComponentKind uint8
+
+const (
+	KindPlain ComponentKind = iota
+	KindActivity
+	KindService
+	KindFragment
+)
+
+func (k ComponentKind) String() string {
+	switch k {
+	case KindActivity:
+		return "activity"
+	case KindService:
+		return "service"
+	case KindFragment:
+		return "fragment"
+	default:
+		return "class"
+	}
+}
+
+// Program is a complete AIR program: all classes of an app.
+type Program struct {
+	Classes []*Class
+
+	methodIndex map[string]*Method
+}
+
+// Method resolves a method by qualified name ("Class.Name"). It returns nil
+// when absent.
+func (p *Program) Method(qualified string) *Method {
+	if p.methodIndex == nil {
+		p.buildIndex()
+	}
+	return p.methodIndex[qualified]
+}
+
+// Methods returns every method in deterministic (declaration) order.
+func (p *Program) Methods() []*Method {
+	var out []*Method
+	for _, c := range p.Classes {
+		out = append(out, c.Methods...)
+	}
+	return out
+}
+
+func (p *Program) buildIndex() {
+	p.methodIndex = make(map[string]*Method)
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			p.methodIndex[m.QualifiedName()] = m
+		}
+	}
+}
+
+// ReindexMethods invalidates the method lookup cache; call after mutating
+// Classes.
+func (p *Program) ReindexMethods() { p.methodIndex = nil }
+
+// Disassemble renders the whole program as text, mainly for debugging and
+// golden tests.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "%s %s {\n", c.Kind, c.Name)
+		for _, m := range c.Methods {
+			fmt.Fprintf(&b, "  method %s(params=%d, regs=%d) {\n", m.Name, m.NumParams, m.NumRegs)
+			for bi, blk := range m.Blocks {
+				fmt.Fprintf(&b, "    b%d:\n", bi)
+				for _, in := range blk.Instrs {
+					fmt.Fprintf(&b, "      %s\n", in.String())
+				}
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

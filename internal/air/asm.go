@@ -1,0 +1,507 @@
+package air
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual AIR form produced by Program.Disassemble back
+// into a verified Program. Together with the disassembler it gives AIR a
+// human-writable surface syntax, so custom test apps can be authored as
+// text and fed to the analyzer without touching the Go builder:
+//
+//	activity Main {
+//	  method onCreate(params=0, regs=3) {
+//	    b0:
+//	      const-str v0, "GET"
+//	      call-api v1, http.newRequest(v0)
+//	      return _
+//	  }
+//	}
+//
+// Blank lines and '#' comments are ignored. Assemble(p.Disassemble()) is the
+// identity for every verified program.
+func Assemble(src string) (*Program, error) {
+	p := &asmParser{prog: &Program{}}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("air: line %d: %w", i+1, err)
+		}
+	}
+	if p.class != nil {
+		return nil, fmt.Errorf("air: unterminated class %q", p.class.Name)
+	}
+	p.prog.ReindexMethods()
+	if err := Verify(p.prog); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+type asmParser struct {
+	prog   *Program
+	class  *Class
+	method *Method
+	block  int // current block index; -1 when none open
+}
+
+var kindByName = map[string]ComponentKind{
+	"class":    KindPlain,
+	"activity": KindActivity,
+	"service":  KindService,
+	"fragment": KindFragment,
+}
+
+func (p *asmParser) line(line string) error {
+	switch {
+	case line == "}":
+		return p.closeScope()
+	case p.method != nil && strings.HasPrefix(line, "b") && strings.HasSuffix(line, ":"):
+		return p.openBlock(line)
+	case p.method != nil:
+		return p.instr(line)
+	case p.class != nil && strings.HasPrefix(line, "method "):
+		return p.openMethod(line)
+	case p.class == nil:
+		return p.openClass(line)
+	default:
+		return fmt.Errorf("unexpected %q", line)
+	}
+}
+
+func (p *asmParser) openClass(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[2] != "{" {
+		return fmt.Errorf("want '<kind> <Name> {', got %q", line)
+	}
+	kind, ok := kindByName[fields[0]]
+	if !ok {
+		return fmt.Errorf("unknown class kind %q", fields[0])
+	}
+	p.class = &Class{Name: fields[1], Kind: kind}
+	return nil
+}
+
+func (p *asmParser) openMethod(line string) error {
+	// method name(params=N, regs=M) {
+	rest := strings.TrimPrefix(line, "method ")
+	if !strings.HasSuffix(rest, "{") {
+		return fmt.Errorf("method header missing '{': %q", line)
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return fmt.Errorf("malformed method header %q", line)
+	}
+	name := rest[:open]
+	params := strings.Split(rest[open+1:len(rest)-1], ",")
+	m := &Method{Name: name, Class: p.class.Name}
+	for _, kv := range params {
+		kv = strings.TrimSpace(kv)
+		var n int
+		switch {
+		case strings.HasPrefix(kv, "params="):
+			if _, err := fmt.Sscanf(kv, "params=%d", &n); err != nil {
+				return fmt.Errorf("bad %q", kv)
+			}
+			m.NumParams = n
+		case strings.HasPrefix(kv, "regs="):
+			if _, err := fmt.Sscanf(kv, "regs=%d", &n); err != nil {
+				return fmt.Errorf("bad %q", kv)
+			}
+			m.NumRegs = n
+		default:
+			return fmt.Errorf("unknown method attribute %q", kv)
+		}
+	}
+	p.method = m
+	p.block = -1
+	return nil
+}
+
+func (p *asmParser) openBlock(line string) error {
+	idxStr := strings.TrimSuffix(strings.TrimPrefix(line, "b"), ":")
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return fmt.Errorf("bad block label %q", line)
+	}
+	if idx != len(p.method.Blocks) {
+		return fmt.Errorf("block label b%d out of order (want b%d)", idx, len(p.method.Blocks))
+	}
+	p.method.Blocks = append(p.method.Blocks, Block{})
+	p.block = idx
+	return nil
+}
+
+func (p *asmParser) closeScope() error {
+	switch {
+	case p.method != nil:
+		p.class.Methods = append(p.class.Methods, p.method)
+		p.method = nil
+		return nil
+	case p.class != nil:
+		p.prog.Classes = append(p.prog.Classes, p.class)
+		p.class = nil
+		return nil
+	default:
+		return fmt.Errorf("unmatched '}'")
+	}
+}
+
+// reg parses "v3" or "_".
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return NoReg, nil
+	}
+	if !strings.HasPrefix(s, "v") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseTarget parses "->b7".
+func parseTarget(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "->b") {
+		return 0, fmt.Errorf("bad branch target %q", s)
+	}
+	return strconv.Atoi(s[3:])
+}
+
+// splitArgs splits "a, b, c" respecting no nesting (registers only).
+func splitArgs(s string) ([]Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Reg, len(parts))
+	for i, part := range parts {
+		r, err := parseReg(part)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (p *asmParser) instr(line string) error {
+	if p.block < 0 {
+		return fmt.Errorf("instruction outside a block: %q", line)
+	}
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return fmt.Errorf("malformed instruction %q", line)
+	}
+	op, rest := line[:sp], strings.TrimSpace(line[sp+1:])
+	in, err := parseInstr(op, rest)
+	if err != nil {
+		return err
+	}
+	b := &p.method.Blocks[p.block]
+	b.Instrs = append(b.Instrs, in)
+	return nil
+}
+
+func parseInstr(op, rest string) (Instr, error) {
+	bad := func(err error) (Instr, error) { return Instr{}, err }
+	two := func() (string, string, error) {
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			return "", "", fmt.Errorf("%s: want two operands in %q", op, rest)
+		}
+		return strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1:]), nil
+	}
+
+	switch op {
+	case "const-str":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		s, err := strconv.Unquote(b)
+		if err != nil {
+			return bad(fmt.Errorf("const-str: bad string %q", b))
+		}
+		return Instr{Op: OpConstStr, Dst: dst, Str: s, A: NoReg, B: NoReg}, nil
+
+	case "const-int", "const-bool":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		n, err := strconv.ParseInt(b, 10, 64)
+		if err != nil {
+			return bad(fmt.Errorf("%s: bad integer %q", op, b))
+		}
+		o := OpConstInt
+		if op == "const-bool" {
+			o = OpConstBool
+		}
+		return Instr{Op: o, Dst: dst, Int: n, A: NoReg, B: NoReg}, nil
+
+	case "move":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		src, err := parseReg(b)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpMove, Dst: dst, A: src, B: NoReg}, nil
+
+	case "concat":
+		parts := strings.Split(rest, ",")
+		if len(parts) != 3 {
+			return bad(fmt.Errorf("concat: want 3 operands"))
+		}
+		dst, err := parseReg(parts[0])
+		if err != nil {
+			return bad(err)
+		}
+		a, err := parseReg(parts[1])
+		if err != nil {
+			return bad(err)
+		}
+		b, err := parseReg(parts[2])
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpConcat, Dst: dst, A: a, B: b}, nil
+
+	case "new-object":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpNewObject, Dst: dst, Sym: b, A: NoReg, B: NoReg}, nil
+
+	case "new-map", "new-list":
+		dst, err := parseReg(rest)
+		if err != nil {
+			return bad(err)
+		}
+		o := OpNewMap
+		if op == "new-list" {
+			o = OpNewList
+		}
+		return Instr{Op: o, Dst: dst, A: NoReg, B: NoReg}, nil
+
+	case "iput":
+		// iput vA.field, vB
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dot := strings.IndexByte(a, '.')
+		if dot < 0 {
+			return bad(fmt.Errorf("iput: want vA.field, got %q", a))
+		}
+		obj, err := parseReg(a[:dot])
+		if err != nil {
+			return bad(err)
+		}
+		src, err := parseReg(b)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpIPut, A: obj, B: src, Sym: a[dot+1:], Dst: NoReg}, nil
+
+	case "iget":
+		// iget vD, vA.field
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		dot := strings.IndexByte(b, '.')
+		if dot < 0 {
+			return bad(fmt.Errorf("iget: want vA.field, got %q", b))
+		}
+		obj, err := parseReg(b[:dot])
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpIGet, Dst: dst, A: obj, Sym: b[dot+1:], B: NoReg}, nil
+
+	case "map-put":
+		// map-put vA["k"], vB
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		obj, key, err := parseIndexed(a)
+		if err != nil {
+			return bad(err)
+		}
+		src, err := parseReg(b)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpMapPut, A: obj, B: src, Sym: key, Dst: NoReg}, nil
+
+	case "map-get":
+		// map-get vD, vA["k"]
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		obj, key, err := parseIndexed(b)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpMapGet, Dst: dst, A: obj, Sym: key, B: NoReg}, nil
+
+	case "list-add":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		list, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		src, err := parseReg(b)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpListAdd, A: list, B: src, Dst: NoReg}, nil
+
+	case "invoke", "call-api":
+		// invoke vD, Sym(args)
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		dst, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		open := strings.IndexByte(b, '(')
+		if open < 0 || !strings.HasSuffix(b, ")") {
+			return bad(fmt.Errorf("%s: want Sym(args), got %q", op, b))
+		}
+		args, err := splitArgs(b[open+1 : len(b)-1])
+		if err != nil {
+			return bad(err)
+		}
+		o := OpInvoke
+		if op == "call-api" {
+			o = OpCallAPI
+		}
+		return Instr{Op: o, Dst: dst, Sym: b[:open], Args: args, A: NoReg, B: NoReg}, nil
+
+	case "if", "if-null":
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		cond, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		tgt, err := parseTarget(b)
+		if err != nil {
+			return bad(err)
+		}
+		o := OpIf
+		if op == "if-null" {
+			o = OpIfNull
+		}
+		return Instr{Op: o, A: cond, Target: tgt, B: NoReg, Dst: NoReg}, nil
+
+	case "goto":
+		tgt, err := parseTarget(rest)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpGoto, Target: tgt, A: NoReg, B: NoReg, Dst: NoReg}, nil
+
+	case "for-each":
+		// for-each vA, Sym(item[, extras...])
+		a, b, err := two()
+		if err != nil {
+			return bad(err)
+		}
+		list, err := parseReg(a)
+		if err != nil {
+			return bad(err)
+		}
+		open := strings.IndexByte(b, '(')
+		if open < 0 || !strings.HasSuffix(b, ")") {
+			return bad(fmt.Errorf("for-each: want Sym(item...), got %q", b))
+		}
+		inner := strings.TrimSpace(b[open+1 : len(b)-1])
+		if inner != "item" && !strings.HasPrefix(inner, "item,") {
+			return bad(fmt.Errorf("for-each: first argument must be 'item', got %q", inner))
+		}
+		var extras []Reg
+		if rest := strings.TrimPrefix(inner, "item"); strings.HasPrefix(rest, ",") {
+			extras, err = splitArgs(rest[1:])
+			if err != nil {
+				return bad(err)
+			}
+		}
+		return Instr{Op: OpForEach, A: list, Sym: b[:open], Args: extras, B: NoReg, Dst: NoReg}, nil
+
+	case "return":
+		r, err := parseReg(rest)
+		if err != nil {
+			return bad(err)
+		}
+		return Instr{Op: OpReturn, A: r, B: NoReg, Dst: NoReg}, nil
+	}
+	return bad(fmt.Errorf("unknown opcode %q", op))
+}
+
+// parseIndexed parses `vA["key"]`.
+func parseIndexed(s string) (Reg, string, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return 0, "", fmt.Errorf("want vA[\"key\"], got %q", s)
+	}
+	r, err := parseReg(s[:open])
+	if err != nil {
+		return 0, "", err
+	}
+	key, err := strconv.Unquote(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, "", fmt.Errorf("bad key in %q", s)
+	}
+	return r, key, nil
+}

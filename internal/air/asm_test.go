@@ -1,0 +1,147 @@
+package air
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	src := `
+# a tiny app
+activity Main {
+  method onCreate(params=0, regs=3) {
+    b0:
+      const-str v0, "GET"
+      call-api v1, http.newRequest(v0)
+      call-api v2, http.execute(v1)
+      return _
+  }
+}
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := p.Method("Main.onCreate")
+	if m == nil || len(m.Blocks) != 1 || len(m.Blocks[0].Instrs) != 4 {
+		t.Fatalf("program shape wrong: %+v", m)
+	}
+	if m.Blocks[0].Instrs[1].Sym != APIHTTPNewRequest {
+		t.Fatalf("api sym = %q", m.Blocks[0].Instrs[1].Sym)
+	}
+}
+
+// TestAssembleDisassembleRoundTripSample: the disassembly of a builder-made
+// program reassembles into an identical program.
+func TestAssembleDisassembleRoundTripSample(t *testing.T) {
+	p := buildSample(t)
+	src := p.Disassemble()
+	p2, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble(Disassemble(p)): %v\n%s", err, src)
+	}
+	if got := p2.Disassemble(); got != src {
+		t.Fatalf("round trip changed program:\n--- original\n%s\n--- reassembled\n%s", src, got)
+	}
+}
+
+func TestAssembleAllOpcodesRoundTrip(t *testing.T) {
+	// A program exercising every opcode, built with the builder, then
+	// round-tripped through text.
+	pb := NewProgramBuilder()
+	c := pb.Class("All", KindFragment)
+	h := c.Method("each", 2)
+	h.Done()
+	m := c.Method("go", 1)
+	then := m.Block()
+	join := m.Block()
+	s := m.ConstStr("s")
+	n := m.ConstInt(42)
+	bl := m.ConstBool(true)
+	mv := m.Move(s)
+	cc := m.Concat(mv, s)
+	obj := m.NewObject("Holder")
+	m.IPut(obj, "f", cc)
+	fg := m.IGet(obj, "f")
+	mp := m.NewMap()
+	m.MapPut(mp, "key x", fg)
+	mg := m.MapGet(mp, "key x")
+	ls := m.NewList()
+	m.ListAdd(ls, mg)
+	m.ForEach(ls, "All.each", n)
+	iv := m.Invoke("All.each", s, n)
+	_ = iv
+	api := m.CallAPI(APIDeviceLocale)
+	m.IfNull(api, then)
+	m.If(bl, then)
+	m.Goto(join)
+	m.Enter(then)
+	m.Goto(join)
+	m.Enter(join)
+	m.Return(s)
+	m.Done()
+	p := pb.MustBuild()
+
+	src := p.Disassemble()
+	p2, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v\n%s", err, src)
+	}
+	if p2.Disassemble() != src {
+		t.Fatal("all-opcode round trip changed the program")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated class", "activity A {\n"},
+		{"bad kind", "widget A {\n}\n"},
+		{"bad method header", "activity A {\nmethod f{\n}\n}\n"},
+		{"out of order block", "activity A {\nmethod f(params=0, regs=1) {\nb1:\nreturn _\n}\n}\n"},
+		{"instr outside block", "activity A {\nmethod f(params=0, regs=1) {\nreturn _\n}\n}\n"},
+		{"bad register", "activity A {\nmethod f(params=0, regs=1) {\nb0:\nmove x0, v0\nreturn _\n}\n}\n"},
+		{"unknown opcode", "activity A {\nmethod f(params=0, regs=1) {\nb0:\nfly v0\nreturn _\n}\n}\n"},
+		{"bad string", `activity A {
+method f(params=0, regs=1) {
+b0:
+const-str v0, unquoted
+return _
+}
+}`},
+		{"verify fails", "activity A {\nmethod f(params=0, regs=1) {\nb0:\ninvoke v0, Missing.g()\nreturn _\n}\n}\n"},
+		{"stray brace", "}\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlanks(t *testing.T) {
+	src := `
+# leading comment
+
+class C {
+  method f(params=0, regs=1) {
+    b0:
+      # comment inside block
+      const-int v0, 7
+      return v0
+  }
+}
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method("C.f") == nil {
+		t.Fatal("method missing")
+	}
+	if !strings.Contains(p.Disassemble(), "const-int v0, 7") {
+		t.Fatal("instruction lost")
+	}
+}

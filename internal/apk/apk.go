@@ -1,0 +1,217 @@
+// Package apk defines the app container format — this reproduction's stand-in
+// for an Android .apk.
+//
+// A package bundles three things: a manifest (identity and launch entry
+// point), the compiled AIR program (what the static analyzer and the device
+// runtime consume), and a UI model describing the app's screens and their
+// interactive widgets. Each widget is bound to an AIR handler method, which
+// is how user events (from the emulated device, the trace replayer, or the
+// Monkey-style fuzzer) enter the program — the equivalent of Android's view
+// event dispatch.
+package apk
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"appx/internal/air"
+)
+
+// WidgetKind tags how a widget is activated.
+type WidgetKind string
+
+const (
+	// Button is tapped without arguments.
+	Button WidgetKind = "button"
+	// ListItem is tapped with a position argument (the index string is
+	// passed to the handler as its first parameter).
+	ListItem WidgetKind = "list-item"
+	// Back navigates to the previous screen (no handler).
+	Back WidgetKind = "back"
+)
+
+// Widget is one interactive element on a screen.
+type Widget struct {
+	ID   string     `json:"id"`
+	Kind WidgetKind `json:"kind"`
+	// Handler is the qualified AIR method invoked on activation. Button
+	// handlers take zero parameters, ListItem handlers take one (the
+	// position). Empty for Back.
+	Handler string `json:"handler,omitempty"`
+	// MaxIndex bounds the position argument for list items (exclusive).
+	MaxIndex int `json:"maxIndex,omitempty"`
+	// Target names the screen the widget navigates to, when known; the
+	// device uses the app's ui.render calls as ground truth, this is
+	// metadata for the fuzzer/trace generator.
+	Target string `json:"target,omitempty"`
+	// Main marks the widget that triggers the app's main interaction
+	// (Table 1 of the paper).
+	Main bool `json:"main,omitempty"`
+}
+
+// Screen is one UI page.
+type Screen struct {
+	Name    string   `json:"name"`
+	Widgets []Widget `json:"widgets"`
+}
+
+// Manifest identifies the app.
+type Manifest struct {
+	Package string `json:"package"`
+	Label   string `json:"label"`
+	Version string `json:"version"`
+	// Category mirrors the Google Play category (Table 1).
+	Category string `json:"category"`
+	// LaunchHandler is the AIR method run when the app starts (the "main
+	// activity onCreate").
+	LaunchHandler string `json:"launchHandler"`
+	// LaunchScreen is the screen rendered after launch.
+	LaunchScreen string `json:"launchScreen"`
+	// MainInteraction describes the representative interaction evaluated in
+	// the paper (e.g. "Loads an item detail").
+	MainInteraction string `json:"mainInteraction"`
+	// ServiceEntries are non-UI entry points: broadcast receivers, push
+	// handlers, and background jobs the system invokes without any user
+	// event. Static analysis covers them; UI fuzzing cannot trigger them —
+	// the paper's §6.1 observation that "some requests are not triggered by
+	// user events (e.g., push notification)".
+	ServiceEntries []string `json:"serviceEntries,omitempty"`
+}
+
+// APK is a packaged application.
+type APK struct {
+	Manifest Manifest     `json:"manifest"`
+	Screens  []Screen     `json:"screens"`
+	Program  *air.Program `json:"program"`
+}
+
+// Screen returns the named screen, or nil.
+func (a *APK) Screen(name string) *Screen {
+	for i := range a.Screens {
+		if a.Screens[i].Name == name {
+			return &a.Screens[i]
+		}
+	}
+	return nil
+}
+
+// Entries returns every analysis entry point: the launch handler plus all
+// widget handlers, deduplicated, in deterministic order.
+func (a *APK) Entries() []string {
+	set := map[string]bool{}
+	if a.Manifest.LaunchHandler != "" {
+		set[a.Manifest.LaunchHandler] = true
+	}
+	for _, e := range a.Manifest.ServiceEntries {
+		set[e] = true
+	}
+	for _, s := range a.Screens {
+		for _, w := range s.Widgets {
+			if w.Handler != "" {
+				set[w.Handler] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MainWidget returns the screen and widget of the app's main interaction.
+func (a *APK) MainWidget() (string, *Widget) {
+	for si := range a.Screens {
+		for wi := range a.Screens[si].Widgets {
+			if a.Screens[si].Widgets[wi].Main {
+				return a.Screens[si].Name, &a.Screens[si].Widgets[wi]
+			}
+		}
+	}
+	return "", nil
+}
+
+// Validate checks internal consistency: the program verifies, every handler
+// exists with the arity its widget kind implies, and the launch handler is
+// present.
+func (a *APK) Validate() error {
+	if a.Program == nil {
+		return fmt.Errorf("apk %s: no program", a.Manifest.Package)
+	}
+	if err := air.Verify(a.Program); err != nil {
+		return fmt.Errorf("apk %s: %w", a.Manifest.Package, err)
+	}
+	check := func(handler string, params int, where string) error {
+		m := a.Program.Method(handler)
+		if m == nil {
+			return fmt.Errorf("apk %s: %s: unknown handler %q", a.Manifest.Package, where, handler)
+		}
+		if m.NumParams != params {
+			return fmt.Errorf("apk %s: %s: handler %q has %d params, want %d",
+				a.Manifest.Package, where, handler, m.NumParams, params)
+		}
+		return nil
+	}
+	if a.Manifest.LaunchHandler == "" {
+		return fmt.Errorf("apk %s: no launch handler", a.Manifest.Package)
+	}
+	if err := check(a.Manifest.LaunchHandler, 0, "launch"); err != nil {
+		return err
+	}
+	for _, e := range a.Manifest.ServiceEntries {
+		if err := check(e, 0, "service entry"); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range a.Screens {
+		if seen[s.Name] {
+			return fmt.Errorf("apk %s: duplicate screen %q", a.Manifest.Package, s.Name)
+		}
+		seen[s.Name] = true
+		for _, w := range s.Widgets {
+			switch w.Kind {
+			case Button:
+				if err := check(w.Handler, 0, s.Name+"/"+w.ID); err != nil {
+					return err
+				}
+			case ListItem:
+				if err := check(w.Handler, 1, s.Name+"/"+w.ID); err != nil {
+					return err
+				}
+				if w.MaxIndex <= 0 {
+					return fmt.Errorf("apk %s: %s/%s: list item needs MaxIndex > 0", a.Manifest.Package, s.Name, w.ID)
+				}
+			case Back:
+				if w.Handler != "" {
+					return fmt.Errorf("apk %s: %s/%s: back widget must not have a handler", a.Manifest.Package, s.Name, w.ID)
+				}
+			default:
+				return fmt.Errorf("apk %s: %s/%s: unknown widget kind %q", a.Manifest.Package, s.Name, w.ID, w.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the package (our ".apk" file format).
+func (a *APK) Marshal() ([]byte, error) {
+	return json.MarshalIndent(a, "", " ")
+}
+
+// Unmarshal parses a package and validates it.
+func Unmarshal(b []byte) (*APK, error) {
+	var a APK
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	if a.Program != nil {
+		a.Program.ReindexMethods()
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

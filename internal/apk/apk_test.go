@@ -1,0 +1,154 @@
+package apk
+
+import (
+	"reflect"
+	"testing"
+
+	"appx/internal/air"
+)
+
+func sampleAPK(t testing.TB) *APK {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Main", air.KindActivity)
+	launch := c.Method("onLaunch", 0)
+	launch.CallAPI(air.APIUIRender, launch.ConstStr("feed"))
+	launch.Done()
+	sel := c.Method("onSelect", 1)
+	sel.CallAPI(air.APIUIRender, sel.ConcatStr(sel.Param(0), "-detail"))
+	sel.Done()
+	refresh := c.Method("onRefresh", 0)
+	refresh.CallAPI(air.APIUIRender, refresh.ConstStr("feed"))
+	refresh.Done()
+
+	return &APK{
+		Manifest: Manifest{
+			Package:         "com.example.shop",
+			Label:           "Shop",
+			Version:         "1.0",
+			Category:        "Shopping",
+			LaunchHandler:   "Main.onLaunch",
+			LaunchScreen:    "feed",
+			MainInteraction: "Loads an item detail",
+		},
+		Screens: []Screen{
+			{Name: "feed", Widgets: []Widget{
+				{ID: "item", Kind: ListItem, Handler: "Main.onSelect", MaxIndex: 30, Target: "detail", Main: true},
+				{ID: "refresh", Kind: Button, Handler: "Main.onRefresh"},
+			}},
+			{Name: "detail", Widgets: []Widget{
+				{ID: "back", Kind: Back},
+			}},
+		},
+		Program: pb.MustBuild(),
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleAPK(t).Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEntries(t *testing.T) {
+	got := sampleAPK(t).Entries()
+	want := []string{"Main.onLaunch", "Main.onRefresh", "Main.onSelect"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Entries = %v, want %v", got, want)
+	}
+}
+
+func TestMainWidget(t *testing.T) {
+	a := sampleAPK(t)
+	screen, w := a.MainWidget()
+	if screen != "feed" || w == nil || w.ID != "item" {
+		t.Fatalf("MainWidget = %q, %+v", screen, w)
+	}
+}
+
+func TestScreenLookup(t *testing.T) {
+	a := sampleAPK(t)
+	if a.Screen("feed") == nil || a.Screen("nope") != nil {
+		t.Fatal("Screen lookup wrong")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := sampleAPK(t)
+	b, err := a.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	a2, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(a2.Manifest, a.Manifest) {
+		t.Fatalf("manifest changed: %+v", a2.Manifest)
+	}
+	if !reflect.DeepEqual(a2.Entries(), a.Entries()) {
+		t.Fatal("entries changed")
+	}
+	// The round-tripped program must still resolve methods.
+	if a2.Program.Method("Main.onSelect") == nil {
+		t.Fatal("program index lost")
+	}
+}
+
+func TestValidateRejectsBadHandler(t *testing.T) {
+	a := sampleAPK(t)
+	a.Screens[0].Widgets[1].Handler = "Main.missing"
+	if err := a.Validate(); err == nil {
+		t.Fatal("unknown handler accepted")
+	}
+}
+
+func TestValidateRejectsWrongArity(t *testing.T) {
+	a := sampleAPK(t)
+	// Button bound to a 1-param handler.
+	a.Screens[0].Widgets[1].Handler = "Main.onSelect"
+	if err := a.Validate(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestValidateRejectsListItemWithoutMaxIndex(t *testing.T) {
+	a := sampleAPK(t)
+	a.Screens[0].Widgets[0].MaxIndex = 0
+	if err := a.Validate(); err == nil {
+		t.Fatal("MaxIndex=0 accepted")
+	}
+}
+
+func TestValidateRejectsDuplicateScreens(t *testing.T) {
+	a := sampleAPK(t)
+	a.Screens = append(a.Screens, Screen{Name: "feed"})
+	if err := a.Validate(); err == nil {
+		t.Fatal("duplicate screen accepted")
+	}
+}
+
+func TestValidateRejectsBackWithHandler(t *testing.T) {
+	a := sampleAPK(t)
+	a.Screens[1].Widgets[0].Handler = "Main.onRefresh"
+	if err := a.Validate(); err == nil {
+		t.Fatal("back with handler accepted")
+	}
+}
+
+func TestValidateRejectsMissingLaunch(t *testing.T) {
+	a := sampleAPK(t)
+	a.Manifest.LaunchHandler = ""
+	if err := a.Validate(); err == nil {
+		t.Fatal("missing launch handler accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"manifest":{}}`)); err == nil {
+		t.Fatal("empty apk accepted")
+	}
+}

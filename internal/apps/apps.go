@@ -1,0 +1,75 @@
+// Package apps contains the five synthetic commercial applications the
+// evaluation runs against, modelled transaction-for-transaction on the apps
+// in the paper (Table 1): Wish and Geek (shopping), DoorDash and Postmates
+// (food delivery), and Purple Ocean (psychic reading).
+//
+// Each App bundles:
+//
+//   - an APK (AIR program + UI model) exhibiting the dependency structures
+//     §2 and §6.1 of the paper describe — feed→thumbnail fan-out, item
+//     detail with branch-conditional body fields, Intent-passed selections,
+//     Rx pipelines, and successive request chains;
+//   - an origin-server implementation of the app's REST API producing
+//     deterministic content with the paper's payload sizes (§6.2: product
+//     images ~315 KB for Wish/Geek, restaurant images ~168 KB vs ~7 KB
+//     menus for Postmates);
+//   - the evaluation parameters of Tables 1 and 2: per-host proxy↔origin
+//     RTTs and the per-screen client processing (render) delays backed out
+//     of Figures 13 and 14.
+package apps
+
+import (
+	"net/http"
+	"time"
+
+	"appx/internal/apk"
+)
+
+// App is one synthetic application plus its evaluation parameters.
+type App struct {
+	// Name is the short app identifier ("wish", "geek", ...).
+	Name string
+	// APK is the packaged application.
+	APK *apk.APK
+	// Hosts lists every origin hostname the app contacts.
+	Hosts []string
+	// HostRTT is the proxy↔origin round-trip time per host at time scale 1
+	// (Table 2 of the paper).
+	HostRTT map[string]time.Duration
+	// RenderDelay is the client-side processing delay charged when a screen
+	// renders (the "processing delay" slice of Figures 13/14), at scale 1.
+	RenderDelay map[string]time.Duration
+	// Handler constructs the app's origin server. The scale factor
+	// compresses server-side processing sleeps together with the rest of
+	// the emulation.
+	Handler func(scale float64) http.Handler
+	// MainScreen/MainWidget identify the paper's "main interaction"
+	// (Table 1); duplicated from the APK for convenience.
+	MainScreen string
+	// MainPath is the URI path of the main interaction's primary
+	// transaction, used by experiment reporting.
+	MainPath string
+}
+
+// All returns the five evaluation apps in the paper's order.
+func All() []*App {
+	return []*App{Wish(), Geek(), DoorDash(), PurpleOcean(), Postmates()}
+}
+
+// ByName returns the named app or nil.
+func ByName(name string) *App {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// sleepScaled sleeps d scaled by the emulation factor.
+func sleepScaled(d time.Duration, scale float64) {
+	if d <= 0 || scale <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * scale))
+}

@@ -1,0 +1,254 @@
+package apps
+
+import (
+	"net/http"
+	"time"
+
+	"appx/internal/air"
+	"appx/internal/apk"
+)
+
+// Secondary surfaces for the two food-delivery apps. Both gain a search flow
+// and a background order-tracking service; Postmates' tracking walks a deep
+// successive chain (order → courier → location → zone → ETA) that pushes its
+// maximum dependency chain well past what any UI-driven observation sees —
+// the paper reports a maximum successive chain of 15 for Postmates, found
+// only by static analysis.
+
+// --- DoorDash ---
+
+func buildDoorDashExtras(pb *air.ProgramBuilder) {
+	search := pb.Class("DDSearch", air.KindActivity)
+
+	so := search.Method("open", 0)
+	creq := so.CallAPI(air.APIHTTPNewRequest, so.ConstStr("GET"))
+	so.CallAPI(air.APIHTTPSetURL, creq, so.ConstStr("http://"+ddAPIHost+"/v2/search/cuisines"))
+	cresp := so.CallAPI(air.APIHTTPExecute, creq)
+	cbody := so.CallAPI(air.APIHTTPRespBody, cresp)
+	so.CallAPI(air.APIIntentPut, so.ConstStr("dd.cuisines"), cbody)
+	so.CallAPI(air.APIUIRender, so.ConstStr("cuisines"))
+	so.Done()
+
+	op := search.Method("onPickCuisine", 1)
+	cs := op.CallAPI(air.APIIntentGet, op.ConstStr("dd.cuisines"))
+	names := op.CallAPI(air.APIJSONGet, cs, op.ConstStr("cuisines[*].name"))
+	name := op.CallAPI(air.APIListGet, names, op.Param(0))
+	qreq := op.CallAPI(air.APIHTTPNewRequest, op.ConstStr("GET"))
+	op.CallAPI(air.APIHTTPSetURL, qreq, op.ConstStr("http://"+ddAPIHost+"/v2/search"))
+	op.CallAPI(air.APIHTTPAddQuery, qreq, op.ConstStr("c"), name)
+	op.CallAPI(air.APIHTTPAddQuery, qreq, op.ConstStr("locale"), op.CallAPI(air.APIDeviceLocale))
+	op.CallAPI(air.APIHTTPExecute, qreq)
+	op.CallAPI(air.APIUIRender, op.ConstStr("search-results"))
+	op.Done()
+
+	// Background order tracking: push → active order → status → courier.
+	orders := pb.Class("DDOrders", air.KindService)
+	onp := orders.Method("onPush", 0)
+	areq := onp.CallAPI(air.APIHTTPNewRequest, onp.ConstStr("GET"))
+	onp.CallAPI(air.APIHTTPSetURL, areq, onp.ConstStr("http://"+ddAPIHost+"/v2/orders/active"))
+	onp.CallAPI(air.APIHTTPAddHeader, areq, onp.ConstStr("Cookie"), onp.CallAPI(air.APIDeviceCookie, onp.ConstStr(ddAPIHost)))
+	aresp := onp.CallAPI(air.APIHTTPExecute, areq)
+	abody := onp.CallAPI(air.APIHTTPRespBody, aresp)
+	oid := onp.CallAPI(air.APIJSONGet, abody, onp.ConstStr("active.order_id"))
+	sreq := onp.CallAPI(air.APIHTTPNewRequest, onp.ConstStr("GET"))
+	onp.CallAPI(air.APIHTTPSetURL, sreq, onp.ConstStr("http://"+ddAPIHost+"/v2/order/status"))
+	onp.CallAPI(air.APIHTTPAddQuery, sreq, onp.ConstStr("oid"), oid)
+	sresp := onp.CallAPI(air.APIHTTPExecute, sreq)
+	sbody := onp.CallAPI(air.APIHTTPRespBody, sresp)
+	courier := onp.CallAPI(air.APIJSONGet, sbody, onp.ConstStr("status.courier_id"))
+	onp.Invoke("DDOrders.trackCourier", courier)
+	onp.Done()
+
+	tc := orders.Method("trackCourier", 1)
+	kreq := tc.CallAPI(air.APIHTTPNewRequest, tc.ConstStr("GET"))
+	tc.CallAPI(air.APIHTTPSetURL, kreq, tc.ConstStr("http://"+ddAPIHost+"/v2/courier"))
+	tc.CallAPI(air.APIHTTPAddQuery, kreq, tc.ConstStr("cid"), tc.Param(0))
+	kresp := tc.CallAPI(air.APIHTTPExecute, kreq)
+	kbody := tc.CallAPI(air.APIHTTPRespBody, kresp)
+	loc := tc.CallAPI(air.APIJSONGet, kbody, tc.ConstStr("courier.loc_key"))
+	lreq := tc.CallAPI(air.APIHTTPNewRequest, tc.ConstStr("GET"))
+	tc.CallAPI(air.APIHTTPSetURL, lreq, tc.ConstStr("http://"+ddAPIHost+"/v2/courier/loc"))
+	tc.CallAPI(air.APIHTTPAddQuery, lreq, tc.ConstStr("key"), loc)
+	tc.CallAPI(air.APIHTTPExecute, lreq)
+	tc.Done()
+}
+
+func doorDashExtraScreens() (extra []apk.Screen, storesWidgets []apk.Widget) {
+	extra = []apk.Screen{
+		{Name: "cuisines", Widgets: []apk.Widget{
+			{ID: "cuisine", Kind: apk.ListItem, Handler: "DDSearch.onPickCuisine", MaxIndex: 4, Target: "search-results"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "search-results", Widgets: []apk.Widget{
+			{ID: "back", Kind: apk.Back},
+		}},
+	}
+	storesWidgets = []apk.Widget{
+		{ID: "search", Kind: apk.Button, Handler: "DDSearch.open", Target: "cuisines"},
+	}
+	return
+}
+
+func doorDashServiceEntries() []string { return []string{"DDOrders.onPush"} }
+
+func registerDoorDashExtraRoutes(mux *http.ServeMux, scale float64, storeIDs []string) {
+	cuisines := []string{"pizza", "sushi", "thai", "burgers"}
+	activeOrder := "ord-" + storeIDs[0]
+
+	mux.HandleFunc("/v2/search/cuisines", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		out := make([]any, len(cuisines))
+		for i, c := range cuisines {
+			out[i] = map[string]any{"name": c}
+		}
+		writeJSON(w, map[string]any{"cuisines": out})
+	})
+	mux.HandleFunc("/v2/search", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("c") == "" {
+			writeErr(w, http.StatusBadRequest, "missing c")
+			return
+		}
+		sleepScaled(30*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"results": []any{storeIDs[0], storeIDs[1]}, "filler": pad(1800)})
+	})
+	mux.HandleFunc("/v2/orders/active", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"active": map[string]any{"order_id": activeOrder}})
+	})
+	mux.HandleFunc("/v2/order/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("oid") != activeOrder {
+			writeErr(w, http.StatusNotFound, "unknown order")
+			return
+		}
+		sleepScaled(15*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"status": map[string]any{"stage": "cooking", "courier_id": "cour-7"}})
+	})
+	mux.HandleFunc("/v2/courier", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("cid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing cid")
+			return
+		}
+		sleepScaled(10*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"courier": map[string]any{"name": "Sam", "loc_key": "locx-9"}})
+	})
+	mux.HandleFunc("/v2/courier/loc", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("key") == "" {
+			writeErr(w, http.StatusBadRequest, "missing key")
+			return
+		}
+		writeJSON(w, map[string]any{"loc": map[string]any{"lat": 37.5, "lng": 127.0}})
+	})
+}
+
+// --- Postmates ---
+
+func buildPostmatesExtras(pb *air.ProgramBuilder) {
+	search := pb.Class("PMSearch", air.KindActivity)
+	so := search.Method("open", 0)
+	sreq := so.CallAPI(air.APIHTTPNewRequest, so.ConstStr("GET"))
+	so.CallAPI(air.APIHTTPSetURL, sreq, so.ConstStr("http://"+pmAPIHost+"/api/search"))
+	so.CallAPI(air.APIHTTPAddQuery, sreq, so.ConstStr("q"), so.ConstStr("nearby"))
+	so.CallAPI(air.APIHTTPAddQuery, sreq, so.ConstStr("locale"), so.CallAPI(air.APIDeviceLocale))
+	so.CallAPI(air.APIHTTPExecute, sreq)
+	so.CallAPI(air.APIUIRender, so.ConstStr("pm-search"))
+	so.Done()
+
+	// Background tracking: a six-hop successive chain, each request keyed
+	// by a field of the previous response.
+	track := pb.Class("PMTrack", air.KindService)
+
+	hop := func(name, path, qkey, respPath, next string) {
+		m := track.Method(name, 1)
+		req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+		m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://"+pmAPIHost+path))
+		m.CallAPI(air.APIHTTPAddQuery, req, m.ConstStr(qkey), m.Param(0))
+		resp := m.CallAPI(air.APIHTTPExecute, req)
+		if next != "" {
+			body := m.CallAPI(air.APIHTTPRespBody, resp)
+			v := m.CallAPI(air.APIJSONGet, body, m.ConstStr(respPath))
+			m.Invoke("PMTrack."+next, v)
+		}
+		m.Done()
+	}
+	// Declare deepest-first so invokes resolve.
+	hop("eta", "/api/eta", "key", "", "")
+	hop("zone", "/api/zone", "zid", "zone.eta_key", "eta")
+	hop("locate", "/api/courier/loc", "lid", "loc.zone_id", "zone")
+	hop("courier", "/api/courier", "cid", "courier.loc_id", "locate")
+	hop("order", "/api/order", "oid", "order.courier_id", "courier")
+
+	onp := track.Method("onPush", 0)
+	areq := onp.CallAPI(air.APIHTTPNewRequest, onp.ConstStr("GET"))
+	onp.CallAPI(air.APIHTTPSetURL, areq, onp.ConstStr("http://"+pmAPIHost+"/api/orders/active"))
+	onp.CallAPI(air.APIHTTPAddHeader, areq, onp.ConstStr("Cookie"), onp.CallAPI(air.APIDeviceCookie, onp.ConstStr(pmAPIHost)))
+	aresp := onp.CallAPI(air.APIHTTPExecute, areq)
+	abody := onp.CallAPI(air.APIHTTPRespBody, aresp)
+	oid := onp.CallAPI(air.APIJSONGet, abody, onp.ConstStr("active.order_id"))
+	onp.Invoke("PMTrack.order", oid)
+	onp.Done()
+}
+
+func postmatesExtraScreens() (extra []apk.Screen, feedWidgets []apk.Widget) {
+	extra = []apk.Screen{
+		{Name: "pm-search", Widgets: []apk.Widget{
+			{ID: "back", Kind: apk.Back},
+		}},
+	}
+	feedWidgets = []apk.Widget{
+		{ID: "search", Kind: apk.Button, Handler: "PMSearch.open", Target: "pm-search"},
+	}
+	return
+}
+
+func postmatesServiceEntries() []string { return []string{"PMTrack.onPush"} }
+
+func registerPostmatesExtraRoutes(mux *http.ServeMux, scale float64, restIDs []string) {
+	activeOrder := "ord-" + restIDs[0]
+	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("q") == "" {
+			writeErr(w, http.StatusBadRequest, "missing q")
+			return
+		}
+		sleepScaled(120*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"results": []any{restIDs[0], restIDs[2]}, "filler": pad(900)})
+	})
+	mux.HandleFunc("/api/orders/active", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(20*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"active": map[string]any{"order_id": activeOrder}})
+	})
+	mux.HandleFunc("/api/order", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("oid") != activeOrder {
+			writeErr(w, http.StatusNotFound, "unknown order")
+			return
+		}
+		writeJSON(w, map[string]any{"order": map[string]any{"courier_id": "pmc-3"}})
+	})
+	mux.HandleFunc("/api/courier", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("cid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing cid")
+			return
+		}
+		writeJSON(w, map[string]any{"courier": map[string]any{"loc_id": "pml-8"}})
+	})
+	mux.HandleFunc("/api/courier/loc", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("lid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing lid")
+			return
+		}
+		writeJSON(w, map[string]any{"loc": map[string]any{"zone_id": "pmz-2"}})
+	})
+	mux.HandleFunc("/api/zone", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("zid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing zid")
+			return
+		}
+		writeJSON(w, map[string]any{"zone": map[string]any{"eta_key": "pme-1"}})
+	})
+	mux.HandleFunc("/api/eta", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("key") == "" {
+			writeErr(w, http.StatusBadRequest, "missing key")
+			return
+		}
+		writeJSON(w, map[string]any{"eta": map[string]any{"minutes": 17}})
+	})
+}

@@ -1,0 +1,256 @@
+package apps
+
+import (
+	"net/http"
+	"time"
+
+	"appx/internal/air"
+	"appx/internal/apk"
+)
+
+// Secondary surfaces for Geek (brands browsing, item reviews, a flash-deals
+// background sync) and Purple Ocean (daily horoscope, reading history, and a
+// chat-token background handshake).
+
+// --- Geek ---
+
+func buildGeekExtras(pb *air.ProgramBuilder) {
+	brands := pb.Class("GeekBrands", air.KindActivity)
+
+	bo := brands.Method("open", 0)
+	breq := bo.CallAPI(air.APIHTTPNewRequest, bo.ConstStr("GET"))
+	bo.CallAPI(air.APIHTTPSetURL, breq, bo.ConstStr("http://"+geekAPIHost+"/api/brands"))
+	bresp := bo.CallAPI(air.APIHTTPExecute, breq)
+	bbody := bo.CallAPI(air.APIHTTPRespBody, bresp)
+	bo.CallAPI(air.APIIntentPut, bo.ConstStr("geek.brands"), bbody)
+	bo.CallAPI(air.APIUIRender, bo.ConstStr("brands"))
+	bo.Done()
+
+	ob := brands.Method("onSelectBrand", 1)
+	bs := ob.CallAPI(air.APIIntentGet, ob.ConstStr("geek.brands"))
+	bids := ob.CallAPI(air.APIJSONGet, bs, ob.ConstStr("brands[*].id"))
+	bid := ob.CallAPI(air.APIListGet, bids, ob.Param(0))
+	ireq := ob.CallAPI(air.APIHTTPNewRequest, ob.ConstStr("GET"))
+	ob.CallAPI(air.APIHTTPSetURL, ireq, ob.ConstStr("http://"+geekAPIHost+"/api/brand/items"))
+	ob.CallAPI(air.APIHTTPAddQuery, ireq, ob.ConstStr("b"), bid)
+	ob.CallAPI(air.APIHTTPExecute, ireq)
+	ob.CallAPI(air.APIUIRender, ob.ConstStr("brand"))
+	ob.Done()
+
+	// Reviews for the currently open item.
+	rev := pb.Class("GeekReviews", air.KindActivity)
+	ro := rev.Method("open", 0)
+	rid := ro.CallAPI(air.APIIntentGet, ro.ConstStr("geek.sel"))
+	rreq := ro.CallAPI(air.APIHTTPNewRequest, ro.ConstStr("GET"))
+	ro.CallAPI(air.APIHTTPSetURL, rreq, ro.ConstStr("http://"+geekAPIHost+"/api/reviews"))
+	ro.CallAPI(air.APIHTTPAddQuery, rreq, ro.ConstStr("item_id"), rid)
+	ro.CallAPI(air.APIHTTPExecute, rreq)
+	ro.CallAPI(air.APIUIRender, ro.ConstStr("reviews"))
+	ro.Done()
+
+	// Background flash-deals sync (not reachable from the UI).
+	syncC := pb.Class("GeekSync", air.KindService)
+	fd := syncC.Method("onFlashDeals", 0)
+	freq := fd.CallAPI(air.APIHTTPNewRequest, fd.ConstStr("GET"))
+	fd.CallAPI(air.APIHTTPSetURL, freq, fd.ConstStr("http://"+geekAPIHost+"/api/flash"))
+	fresp := fd.CallAPI(air.APIHTTPExecute, freq)
+	fbody := fd.CallAPI(air.APIHTTPRespBody, fresp)
+	fids := fd.CallAPI(air.APIJSONGet, fbody, fd.ConstStr("flash[*].id"))
+	fd.ForEach(fids, "GeekSync.loadDeal")
+	fd.Done()
+
+	ld := syncC.Method("loadDeal", 1)
+	dreq := ld.CallAPI(air.APIHTTPNewRequest, ld.ConstStr("GET"))
+	ld.CallAPI(air.APIHTTPSetURL, dreq, ld.ConstStr("http://"+geekAPIHost+"/api/flash/item"))
+	ld.CallAPI(air.APIHTTPAddQuery, dreq, ld.ConstStr("id"), ld.Param(0))
+	ld.CallAPI(air.APIHTTPExecute, dreq)
+	ld.Done()
+}
+
+func geekExtraScreens() (extra []apk.Screen, feedWidgets, detailWidgets []apk.Widget) {
+	extra = []apk.Screen{
+		{Name: "brands", Widgets: []apk.Widget{
+			{ID: "brand", Kind: apk.ListItem, Handler: "GeekBrands.onSelectBrand", MaxIndex: 6, Target: "brand"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "brand", Widgets: []apk.Widget{{ID: "back", Kind: apk.Back}}},
+		{Name: "reviews", Widgets: []apk.Widget{{ID: "back", Kind: apk.Back}}},
+	}
+	feedWidgets = []apk.Widget{
+		{ID: "brands", Kind: apk.Button, Handler: "GeekBrands.open", Target: "brands"},
+	}
+	detailWidgets = []apk.Widget{
+		{ID: "reviews", Kind: apk.Button, Handler: "GeekReviews.open", Target: "reviews"},
+	}
+	return
+}
+
+func geekServiceEntries() []string { return []string{"GeekSync.onFlashDeals"} }
+
+func registerGeekExtraRoutes(mux *http.ServeMux, scale float64, feedIDs []string) {
+	brandIDs := ids("geek-brands", 6)
+	knownBrand := map[string]bool{}
+	for _, id := range brandIDs {
+		knownBrand[id] = true
+	}
+	flashIDs := ids("geek-flash", 4)
+	knownFlash := map[string]bool{}
+	for _, id := range flashIDs {
+		knownFlash[id] = true
+	}
+
+	mux.HandleFunc("/api/brands", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(20*time.Millisecond, scale)
+		brands := make([]any, len(brandIDs))
+		for i, id := range brandIDs {
+			brands[i] = map[string]any{"id": id, "name": "brand-" + id}
+		}
+		writeJSON(w, map[string]any{"brands": brands})
+	})
+	mux.HandleFunc("/api/brand/items", func(w http.ResponseWriter, r *http.Request) {
+		if !knownBrand[r.URL.Query().Get("b")] {
+			writeErr(w, http.StatusNotFound, "unknown brand")
+			return
+		}
+		sleepScaled(25*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"items": []any{feedIDs[0], feedIDs[3]}, "filler": pad(1600)})
+	})
+	mux.HandleFunc("/api/reviews", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("item_id") == "" {
+			writeErr(w, http.StatusBadRequest, "missing item_id")
+			return
+		}
+		sleepScaled(25*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"reviews": []any{
+			map[string]any{"stars": 5, "text": pad(300)},
+			map[string]any{"stars": 4, "text": pad(250)},
+		}})
+	})
+	mux.HandleFunc("/api/flash", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		flash := make([]any, len(flashIDs))
+		for i, id := range flashIDs {
+			flash[i] = map[string]any{"id": id}
+		}
+		writeJSON(w, map[string]any{"flash": flash})
+	})
+	mux.HandleFunc("/api/flash/item", func(w http.ResponseWriter, r *http.Request) {
+		if !knownFlash[r.URL.Query().Get("id")] {
+			writeErr(w, http.StatusNotFound, "unknown deal")
+			return
+		}
+		writeJSON(w, map[string]any{"deal": map[string]any{"discount": 40, "body": pad(500)}})
+	})
+}
+
+// --- Purple Ocean ---
+
+func buildPurpleOceanExtras(pb *air.ProgramBuilder) {
+	horo := pb.Class("POHoroscope", air.KindActivity)
+	ho := horo.Method("open", 0)
+	hreq := ho.CallAPI(air.APIHTTPNewRequest, ho.ConstStr("GET"))
+	ho.CallAPI(air.APIHTTPSetURL, hreq, ho.ConstStr("http://"+poAPIHost+"/api/horoscope"))
+	ho.CallAPI(air.APIHTTPAddQuery, hreq, ho.ConstStr("sign"), ho.ConstStr("aries"))
+	ho.CallAPI(air.APIHTTPAddQuery, hreq, ho.ConstStr("locale"), ho.CallAPI(air.APIDeviceLocale))
+	ho.CallAPI(air.APIHTTPExecute, hreq)
+	ho.CallAPI(air.APIUIRender, ho.ConstStr("horoscope"))
+	ho.Done()
+
+	hist := pb.Class("POHistory", air.KindActivity)
+	hoo := hist.Method("open", 0)
+	lreq := hoo.CallAPI(air.APIHTTPNewRequest, hoo.ConstStr("GET"))
+	hoo.CallAPI(air.APIHTTPSetURL, lreq, hoo.ConstStr("http://"+poAPIHost+"/api/readings"))
+	hoo.CallAPI(air.APIHTTPAddHeader, lreq, hoo.ConstStr("Cookie"), hoo.CallAPI(air.APIDeviceCookie, hoo.ConstStr(poAPIHost)))
+	lresp := hoo.CallAPI(air.APIHTTPExecute, lreq)
+	lbody := hoo.CallAPI(air.APIHTTPRespBody, lresp)
+	hoo.CallAPI(air.APIIntentPut, hoo.ConstStr("po.readings"), lbody)
+	hoo.CallAPI(air.APIUIRender, hoo.ConstStr("history"))
+	hoo.Done()
+
+	osr := hist.Method("onSelectReading", 1)
+	rs := osr.CallAPI(air.APIIntentGet, osr.ConstStr("po.readings"))
+	rids := osr.CallAPI(air.APIJSONGet, rs, osr.ConstStr("readings[*].id"))
+	rid := osr.CallAPI(air.APIListGet, rids, osr.Param(0))
+	rreq := osr.CallAPI(air.APIHTTPNewRequest, osr.ConstStr("GET"))
+	osr.CallAPI(air.APIHTTPSetURL, rreq, osr.ConstStr("http://"+poAPIHost+"/api/reading"))
+	osr.CallAPI(air.APIHTTPAddQuery, rreq, osr.ConstStr("rid"), rid)
+	osr.CallAPI(air.APIHTTPExecute, rreq)
+	osr.CallAPI(air.APIUIRender, osr.ConstStr("reading"))
+	osr.Done()
+
+	// Background chat handshake: token → config (fuzz-unreachable).
+	chat := pb.Class("POChat", air.KindService)
+	ot := chat.Method("onToken", 0)
+	treq := ot.CallAPI(air.APIHTTPNewRequest, ot.ConstStr("POST"))
+	ot.CallAPI(air.APIHTTPSetURL, treq, ot.ConstStr("http://"+poAPIHost+"/api/chat/token"))
+	ot.CallAPI(air.APIHTTPSetBodyField, treq, ot.ConstStr("_client"), ot.ConstStr("android"))
+	tresp := ot.CallAPI(air.APIHTTPExecute, treq)
+	tbody := ot.CallAPI(air.APIHTTPRespBody, tresp)
+	tok := ot.CallAPI(air.APIJSONGet, tbody, ot.ConstStr("token"))
+	cfgReq := ot.CallAPI(air.APIHTTPNewRequest, ot.ConstStr("GET"))
+	ot.CallAPI(air.APIHTTPSetURL, cfgReq, ot.ConstStr("http://"+poAPIHost+"/api/chat/config"))
+	ot.CallAPI(air.APIHTTPAddQuery, cfgReq, ot.ConstStr("t"), tok)
+	ot.CallAPI(air.APIHTTPExecute, cfgReq)
+	ot.Done()
+}
+
+func purpleOceanExtraScreens() (extra []apk.Screen, advisorsWidgets []apk.Widget) {
+	extra = []apk.Screen{
+		{Name: "horoscope", Widgets: []apk.Widget{{ID: "back", Kind: apk.Back}}},
+		{Name: "history", Widgets: []apk.Widget{
+			{ID: "reading", Kind: apk.ListItem, Handler: "POHistory.onSelectReading", MaxIndex: 4, Target: "reading"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "reading", Widgets: []apk.Widget{{ID: "back", Kind: apk.Back}}},
+	}
+	advisorsWidgets = []apk.Widget{
+		{ID: "horoscope", Kind: apk.Button, Handler: "POHoroscope.open", Target: "horoscope"},
+		{ID: "history", Kind: apk.Button, Handler: "POHistory.open", Target: "history"},
+	}
+	return
+}
+
+func purpleOceanServiceEntries() []string { return []string{"POChat.onToken"} }
+
+func registerPurpleOceanExtraRoutes(mux *http.ServeMux, scale float64) {
+	readingIDs := ids("po-readings", 4)
+	knownReading := map[string]bool{}
+	for _, id := range readingIDs {
+		knownReading[id] = true
+	}
+	mux.HandleFunc("/api/horoscope", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("sign") == "" {
+			writeErr(w, http.StatusBadRequest, "missing sign")
+			return
+		}
+		sleepScaled(25*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"horoscope": map[string]any{"sign": r.URL.Query().Get("sign"), "text": pad(1800)}})
+	})
+	mux.HandleFunc("/api/readings", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(20*time.Millisecond, scale)
+		readings := make([]any, len(readingIDs))
+		for i, id := range readingIDs {
+			readings[i] = map[string]any{"id": id, "date": "2018-11-0" + string(rune('1'+i))}
+		}
+		writeJSON(w, map[string]any{"readings": readings})
+	})
+	mux.HandleFunc("/api/reading", func(w http.ResponseWriter, r *http.Request) {
+		if !knownReading[r.URL.Query().Get("rid")] {
+			writeErr(w, http.StatusNotFound, "unknown reading")
+			return
+		}
+		sleepScaled(20*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"reading": map[string]any{"transcript": pad(2500)}})
+	})
+	mux.HandleFunc("/api/chat/token", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"token": "chat-" + readingIDs[0]})
+	})
+	mux.HandleFunc("/api/chat/config", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("t") == "" {
+			writeErr(w, http.StatusBadRequest, "missing t")
+			return
+		}
+		writeJSON(w, map[string]any{"config": map[string]any{"ws": "wss://chat.purpleocean.example"}})
+	})
+}

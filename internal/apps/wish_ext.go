@@ -1,0 +1,268 @@
+package apps
+
+import (
+	"net/http"
+	"time"
+
+	"appx/internal/air"
+	"appx/internal/apk"
+)
+
+// Wish secondary surfaces: search, account/order history, background push
+// handling, and cart. Commercial apps carry many interaction surfaces beyond
+// the main flow; these give the Table-3 comparison its teeth — the
+// notification/sync entry points in particular are invisible to UI fuzzing
+// ("some requests are not triggered by user events", §6.1) while static
+// analysis extracts their signatures and dependencies.
+
+// buildWishExtras adds the secondary classes to the program.
+func buildWishExtras(pb *air.ProgramBuilder) {
+	search := pb.Class("WishSearch", air.KindActivity)
+
+	// open: fetch trending suggestions.
+	so := search.Method("open", 0)
+	sreq := so.CallAPI(air.APIHTTPNewRequest, so.ConstStr("GET"))
+	so.CallAPI(air.APIHTTPSetURL, sreq, so.ConstStr("http://"+wishAPIHost+"/api/search/suggest"))
+	so.CallAPI(air.APIHTTPAddHeader, sreq, so.ConstStr("User-Agent"), so.CallAPI(air.APIDeviceUserAgent))
+	sresp := so.CallAPI(air.APIHTTPExecute, sreq)
+	sbody := so.CallAPI(air.APIHTTPRespBody, sresp)
+	so.CallAPI(air.APIIntentPut, so.ConstStr("wish.suggest"), sbody)
+	so.CallAPI(air.APIUIRender, so.ConstStr("search"))
+	so.Done()
+
+	// onPick: run the query for the chosen suggestion; thumbnails fan out.
+	op := search.Method("onPick", 1)
+	sug := op.CallAPI(air.APIIntentGet, op.ConstStr("wish.suggest"))
+	qs := op.CallAPI(air.APIJSONGet, sug, op.ConstStr("suggestions[*].q"))
+	q := op.CallAPI(air.APIListGet, qs, op.Param(0))
+	qreq := op.CallAPI(air.APIHTTPNewRequest, op.ConstStr("GET"))
+	op.CallAPI(air.APIHTTPSetURL, qreq, op.ConstStr("http://"+wishAPIHost+"/api/search"))
+	op.CallAPI(air.APIHTTPAddQuery, qreq, op.ConstStr("q"), q)
+	op.CallAPI(air.APIHTTPAddQuery, qreq, op.ConstStr("_ver"), op.CallAPI(air.APIDeviceVersion))
+	qresp := op.CallAPI(air.APIHTTPExecute, qreq)
+	qbody := op.CallAPI(air.APIHTTPRespBody, qresp)
+	op.CallAPI(air.APIIntentPut, op.ConstStr("wish.results"), qbody)
+	rids := op.CallAPI(air.APIJSONGet, qbody, op.ConstStr("results[*].id"))
+	op.ForEach(rids, "WishMain.loadThumb")
+	op.CallAPI(air.APIUIRender, op.ConstStr("results"))
+	op.Done()
+
+	// onSelectResult: hand the result id to the shared detail activity.
+	osr := search.Method("onSelectResult", 1)
+	res := osr.CallAPI(air.APIIntentGet, osr.ConstStr("wish.results"))
+	ids := osr.CallAPI(air.APIJSONGet, res, osr.ConstStr("results[*].id"))
+	rid := osr.CallAPI(air.APIListGet, ids, osr.Param(0))
+	osr.CallAPI(air.APIIntentPut, osr.ConstStr("wish.sel"), rid)
+	osr.Invoke("WishDetail.open")
+	osr.Done()
+
+	acct := pb.Class("WishAccount", air.KindActivity)
+
+	// open: profile → order list, keyed by the user id from the profile.
+	ao := acct.Method("open", 0)
+	mreq := ao.CallAPI(air.APIHTTPNewRequest, ao.ConstStr("GET"))
+	ao.CallAPI(air.APIHTTPSetURL, mreq, ao.ConstStr("http://"+wishAPIHost+"/api/user/me"))
+	ao.CallAPI(air.APIHTTPAddHeader, mreq, ao.ConstStr("Cookie"), ao.CallAPI(air.APIDeviceCookie, ao.ConstStr(wishAPIHost)))
+	mresp := ao.CallAPI(air.APIHTTPExecute, mreq)
+	mbody := ao.CallAPI(air.APIHTTPRespBody, mresp)
+	uid := ao.CallAPI(air.APIJSONGet, mbody, ao.ConstStr("user.id"))
+	oreq := ao.CallAPI(air.APIHTTPNewRequest, ao.ConstStr("GET"))
+	ao.CallAPI(air.APIHTTPSetURL, oreq, ao.ConstStr("http://"+wishAPIHost+"/api/user/orders"))
+	ao.CallAPI(air.APIHTTPAddQuery, oreq, ao.ConstStr("uid"), uid)
+	oresp := ao.CallAPI(air.APIHTTPExecute, oreq)
+	obody := ao.CallAPI(air.APIHTTPRespBody, oresp)
+	ao.CallAPI(air.APIIntentPut, ao.ConstStr("wish.orders"), obody)
+	ao.CallAPI(air.APIUIRender, ao.ConstStr("account"))
+	ao.Done()
+
+	// onSelectOrder: order detail → tracking status (a further chain hop).
+	oso := acct.Method("onSelectOrder", 1)
+	orders := oso.CallAPI(air.APIIntentGet, oso.ConstStr("wish.orders"))
+	oids := oso.CallAPI(air.APIJSONGet, orders, oso.ConstStr("orders[*].id"))
+	oid := oso.CallAPI(air.APIListGet, oids, oso.Param(0))
+	dreq := oso.CallAPI(air.APIHTTPNewRequest, oso.ConstStr("GET"))
+	oso.CallAPI(air.APIHTTPSetURL, dreq, oso.ConstStr("http://"+wishAPIHost+"/api/order"))
+	oso.CallAPI(air.APIHTTPAddQuery, dreq, oso.ConstStr("oid"), oid)
+	dresp := oso.CallAPI(air.APIHTTPExecute, dreq)
+	dbody := oso.CallAPI(air.APIHTTPRespBody, dresp)
+	tid := oso.CallAPI(air.APIJSONGet, dbody, oso.ConstStr("order.tracking_id"))
+	treq := oso.CallAPI(air.APIHTTPNewRequest, oso.ConstStr("GET"))
+	oso.CallAPI(air.APIHTTPSetURL, treq, oso.ConstStr("http://"+wishAPIHost+"/api/order/track"))
+	oso.CallAPI(air.APIHTTPAddQuery, treq, oso.ConstStr("tid"), tid)
+	oso.CallAPI(air.APIHTTPExecute, treq)
+	oso.CallAPI(air.APIUIRender, oso.ConstStr("order"))
+	oso.Done()
+
+	cart := pb.Class("WishCart", air.KindActivity)
+	ca := cart.Method("add", 0)
+	cid := ca.CallAPI(air.APIIntentGet, ca.ConstStr("wish.sel"))
+	creq := ca.CallAPI(air.APIHTTPNewRequest, ca.ConstStr("POST"))
+	ca.CallAPI(air.APIHTTPSetURL, creq, ca.ConstStr("http://"+wishAPIHost+"/cart/add"))
+	ca.CallAPI(air.APIHTTPAddHeader, creq, ca.ConstStr("Cookie"), ca.CallAPI(air.APIDeviceCookie, ca.ConstStr(wishAPIHost)))
+	ca.CallAPI(air.APIHTTPSetBodyField, creq, ca.ConstStr("cid"), cid)
+	ca.CallAPI(air.APIHTTPSetBodyField, creq, ca.ConstStr("_client"), ca.ConstStr("android"))
+	ca.CallAPI(air.APIHTTPExecute, creq)
+	ca.CallAPI(air.APIUIRender, ca.ConstStr("detail"))
+	ca.Done()
+
+	// Background service: push notifications fetch an update list and then
+	// per-product notes — UI fuzzing can never trigger these.
+	notify := pb.Class("WishNotify", air.KindService)
+	np := notify.Method("onPush", 0)
+	nreq := np.CallAPI(air.APIHTTPNewRequest, np.ConstStr("GET"))
+	np.CallAPI(air.APIHTTPSetURL, nreq, np.ConstStr("http://"+wishAPIHost+"/api/notifications"))
+	np.CallAPI(air.APIHTTPAddHeader, nreq, np.ConstStr("Cookie"), np.CallAPI(air.APIDeviceCookie, np.ConstStr(wishAPIHost)))
+	nresp := np.CallAPI(air.APIHTTPExecute, nreq)
+	nbody := np.CallAPI(air.APIHTTPRespBody, nresp)
+	nids := np.CallAPI(air.APIJSONGet, nbody, np.ConstStr("notes[*].product_id"))
+	np.ForEach(nids, "WishNotify.loadNote")
+	np.Done()
+
+	ln := notify.Method("loadNote", 1)
+	lreq := ln.CallAPI(air.APIHTTPNewRequest, ln.ConstStr("GET"))
+	ln.CallAPI(air.APIHTTPSetURL, lreq, ln.ConstStr("http://"+wishAPIHost+"/api/note"))
+	ln.CallAPI(air.APIHTTPAddQuery, lreq, ln.ConstStr("id"), ln.Param(0))
+	ln.CallAPI(air.APIHTTPExecute, lreq)
+	ln.Done()
+
+	ns := notify.Method("onSync", 0)
+	syreq := ns.CallAPI(air.APIHTTPNewRequest, ns.ConstStr("POST"))
+	ns.CallAPI(air.APIHTTPSetURL, syreq, ns.ConstStr("http://"+wishAPIHost+"/api/metrics"))
+	ns.CallAPI(air.APIHTTPSetBodyField, syreq, ns.ConstStr("_client"), ns.ConstStr("android"))
+	ns.CallAPI(air.APIHTTPSetBodyField, syreq, ns.ConstStr("_ver"), ns.CallAPI(air.APIDeviceVersion))
+	ns.CallAPI(air.APIHTTPSetBodyField, syreq, ns.ConstStr("locale"), ns.CallAPI(air.APIDeviceLocale))
+	ns.CallAPI(air.APIHTTPExecute, syreq)
+	ns.Done()
+}
+
+// wishExtraScreens returns the secondary screens and the widgets grafted
+// onto existing ones.
+func wishExtraScreens() (extra []apk.Screen, feedWidgets, detailWidgets []apk.Widget) {
+	extra = []apk.Screen{
+		{Name: "search", Widgets: []apk.Widget{
+			{ID: "suggestion", Kind: apk.ListItem, Handler: "WishSearch.onPick", MaxIndex: 5, Target: "results"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "results", Widgets: []apk.Widget{
+			{ID: "result", Kind: apk.ListItem, Handler: "WishSearch.onSelectResult", MaxIndex: 10, Target: "detail"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "account", Widgets: []apk.Widget{
+			{ID: "order", Kind: apk.ListItem, Handler: "WishAccount.onSelectOrder", MaxIndex: 5, Target: "order"},
+			{ID: "back", Kind: apk.Back},
+		}},
+		{Name: "order", Widgets: []apk.Widget{
+			{ID: "back", Kind: apk.Back},
+		}},
+	}
+	feedWidgets = []apk.Widget{
+		{ID: "search", Kind: apk.Button, Handler: "WishSearch.open", Target: "search"},
+		{ID: "account", Kind: apk.Button, Handler: "WishAccount.open", Target: "account"},
+	}
+	detailWidgets = []apk.Widget{
+		{ID: "add-to-cart", Kind: apk.Button, Handler: "WishCart.add"},
+	}
+	return
+}
+
+// wishServiceEntries lists the background entry points.
+func wishServiceEntries() []string {
+	return []string{"WishNotify.onPush", "WishNotify.onSync"}
+}
+
+// registerWishExtraRoutes adds the secondary-API handlers to the origin.
+func registerWishExtraRoutes(mux *http.ServeMux, scale float64, feedIDs []string) {
+	queries := []string{"trending-0", "trending-1", "trending-2", "trending-3", "trending-4"}
+	orderIDs := ids("wish-orders", 5)
+	knownOrder := map[string]bool{}
+	for _, id := range orderIDs {
+		knownOrder[id] = true
+	}
+
+	mux.HandleFunc("/api/search/suggest", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		sug := make([]any, len(queries))
+		for i, q := range queries {
+			sug[i] = map[string]any{"q": q}
+		}
+		writeJSON(w, map[string]any{"suggestions": sug})
+	})
+	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("q") == "" {
+			writeErr(w, http.StatusBadRequest, "missing q")
+			return
+		}
+		sleepScaled(35*time.Millisecond, scale)
+		// Deterministic result subset of the catalog.
+		results := make([]any, 0, 10)
+		for i, id := range feedIDs {
+			if i%3 == 0 && len(results) < 10 {
+				results = append(results, map[string]any{"id": id})
+			}
+		}
+		writeJSON(w, map[string]any{"results": results, "filler": pad(1500)})
+	})
+	mux.HandleFunc("/api/user/me", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(20*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"user": map[string]any{"id": "u-" + feedIDs[0], "tier": "premium"}})
+	})
+	mux.HandleFunc("/api/user/orders", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("uid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing uid")
+			return
+		}
+		sleepScaled(25*time.Millisecond, scale)
+		orders := make([]any, len(orderIDs))
+		for i, id := range orderIDs {
+			orders[i] = map[string]any{"id": id, "total": 1999 + i}
+		}
+		writeJSON(w, map[string]any{"orders": orders})
+	})
+	mux.HandleFunc("/api/order", func(w http.ResponseWriter, r *http.Request) {
+		oid := r.URL.Query().Get("oid")
+		if !knownOrder[oid] {
+			writeErr(w, http.StatusNotFound, "unknown order")
+			return
+		}
+		sleepScaled(20*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"order": map[string]any{
+			"id": oid, "tracking_id": "trk-" + oid, "items": pad(1200),
+		}})
+	})
+	mux.HandleFunc("/api/order/track", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("tid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing tid")
+			return
+		}
+		sleepScaled(20*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"tracking": map[string]any{"status": "in-transit", "eta": "2d"}})
+	})
+	mux.HandleFunc("/api/notifications", func(w http.ResponseWriter, r *http.Request) {
+		sleepScaled(15*time.Millisecond, scale)
+		notes := []any{
+			map[string]any{"product_id": feedIDs[0], "kind": "price-drop"},
+			map[string]any{"product_id": feedIDs[1], "kind": "restock"},
+		}
+		writeJSON(w, map[string]any{"notes": notes})
+	})
+	mux.HandleFunc("/api/note", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("id") == "" {
+			writeErr(w, http.StatusBadRequest, "missing id")
+			return
+		}
+		sleepScaled(10*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"note": map[string]any{"body": pad(600)}})
+	})
+	mux.HandleFunc("/api/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/cart/add", func(w http.ResponseWriter, r *http.Request) {
+		r.ParseForm()
+		if r.PostFormValue("cid") == "" {
+			writeErr(w, http.StatusBadRequest, "missing cid")
+			return
+		}
+		sleepScaled(15*time.Millisecond, scale)
+		writeJSON(w, map[string]any{"cart": map[string]any{"count": 1}})
+	})
+}

@@ -1,0 +1,270 @@
+// Package config implements the APPx proxy configuration (§4.4 of the
+// paper, Figure 9): per-signature prefetching policies that let the app
+// service provider control side-effects and cost without touching the
+// automated analysis.
+//
+// Supported policy fields mirror the paper's seven: hash, uri (readability
+// only), expiration_time, prefetch, probability, add_header, and condition.
+// The package also carries the global knobs §4.4 and C4 describe: a global
+// prefetch probability and a data-usage budget.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"appx/internal/jsonpath"
+	"appx/internal/sig"
+)
+
+// Duration is a time.Duration that serializes as a human-readable string
+// ("90s", "1h30m") like the paper's "1 day" examples.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("config: bad duration %q: %w", s, perr)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("config: bad duration %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Header is one add_header entry.
+type Header struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Condition gates prefetching on a predecessor response field (§4.4: e.g.
+// prefetch only when the "price" field is greater than "1000").
+type Condition struct {
+	// Field is the JSON path into the predecessor response.
+	Field string `json:"field"`
+	// Op is one of "gt", "lt", "ge", "le", "eq", "ne", "contains".
+	Op string `json:"op"`
+	// Value is the comparison operand; numeric comparison is used when both
+	// sides parse as numbers.
+	Value string `json:"value"`
+}
+
+// Eval evaluates the condition against a parsed predecessor response body.
+// A missing field fails the condition.
+func (c *Condition) Eval(doc any) bool {
+	if c == nil {
+		return true
+	}
+	p, err := jsonpath.Parse(c.Field)
+	if err != nil {
+		return false
+	}
+	vals := jsonpath.ExtractStrings(doc, p)
+	for _, v := range vals {
+		if compare(v, c.Op, c.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+func compare(a, op, b string) bool {
+	af, aerr := strconv.ParseFloat(a, 64)
+	bf, berr := strconv.ParseFloat(b, 64)
+	numeric := aerr == nil && berr == nil
+	switch op {
+	case "gt":
+		if numeric {
+			return af > bf
+		}
+		return a > b
+	case "lt":
+		if numeric {
+			return af < bf
+		}
+		return a < b
+	case "ge":
+		if numeric {
+			return af >= bf
+		}
+		return a >= b
+	case "le":
+		if numeric {
+			return af <= bf
+		}
+		return a <= b
+	case "eq":
+		return a == b
+	case "ne":
+		return a != b
+	case "contains":
+		return strings.Contains(a, b)
+	default:
+		return false
+	}
+}
+
+// Policy is one signature's prefetching policy (Figure 9).
+type Policy struct {
+	Hash           string     `json:"hash"`
+	URI            string     `json:"uri"`
+	ExpirationTime Duration   `json:"expiration_time"`
+	Prefetch       bool       `json:"prefetch"`
+	Probability    float64    `json:"probability"`
+	AddHeader      []Header   `json:"add_header,omitempty"`
+	Condition      *Condition `json:"condition,omitempty"`
+}
+
+// Config is the proxy's full configuration.
+type Config struct {
+	App      string    `json:"app"`
+	Policies []*Policy `json:"policies"`
+
+	// GlobalProbability scales every policy's probability (§6.3's knob);
+	// 1 when unset.
+	GlobalProbability float64 `json:"global_probability,omitempty"`
+	// DataBudgetBytes caps total prefetch response bytes; 0 = unlimited (C4).
+	DataBudgetBytes int64 `json:"data_budget_bytes,omitempty"`
+	// DefaultExpiration applies to policies with zero expiration_time.
+	DefaultExpiration Duration `json:"default_expiration,omitempty"`
+	// UserProbability overrides the global probability for specific users —
+	// the §4.4 service-differentiation hook ("deliver better service (i.e.
+	// aggressive prefetching) to premium customers"). Keyed by the proxy's
+	// user key.
+	UserProbability map[string]float64 `json:"user_probability,omitempty"`
+
+	byHash map[string]*Policy
+}
+
+// UserScale returns the probability multiplier for a user (1 when no tier
+// is configured).
+func (c *Config) UserScale(user string) float64 {
+	if c.UserProbability == nil {
+		return 1
+	}
+	if v, ok := c.UserProbability[user]; ok {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return 1
+}
+
+// Default derives the initial configuration from a signature graph: every
+// prefetchable signature enabled with probability 1 and a conservative
+// 5-minute expiry (the verification phase refines expiries from its logs).
+func Default(g *sig.Graph) *Config {
+	c := &Config{App: g.App, GlobalProbability: 1, DefaultExpiration: Duration(5 * time.Minute)}
+	for _, id := range g.Prefetchable() {
+		s := g.Sig(id)
+		if s == nil {
+			continue
+		}
+		c.Policies = append(c.Policies, &Policy{
+			Hash:        s.Hash(),
+			URI:         s.URI.String(),
+			Prefetch:    true,
+			Probability: 1,
+		})
+	}
+	c.reindex()
+	return c
+}
+
+func (c *Config) reindex() {
+	c.byHash = make(map[string]*Policy, len(c.Policies))
+	for _, p := range c.Policies {
+		c.byHash[p.Hash] = p
+	}
+}
+
+// Policy returns the policy for a signature hash, or nil.
+func (c *Config) Policy(hash string) *Policy {
+	if c.byHash == nil {
+		c.reindex()
+	}
+	return c.byHash[hash]
+}
+
+// SetPolicy inserts or replaces a policy.
+func (c *Config) SetPolicy(p *Policy) {
+	if c.byHash == nil {
+		c.reindex()
+	}
+	if old, ok := c.byHash[p.Hash]; ok {
+		*old = *p
+		return
+	}
+	c.Policies = append(c.Policies, p)
+	c.byHash[p.Hash] = p
+}
+
+// Expiration resolves the effective expiry for a policy.
+func (c *Config) Expiration(p *Policy) time.Duration {
+	if p != nil && p.ExpirationTime > 0 {
+		return time.Duration(p.ExpirationTime)
+	}
+	if c.DefaultExpiration > 0 {
+		return time.Duration(c.DefaultExpiration)
+	}
+	return 5 * time.Minute
+}
+
+// EffectiveProbability combines a policy's probability with the global
+// scaling knob.
+func (c *Config) EffectiveProbability(p *Policy) float64 {
+	gp := c.GlobalProbability
+	if gp == 0 {
+		gp = 1
+	}
+	pp := 1.0
+	if p != nil {
+		pp = p.Probability
+		if pp == 0 && !p.Prefetch {
+			pp = 0
+		} else if pp == 0 {
+			pp = 1
+		}
+	}
+	v := gp * pp
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Marshal serializes the configuration.
+func (c *Config) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Unmarshal parses a configuration.
+func Unmarshal(b []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	c.reindex()
+	return &c, nil
+}

@@ -1,0 +1,170 @@
+package config
+
+import (
+	"testing"
+	"time"
+
+	"appx/internal/jsonpath"
+	"appx/internal/sig"
+)
+
+func testGraph() *sig.Graph {
+	g := sig.NewGraph("app")
+	g.Add(&sig.Signature{ID: "pred", Method: "GET", URI: sig.Literal("h/feed")})
+	g.Add(&sig.Signature{ID: "succ", Method: "GET", URI: sig.Literal("h/item")})
+	g.AddDep(sig.Dependency{PredID: "pred", SuccID: "succ", RespPath: "id",
+		Loc: sig.FieldLoc{Where: "query", Key: "id"}})
+	return g
+}
+
+func TestDefaultConfig(t *testing.T) {
+	g := testGraph()
+	c := Default(g)
+	if len(c.Policies) != 1 {
+		t.Fatalf("policies = %d, want 1 (only the successor)", len(c.Policies))
+	}
+	p := c.Policies[0]
+	if !p.Prefetch || p.Probability != 1 {
+		t.Fatalf("default policy = %+v", p)
+	}
+	if p.Hash != g.Sig("succ").Hash() {
+		t.Fatal("policy hash mismatch")
+	}
+	if c.Policy(p.Hash) != p {
+		t.Fatal("Policy lookup failed")
+	}
+}
+
+func TestSetPolicyReplaceAndInsert(t *testing.T) {
+	c := Default(testGraph())
+	h := c.Policies[0].Hash
+	c.SetPolicy(&Policy{Hash: h, Prefetch: false})
+	if c.Policy(h).Prefetch {
+		t.Fatal("SetPolicy did not replace")
+	}
+	c.SetPolicy(&Policy{Hash: "new", Prefetch: true})
+	if len(c.Policies) != 2 || c.Policy("new") == nil {
+		t.Fatal("SetPolicy did not insert")
+	}
+}
+
+func TestExpirationFallbacks(t *testing.T) {
+	c := &Config{DefaultExpiration: Duration(2 * time.Minute)}
+	if got := c.Expiration(nil); got != 2*time.Minute {
+		t.Fatalf("Expiration(nil) = %v", got)
+	}
+	p := &Policy{ExpirationTime: Duration(time.Hour)}
+	if got := c.Expiration(p); got != time.Hour {
+		t.Fatalf("Expiration(policy) = %v", got)
+	}
+	empty := &Config{}
+	if got := empty.Expiration(nil); got != 5*time.Minute {
+		t.Fatalf("Expiration fallback = %v", got)
+	}
+}
+
+func TestEffectiveProbability(t *testing.T) {
+	c := &Config{GlobalProbability: 0.5}
+	if got := c.EffectiveProbability(&Policy{Prefetch: true, Probability: 0.8}); got != 0.4 {
+		t.Fatalf("0.5*0.8 = %v", got)
+	}
+	if got := c.EffectiveProbability(nil); got != 0.5 {
+		t.Fatalf("nil policy = %v", got)
+	}
+	if got := (&Config{}).EffectiveProbability(&Policy{Prefetch: true}); got != 1 {
+		t.Fatalf("defaults = %v", got)
+	}
+	if got := (&Config{GlobalProbability: -3}).EffectiveProbability(nil); got != 0 {
+		t.Fatalf("clamp low = %v", got)
+	}
+}
+
+func TestConditionEval(t *testing.T) {
+	doc, _ := jsonpath.Decode([]byte(`{"data":{"price":1500,"name":"silk road","tags":[{"v":"a"},{"v":"b"}]}}`))
+	cases := []struct {
+		c    Condition
+		want bool
+	}{
+		{Condition{Field: "data.price", Op: "gt", Value: "1000"}, true},
+		{Condition{Field: "data.price", Op: "gt", Value: "2000"}, false},
+		{Condition{Field: "data.price", Op: "lt", Value: "2000"}, true},
+		{Condition{Field: "data.price", Op: "ge", Value: "1500"}, true},
+		{Condition{Field: "data.price", Op: "le", Value: "1499"}, false},
+		{Condition{Field: "data.price", Op: "eq", Value: "1500"}, true},
+		{Condition{Field: "data.price", Op: "ne", Value: "1500"}, false},
+		{Condition{Field: "data.name", Op: "contains", Value: "road"}, true},
+		{Condition{Field: "data.name", Op: "contains", Value: "xyz"}, false},
+		{Condition{Field: "data.missing", Op: "eq", Value: "1"}, false},
+		{Condition{Field: "data.tags[*].v", Op: "eq", Value: "b"}, true},
+		{Condition{Field: "data.price", Op: "bogus", Value: "1"}, false},
+		{Condition{Field: "][", Op: "eq", Value: "1"}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.c.Eval(doc); got != tc.want {
+			t.Errorf("case %d (%+v) = %v, want %v", i, tc.c, got, tc.want)
+		}
+	}
+	var nilCond *Condition
+	if !nilCond.Eval(doc) {
+		t.Error("nil condition should pass")
+	}
+}
+
+func TestConditionStringComparison(t *testing.T) {
+	doc, _ := jsonpath.Decode([]byte(`{"tier":"premium"}`))
+	c := Condition{Field: "tier", Op: "eq", Value: "premium"}
+	if !c.Eval(doc) {
+		t.Fatal("string eq failed")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := Default(testGraph())
+	c.Policies[0].ExpirationTime = Duration(90 * time.Second)
+	c.Policies[0].AddHeader = []Header{{Key: "X-Proxy", Value: "prefetch"}}
+	c.Policies[0].Condition = &Condition{Field: "price", Op: "gt", Value: "1000"}
+	c.DataBudgetBytes = 1 << 20
+	b, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	c2, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	p := c2.Policies[0]
+	if time.Duration(p.ExpirationTime) != 90*time.Second {
+		t.Fatalf("expiration = %v", p.ExpirationTime)
+	}
+	if p.Condition == nil || p.Condition.Op != "gt" {
+		t.Fatalf("condition lost: %+v", p.Condition)
+	}
+	if c2.DataBudgetBytes != 1<<20 {
+		t.Fatal("budget lost")
+	}
+	if c2.Policy(p.Hash) == nil {
+		t.Fatal("index lost")
+	}
+}
+
+func TestDurationJSONForms(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1h30m"`)); err != nil || time.Duration(d) != 90*time.Minute {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`5000000000`)); err != nil || time.Duration(d) != 5*time.Second {
+		t.Fatalf("numeric form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if err := d.UnmarshalJSON([]byte(`{}`)); err == nil {
+		t.Fatal("object accepted")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

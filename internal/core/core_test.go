@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/httpmsg"
+	"appx/internal/interp"
+	"appx/internal/proxy"
+	"appx/internal/static"
+)
+
+func TestGeneratePhase1Only(t *testing.T) {
+	a := apps.Wish()
+	art, err := Generate(Options{App: a.Name, APK: a.APK})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if art.Graph == nil || len(art.Graph.Sigs) == 0 {
+		t.Fatal("no signatures")
+	}
+	if art.Config == nil || len(art.Config.Policies) == 0 {
+		t.Fatal("no config")
+	}
+	if art.Verification != nil {
+		t.Fatal("verification ran without being requested")
+	}
+}
+
+func TestGenerateAllPhases(t *testing.T) {
+	a := apps.DoorDash()
+	configured := false
+	art, err := Generate(Options{
+		App: a.Name,
+		APK: a.APK,
+		Verify: &VerifyOptions{
+			Origin:       a.Handler(0),
+			FuzzSeed:     3,
+			FuzzEvents:   120,
+			ProbeMin:     time.Millisecond,
+			ProbeMax:     2 * time.Millisecond,
+			InstantProbe: true,
+		},
+		Configure: func(c *config.Config) {
+			configured = true
+			c.GlobalProbability = 0.9
+		},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if art.Verification == nil || len(art.Verification.Verified) == 0 {
+		t.Fatalf("verification missing or empty: %+v", art.Verification)
+	}
+	if !configured || art.Config.GlobalProbability != 0.9 {
+		t.Fatal("Phase-3 configuration not applied")
+	}
+
+	// The artifacts must yield a working proxy.
+	origin := a.Handler(0)
+	px := art.NewProxy(proxy.UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		return httpmsg.ServeViaHandler(origin, r)
+	}), 4)
+	defer px.Close()
+	env := interp.NewEnv(a.APK.Program, interp.TransportFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		return httpmsg.ServeViaHandler(px, r)
+	}), interp.DeviceProps{UserAgent: "Core/1.0", AppVersion: a.APK.Manifest.Version})
+	if _, err := env.Call("DDMain.launch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Call("DDMain.onSelectStore", "0"); err != nil {
+		t.Fatal(err)
+	}
+	px.Drain()
+	if snap := px.Stats().Snapshot(); snap.Prefetches == 0 {
+		t.Fatal("generated proxy does not prefetch")
+	}
+}
+
+func TestGenerateFeatureAblation(t *testing.T) {
+	a := apps.Wish()
+	full, err := Generate(Options{App: a.Name, APK: a.APK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := static.BaselineFeatures()
+	abl, err := Generate(Options{App: a.Name, APK: a.APK, Features: &baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Graph.Deps) >= len(full.Graph.Deps) {
+		t.Fatalf("ablated analysis found %d deps, full %d — extensions have no effect",
+			len(abl.Graph.Deps), len(full.Graph.Deps))
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}

@@ -1,0 +1,275 @@
+// Package device emulates the evaluation handset (a Google Nexus 6 in the
+// paper): it installs an app package, drives its UI handlers through the AIR
+// interpreter, talks HTTP over an emulated 4G access link, and measures
+// user-perceived latency — the time from the user input that triggers an
+// interaction until the final screen render (§6: measured with Frida in the
+// paper; here the runtime itself timestamps the boundary).
+//
+// The measurement decomposes into the same two slices as Figures 13/14:
+// processing delay (the per-screen render/compute cost, emulated as a
+// configured sleep) and network delay (everything else: request round trips
+// over the shaped links).
+package device
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"appx/internal/apk"
+	"appx/internal/httpmsg"
+	"appx/internal/interp"
+	"appx/internal/netem"
+)
+
+// Config describes one emulated device.
+type Config struct {
+	// APK is the installed application package.
+	APK *apk.APK
+	// RenderDelay charges per-screen client processing (at Scale 1).
+	RenderDelay map[string]time.Duration
+	// Scale compresses all emulated delays (1 = paper-real time).
+	Scale float64
+	// ProxyAddr routes all HTTP through the given forward proxy
+	// ("host:port"). Required unless Transport is set — the evaluation
+	// always interposes the proxy (with prefetching on or off).
+	ProxyAddr string
+	// Transport, when set, replaces the networked HTTP client entirely
+	// (in-process analysis and fuzzing runs).
+	Transport interp.Transport
+	// ClientLink shapes the device↔proxy hop (55 ms / 25 Mbps in §6.2),
+	// already scaled by the caller.
+	ClientLink netem.Link
+	// Props are the run-time device properties.
+	Props interp.DeviceProps
+	// User tags this device's traffic for per-user proxy state; it is sent
+	// as the X-Appx-User header and used by experiment labs as the proxy's
+	// user key.
+	User string
+}
+
+// Measure is one interaction's latency breakdown.
+type Measure struct {
+	// Screen is the screen rendered at the end of the interaction.
+	Screen string
+	// Total is the user-perceived latency.
+	Total time.Duration
+	// Processing is the render/compute slice.
+	Processing time.Duration
+	// Network is Total - Processing.
+	Network time.Duration
+	// Bytes is the response payload volume received during the interaction.
+	Bytes int64
+	// Transactions counts HTTP round trips during the interaction.
+	Transactions int
+}
+
+// Device is one emulated handset running one app.
+type Device struct {
+	cfg Config
+	env *interp.Env
+
+	mu         sync.Mutex
+	screens    []string
+	processing time.Duration
+	bytes      int64
+	txns       int
+}
+
+// New installs the app on a fresh device.
+func New(cfg Config) (*Device, error) {
+	if cfg.APK == nil {
+		return nil, fmt.Errorf("device: no apk")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.ProxyAddr == "" && cfg.Transport == nil {
+		return nil, fmt.Errorf("device: no proxy address")
+	}
+	d := &Device{cfg: cfg}
+
+	if cfg.Transport != nil {
+		inner := cfg.Transport
+		d.env = interp.NewEnv(cfg.APK.Program, interp.TransportFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+			resp, err := inner.RoundTrip(r)
+			if err != nil {
+				return nil, err
+			}
+			d.mu.Lock()
+			d.bytes += int64(len(resp.Body))
+			d.txns++
+			d.mu.Unlock()
+			return resp, nil
+		}), cfg.Props)
+		d.env.Hooks.OnRender = d.onRender
+		return d, nil
+	}
+
+	proxyURL := &url.URL{Scheme: "http", Host: cfg.ProxyAddr}
+	dialer := &netem.Dialer{Link: cfg.ClientLink, Timeout: 10 * time.Second}
+	tr := &http.Transport{
+		Proxy:               http.ProxyURL(proxyURL),
+		DialContext:         dialer.DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     30 * time.Second,
+		DisableCompression:  true,
+	}
+	client := &http.Client{Transport: tr, Timeout: 120 * time.Second}
+
+	d.env = interp.NewEnv(cfg.APK.Program, interp.TransportFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		hreq, err := r.ToHTTP()
+		if err != nil {
+			return nil, err
+		}
+		hreq.Host = r.Host
+		if cfg.User != "" {
+			hreq.Header.Set("X-Appx-User", cfg.User)
+		}
+		hresp, err := client.Do(hreq)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := httpmsg.FromHTTPResponse(hresp)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		d.bytes += int64(len(resp.Body))
+		d.txns++
+		d.mu.Unlock()
+		return resp, nil
+	}), cfg.Props)
+
+	d.env.Hooks.OnRender = d.onRender
+	return d, nil
+}
+
+func (d *Device) onRender(screen string) {
+	delay := time.Duration(float64(d.cfg.RenderDelay[screen]) * d.cfg.Scale)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	d.mu.Lock()
+	d.processing += delay
+	if n := len(d.screens); n == 0 || d.screens[n-1] != screen {
+		d.screens = append(d.screens, screen)
+	}
+	d.mu.Unlock()
+}
+
+// Screen reports the currently displayed screen ("" before launch).
+func (d *Device) Screen() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.screens) == 0 {
+		return ""
+	}
+	return d.screens[len(d.screens)-1]
+}
+
+// Back pops the screen stack (no handler runs, matching a cheap fragment
+// pop). It reports whether there was a screen to go back from.
+func (d *Device) Back() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.screens) < 2 {
+		return false
+	}
+	d.screens = d.screens[:len(d.screens)-1]
+	return true
+}
+
+// run invokes a handler and measures the interaction.
+func (d *Device) run(handler string, args ...interp.Value) (Measure, error) {
+	d.mu.Lock()
+	d.processing = 0
+	startBytes, startTxns := d.bytes, d.txns
+	d.mu.Unlock()
+
+	start := time.Now()
+	_, err := d.env.Call(handler, args...)
+	total := time.Since(start)
+	if err != nil {
+		return Measure{}, fmt.Errorf("device: %s: %w", handler, err)
+	}
+
+	d.mu.Lock()
+	m := Measure{
+		Screen:       d.currentLocked(),
+		Total:        total,
+		Processing:   d.processing,
+		Network:      total - d.processing,
+		Bytes:        d.bytes - startBytes,
+		Transactions: d.txns - startTxns,
+	}
+	d.mu.Unlock()
+	if m.Network < 0 {
+		m.Network = 0
+	}
+	return m, nil
+}
+
+func (d *Device) currentLocked() string {
+	if len(d.screens) == 0 {
+		return ""
+	}
+	return d.screens[len(d.screens)-1]
+}
+
+// Launch starts the app and measures the launch interaction (Figure 14's
+// metric: execute → all launch content on screen).
+func (d *Device) Launch() (Measure, error) {
+	return d.run(d.cfg.APK.Manifest.LaunchHandler)
+}
+
+// Tap activates a widget on the current screen. ListItem widgets take the
+// position argument; Button widgets ignore it; Back pops the screen stack.
+func (d *Device) Tap(widgetID string, index int) (Measure, error) {
+	screen := d.Screen()
+	sc := d.cfg.APK.Screen(screen)
+	if sc == nil {
+		return Measure{}, fmt.Errorf("device: no current screen (launch first)")
+	}
+	for _, w := range sc.Widgets {
+		if w.ID != widgetID {
+			continue
+		}
+		switch w.Kind {
+		case apk.Back:
+			d.Back()
+			return Measure{Screen: d.Screen()}, nil
+		case apk.Button:
+			return d.run(w.Handler)
+		case apk.ListItem:
+			if index < 0 || index >= w.MaxIndex {
+				return Measure{}, fmt.Errorf("device: index %d out of range for %s/%s", index, screen, widgetID)
+			}
+			return d.run(w.Handler, fmt.Sprintf("%d", index))
+		}
+	}
+	return Measure{}, fmt.Errorf("device: no widget %q on screen %q", widgetID, screen)
+}
+
+// TapMain activates the app's main-interaction widget (Table 1) with the
+// given list position.
+func (d *Device) TapMain(index int) (Measure, error) {
+	_, w := d.cfg.APK.MainWidget()
+	if w == nil {
+		return Measure{}, fmt.Errorf("device: app has no main widget")
+	}
+	return d.Tap(w.ID, index)
+}
+
+// Env exposes the underlying interpreter environment (tests and the fuzzer
+// drive handlers directly through it).
+func (d *Device) Env() *interp.Env { return d.env }
+
+// OnTransaction registers an observer for every HTTP transaction the app
+// performs (trace capture, Table-3 methodology).
+func (d *Device) OnTransaction(fn func(*httpmsg.Transaction)) {
+	d.env.Hooks.OnTransaction = fn
+}

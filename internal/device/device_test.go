@@ -1,0 +1,206 @@
+package device_test
+
+import (
+	"appx/internal/device"
+	"testing"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/lab"
+)
+
+// newLab spins up a fast-scaled lab for device tests.
+func newLab(t *testing.T, prefetch bool) *lab.Lab {
+	t.Helper()
+	l, err := lab.New(lab.Options{App: apps.Postmates(), Scale: 0.02, Prefetch: prefetch})
+	if err != nil {
+		t.Fatalf("lab.New: %v", err)
+	}
+	t.Cleanup(l.Close)
+	return l
+}
+
+func TestLaunchAndMainInteraction(t *testing.T) {
+	l := newLab(t, false)
+	d, err := l.NewDevice("u1")
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	m, err := d.Launch()
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if m.Screen != "feed" {
+		t.Fatalf("screen after launch = %q", m.Screen)
+	}
+	if m.Transactions != 1+8 {
+		t.Fatalf("launch transactions = %d, want 9", m.Transactions)
+	}
+	// 8 restaurant images at 168 KB each dominate the payload.
+	if m.Bytes < 8*168_000 {
+		t.Fatalf("launch bytes = %d", m.Bytes)
+	}
+	if m.Processing <= 0 || m.Network <= 0 || m.Total < m.Processing {
+		t.Fatalf("measure breakdown wrong: %+v", m)
+	}
+
+	mm, err := d.TapMain(2)
+	if err != nil {
+		t.Fatalf("TapMain: %v", err)
+	}
+	if mm.Screen != "restaurant" {
+		t.Fatalf("screen after main = %q", mm.Screen)
+	}
+	if mm.Transactions != 2 {
+		t.Fatalf("main transactions = %d, want 2", mm.Transactions)
+	}
+
+	if !d.Back() {
+		t.Fatal("Back failed")
+	}
+	if d.Screen() != "feed" {
+		t.Fatalf("screen after back = %q", d.Screen())
+	}
+}
+
+func TestTapErrors(t *testing.T) {
+	l := newLab(t, false)
+	d, err := l.NewDevice("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tap("restaurant", 0); err == nil {
+		t.Fatal("tap before launch accepted")
+	}
+	if _, err := d.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tap("nope", 0); err == nil {
+		t.Fatal("unknown widget accepted")
+	}
+	if _, err := d.Tap("restaurant", 999); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestNetworkDelayRespondsToRTT(t *testing.T) {
+	// Same app, two labs differing only in proxy↔origin RTT; the slower lab
+	// must measure a longer network slice for the main interaction.
+	mkLab := func(rtt time.Duration) time.Duration {
+		l, err := lab.New(lab.Options{App: apps.Postmates(), Scale: 0.1, Prefetch: false, ProxyOriginRTT: rtt})
+		if err != nil {
+			t.Fatalf("lab.New: %v", err)
+		}
+		defer l.Close()
+		d, err := l.NewDevice("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Launch(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := d.TapMain(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Network
+	}
+	fast := mkLab(20 * time.Millisecond)
+	slow := mkLab(400 * time.Millisecond)
+	if slow <= fast {
+		t.Fatalf("network delay insensitive to RTT: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestPrefetchingReducesMainInteractionLatency(t *testing.T) {
+	// The headline effect, end to end over real sockets: with prefetching,
+	// a repeat main interaction is faster than without.
+	run := func(prefetch bool) time.Duration {
+		l, err := lab.New(lab.Options{App: apps.DoorDash(), Scale: 0.1, Prefetch: prefetch})
+		if err != nil {
+			t.Fatalf("lab.New: %v", err)
+		}
+		defer l.Close()
+		d, err := l.NewDevice("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Launch(); err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up interaction teaches the proxy the run-time values.
+		if _, err := d.TapMain(0); err != nil {
+			t.Fatal(err)
+		}
+		d.Back()
+		l.Proxy.Drain()
+		m, err := d.TapMain(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Network
+	}
+	orig := run(false)
+	appx := run(true)
+	if appx >= orig {
+		t.Fatalf("prefetching did not reduce network delay: orig=%v appx=%v", orig, appx)
+	}
+	// The reduction should be substantial (the store interaction is three
+	// serial RTTs at 145 ms each, scaled).
+	if float64(appx) > 0.8*float64(orig) {
+		t.Fatalf("reduction too small: orig=%v appx=%v", orig, appx)
+	}
+}
+
+func TestBackWidgetViaTap(t *testing.T) {
+	l := newLab(t, false)
+	d, err := l.NewDevice("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TapMain(0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Tap("back", 0)
+	if err != nil {
+		t.Fatalf("back tap: %v", err)
+	}
+	if m.Screen != "feed" || d.Screen() != "feed" {
+		t.Fatalf("screen after back = %q / %q", m.Screen, d.Screen())
+	}
+	// Back at the root is a no-op.
+	if d.Back() {
+		t.Fatal("Back succeeded at root")
+	}
+}
+
+func TestScreenStackDeduplicatesRerender(t *testing.T) {
+	// Re-rendering the same screen (pull-to-refresh style) must not grow
+	// the back stack.
+	l := newLab(t, false)
+	d, err := l.NewDevice("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(); err != nil { // relaunch renders "feed" again
+		t.Fatal(err)
+	}
+	if d.Back() {
+		t.Fatal("duplicate render grew the screen stack")
+	}
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	if _, err := device.New(device.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := device.New(device.Config{APK: apps.Wish().APK}); err == nil {
+		t.Fatal("config without proxy or transport accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§6). Each experiment is a function returning a renderable result; the
+// appx-bench command and the repository's benchmarks call them.
+//
+// All wall-clock emulation runs at Params.Scale and results are reported
+// unscaled (divided by Scale), so the numbers print in paper-comparable
+// milliseconds. Absolute values will not match the paper — the substrate is
+// an emulation, not the authors' testbed — but the shapes must: who wins,
+// by roughly what factor, and where the trends point.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/device"
+	"appx/internal/interp"
+	"appx/internal/lab"
+	"appx/internal/trace"
+)
+
+// Params are the shared experiment knobs.
+type Params struct {
+	// Scale compresses emulated time (default 0.2).
+	Scale float64
+	// Runs is the per-app repetition count for the microbenchmarks
+	// (Figures 13/14; the paper averages 10 runs — default 5).
+	Runs int
+	// Users sizes the user study (the paper has 30 — default 8 to keep
+	// bench runs affordable; appx-bench -users 30 reproduces the full one).
+	Users int
+	// TraceDuration is the per-user session length (paper: 3 min).
+	TraceDuration time.Duration
+	// ThinkSpeed additionally compresses think times during replay (they
+	// carry no latency information; default 10 on top of Scale).
+	ThinkSpeed float64
+	// FuzzEvents drives the Table-3 fuzzing column (the paper runs Monkey
+	// for an hour at 500 ms ≈ 7200 events; default 400).
+	FuzzEvents int
+	// Seed makes everything reproducible.
+	Seed int64
+}
+
+// Fill applies defaults.
+func (p *Params) Fill() {
+	if p.Scale <= 0 {
+		p.Scale = 0.2
+	}
+	if p.Runs <= 0 {
+		p.Runs = 5
+	}
+	if p.Users <= 0 {
+		p.Users = 8
+	}
+	if p.TraceDuration <= 0 {
+		p.TraceDuration = 3 * time.Minute
+	}
+	if p.ThinkSpeed <= 0 {
+		p.ThinkSpeed = 10
+	}
+	if p.FuzzEvents <= 0 {
+		p.FuzzEvents = 400
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+}
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	all := append([][]string{header}, rows...)
+	widths := make([]int, len(header))
+	for _, row := range all {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtMS prints a duration as paper-style milliseconds.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%d ms", d.Milliseconds())
+}
+
+// fmtPct prints a fraction as a percentage.
+func fmtPct(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
+}
+
+// inProcDevice builds a device whose traffic goes straight to a transport —
+// used where network emulation is irrelevant (Table 3's trace collection).
+func inProcDevice(a *apps.App, tr interp.Transport) (*device.Device, error) {
+	return device.New(device.Config{
+		APK:       a.APK,
+		Scale:     1,
+		Transport: tr,
+		Props: interp.DeviceProps{
+			UserAgent:  "AppxExp/1.0",
+			Locale:     "en-US",
+			AppVersion: a.APK.Manifest.Version,
+		},
+	})
+}
+
+// studyRun is the shared workhorse for Figures 15–17: it replays the user
+// study against a wire lab and returns per-interaction main latencies
+// (unscaled) plus the proxy's data accounting.
+type studyRun struct {
+	// MainLatencies are unscaled user-perceived latencies of main
+	// interactions across all users.
+	MainLatencies []time.Duration
+	// AllLatencies covers every measured interaction (launch + taps).
+	AllLatencies []time.Duration
+	// DataUsage is the Figure-16 normalized data metric.
+	DataUsage float64
+	// UsedPrefetchRatio is the fraction of prefetched responses consumed.
+	UsedPrefetchRatio float64
+	// Hits/Misses/Prefetches are raw proxy counters.
+	Hits, Misses, Prefetches int
+}
+
+// runStudy executes one (app, RTT override, prefetch on/off) configuration.
+func runStudy(p Params, app *apps.App, rttOverride time.Duration, prefetch bool) (*studyRun, error) {
+	l, err := lab.New(lab.Options{
+		App:            app,
+		Scale:          p.Scale,
+		Prefetch:       prefetch,
+		ProxyOriginRTT: rttOverride,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	return replayStudy(p, l)
+}
+
+// replayStudy replays the generated user study against an existing lab, all
+// users in parallel on their own devices.
+func replayStudy(p Params, l *lab.Lab) (*studyRun, error) {
+	traces := trace.GenerateStudy(l.App.APK, p.Users, p.Seed, p.TraceDuration)
+	speed := p.ThinkSpeed / p.Scale // think times shrink with the world plus extra
+
+	type userOut struct {
+		measures []trace.InteractionMeasure
+		err      error
+	}
+	outs := make([]userOut, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr *trace.Trace) {
+			defer wg.Done()
+			// Stagger session starts: real participants do not all launch
+			// the app at the same instant, and synchronized launches pile
+			// every user's prefetch burst onto the same moment.
+			time.Sleep(time.Duration(i) * 300 * time.Millisecond)
+			d, err := l.NewDevice(tr.User)
+			if err != nil {
+				outs[i] = userOut{err: err}
+				return
+			}
+			outs[i] = userOut{measures: trace.Replay(d, tr, speed)}
+		}(i, tr)
+	}
+	wg.Wait()
+
+	run := &studyRun{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		for _, m := range o.measures {
+			if m.Err != nil {
+				return nil, fmt.Errorf("replay interaction: %w", m.Err)
+			}
+			lat := l.Unscale(m.Measure.Total)
+			run.AllLatencies = append(run.AllLatencies, lat)
+			if m.Event.Main {
+				run.MainLatencies = append(run.MainLatencies, lat)
+			}
+		}
+	}
+	l.Proxy.Drain()
+	snap := l.Proxy.Stats().Snapshot()
+	run.DataUsage = snap.NormalizedDataUsage()
+	run.UsedPrefetchRatio = snap.UsedPrefetchRatio()
+	run.Hits, run.Misses, run.Prefetches = snap.Hits, snap.Misses, snap.Prefetches
+	return run, nil
+}
+
+// transportFunc adapts a function to interp.Transport.
+type transportFunc = interp.TransportFunc

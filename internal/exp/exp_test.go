@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns the smallest meaningful parameter set for CI.
+func tiny() Params {
+	return Params{
+		Scale:         0.1,
+		Runs:          2,
+		Users:         3,
+		TraceDuration: 60 * time.Second,
+		ThinkSpeed:    8,
+		FuzzEvents:    80,
+		Seed:          7,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := RunTable1().Render()
+	for _, want := range []string{"Wish", "DoorDash", "Purple Ocean", "Postmates", "Shopping"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := RunTable2().Render()
+	for _, want := range []string{"api.wish.example", "165 ms", "230 ms", "5 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := RunTable3(tiny())
+	if err != nil {
+		t.Fatalf("RunTable3: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The paper's headline Table-3 shape: static analysis identifies at
+		// least as many unique and prefetchable signatures as either
+		// dynamic baseline, and at least as long a chain.
+		if r.SigsTotal < r.FuzzSigs || r.SigsTotal < r.UserSigs {
+			t.Errorf("%s: APPx %d sigs < dynamic (%d fuzz / %d user)", r.App, r.SigsTotal, r.FuzzSigs, r.UserSigs)
+		}
+		if r.SigsPrefetchable < r.FuzzPrefetchable || r.SigsPrefetchable < r.UserPrefetchable {
+			t.Errorf("%s: prefetchable shape violated: %+v", r.App, r)
+		}
+		if r.MaxChain < r.FuzzMaxChain || r.MaxChain < r.UserMaxChain {
+			t.Errorf("%s: chain shape violated: %+v", r.App, r)
+		}
+		if r.SigsTotal == 0 || r.Deps == 0 {
+			t.Errorf("%s: empty analysis: %+v", r.App, r)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestCaseStudies(t *testing.T) {
+	f11, err := RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.Chain) < 4 {
+		t.Fatalf("Fig 11 chain = %v", f11.Chain)
+	}
+	out := f11.Render()
+	if !strings.Contains(out, "/v2/stores") {
+		t.Errorf("Fig 11 missing store list:\n%s", out)
+	}
+
+	f12, err := RunFig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f12.FanOut) < 2 {
+		t.Fatalf("Fig 12 fan-out = %v", f12.FanOut)
+	}
+	_ = f12.Render()
+}
+
+func TestAblationShape(t *testing.T) {
+	res, err := RunAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]map[string]AblationRow{}
+	for _, r := range res.Rows {
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[string]AblationRow{}
+		}
+		byApp[r.App][r.Variant] = r
+	}
+	for app, variants := range byApp {
+		full, base := variants["full"], variants["baseline"]
+		if full.Deps <= base.Deps {
+			t.Errorf("%s: extensions add no dependencies (full %d, baseline %d)", app, full.Deps, base.Deps)
+		}
+		for _, v := range []string{"no-intents", "no-rx", "no-alias", "baseline"} {
+			if variants[v].Deps > full.Deps {
+				t.Errorf("%s/%s: ablated variant found MORE deps than full", app, v)
+			}
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-lab experiment")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive emulation distorted under -race")
+	}
+	res, err := RunFig13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Reduction <= 0 {
+			t.Errorf("%s: no main-interaction speedup: orig=%v appx=%v", r.App, r.OrigTotal, r.AppxTotal)
+		}
+		if r.AppxNetwork >= r.OrigNetwork {
+			t.Errorf("%s: network delay not reduced: %v -> %v", r.App, r.OrigNetwork, r.AppxNetwork)
+		}
+	}
+	t.Log("\n" + res.Render())
+}
+
+func TestFig17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-lab experiment")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive emulation distorted under -race")
+	}
+	res, err := RunFig17(tiny(), []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The knob's shape: data usage grows with probability, median latency
+	// shrinks (Figure 17).
+	if res.Rows[2].DataUsage < res.Rows[0].DataUsage {
+		t.Errorf("data usage not increasing with probability: %+v", res.Rows)
+	}
+	if res.Rows[2].Median > res.Rows[0].Median {
+		t.Errorf("latency not decreasing with probability: p0=%v p1=%v",
+			res.Rows[0].Median, res.Rows[2].Median)
+	}
+	t.Log("\n" + res.Render())
+}
+
+func TestFig15And16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-lab experiment")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive emulation distorted under -race")
+	}
+	p := tiny()
+	rtts := []time.Duration{100 * time.Millisecond}
+	sweep, err := RunFig15(p, rtts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(sweep.Rows))
+	}
+	cdf, err := RunFig16(p, sweep, rtts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdf.Rows) != 5 {
+		t.Fatalf("cdf rows = %d", len(cdf.Rows))
+	}
+	improved := 0
+	for _, r := range cdf.Rows {
+		if r.MedianReduction > 0 {
+			improved++
+		}
+		if r.DataUsage < 1 {
+			t.Errorf("%s: data usage below baseline: %.2f", r.App, r.DataUsage)
+		}
+	}
+	// At tiny parameters individual apps are noisy; the aggregate shape —
+	// most apps' medians improve — must hold.
+	if improved < 3 {
+		t.Errorf("only %d/5 apps improved median latency", improved)
+	}
+	t.Log("\n" + sweep.Render())
+	t.Log("\n" + cdf.Render())
+}
+
+func TestMechAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-lab experiment")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive emulation distorted under -race")
+	}
+	p := tiny()
+	res, err := RunMechAblation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MechRow{}
+	for _, r := range res.Rows {
+		byName[r.Variant] = r
+	}
+	full, noChain, none := byName["full"], byName["no-chain"], byName["no-prefetch"]
+	// Full prefetching beats no prefetching; chaining contributes on top of
+	// direct prefetching (the menu hop only warms through the chain).
+	if full.StoreOpen >= none.StoreOpen {
+		t.Errorf("full (%v) not faster than no-prefetch (%v)", full.StoreOpen, none.StoreOpen)
+	}
+	if full.StoreOpen > noChain.StoreOpen {
+		t.Errorf("full (%v) slower than no-chain (%v)", full.StoreOpen, noChain.StoreOpen)
+	}
+	t.Log("\n" + res.Render())
+}

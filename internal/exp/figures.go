@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/lab"
+	"appx/internal/metrics"
+)
+
+// MicroRow is one app's Orig-vs-APPx microbenchmark result (Figures 13/14).
+type MicroRow struct {
+	App string
+
+	OrigTotal, OrigNetwork, OrigProcessing time.Duration
+	AppxTotal, AppxNetwork, AppxProcessing time.Duration
+	Reduction                              float64
+}
+
+// Micro holds a Figure-13 or Figure-14 style result set.
+type Micro struct {
+	Title string
+	Rows  []MicroRow
+}
+
+// RunFig13 measures the main interaction's user-perceived latency per app,
+// with and without prefetching, against the Table-2 origin RTTs. Each
+// APPx measurement is taken in the warmed state (one prior interaction has
+// taught the proxy the run-time values, as in steady-state use).
+func RunFig13(p Params) (*Micro, error) {
+	return runMicro(p, "Figure 13: main-interaction user-perceived latency", measureMain)
+}
+
+// RunFig14 measures app-launch latency per app (cold launches; the proxy
+// accelerates the thumbnail fan-out while the feed is still rendering).
+func RunFig14(p Params) (*Micro, error) {
+	return runMicro(p, "Figure 14: app-launch user-perceived latency", measureLaunch)
+}
+
+type microMeasure func(p Params, l *lab.Lab, run int) (time.Duration, time.Duration, error)
+
+func runMicro(p Params, title string, measure microMeasure) (*Micro, error) {
+	p.Fill()
+	out := &Micro{Title: title}
+	for _, a := range apps.All() {
+		row := MicroRow{App: a.APK.Manifest.Label}
+		for _, prefetch := range []bool{false, true} {
+			l, err := lab.New(lab.Options{App: a, Scale: p.Scale, Prefetch: prefetch})
+			if err != nil {
+				return nil, err
+			}
+			var totals, nets []time.Duration
+			for run := 0; run < p.Runs; run++ {
+				total, net, err := measure(p, l, run)
+				if err != nil {
+					l.Close()
+					return nil, fmt.Errorf("%s (prefetch=%v): %w", a.Name, prefetch, err)
+				}
+				totals = append(totals, l.Unscale(total))
+				nets = append(nets, l.Unscale(net))
+			}
+			l.Close()
+			total := metrics.Mean(totals)
+			net := metrics.Mean(nets)
+			if prefetch {
+				row.AppxTotal, row.AppxNetwork, row.AppxProcessing = total, net, total-net
+			} else {
+				row.OrigTotal, row.OrigNetwork, row.OrigProcessing = total, net, total-net
+			}
+		}
+		row.Reduction = metrics.Reduction(row.OrigTotal, row.AppxTotal)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// measureMain: one device per run; launch, warm-up interaction, back, then
+// the measured main interaction on a different item.
+func measureMain(p Params, l *lab.Lab, run int) (time.Duration, time.Duration, error) {
+	d, err := l.NewDevice(fmt.Sprintf("fig13-u%d", run))
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := d.Launch(); err != nil {
+		return 0, 0, err
+	}
+	if _, err := d.TapMain(0); err != nil {
+		return 0, 0, err
+	}
+	d.Back()
+	l.Proxy.Drain()
+	m, err := d.TapMain(1 + run%4)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Total, m.Network, nil
+}
+
+// measureLaunch: a fresh user each run, cold launch.
+func measureLaunch(p Params, l *lab.Lab, run int) (time.Duration, time.Duration, error) {
+	d, err := l.NewDevice(fmt.Sprintf("fig14-u%d", run))
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := d.Launch()
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Total, m.Network, nil
+}
+
+// Render formats a microbenchmark in the paper's stacked-bar style.
+func (m *Micro) Render() string {
+	rows := make([][]string, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		rows = append(rows, []string{
+			r.App,
+			fmtMS(r.OrigTotal), fmtMS(r.OrigNetwork), fmtMS(r.OrigProcessing),
+			fmtMS(r.AppxTotal), fmtMS(r.AppxNetwork), fmtMS(r.AppxProcessing),
+			fmtPct(r.Reduction),
+		})
+	}
+	return m.Title + "\n" + table(
+		[]string{"App", "Orig", "net", "proc", "APPx", "net", "proc", "saved"}, rows)
+}
+
+// RTTSweepRow is one (app, RTT) pair of Figure 15. The paper plots the
+// 90th percentile; the median is reported alongside because at small study
+// sizes the p90 lands on cold-start samples and is noisy run-to-run.
+type RTTSweepRow struct {
+	App string
+	RTT time.Duration
+
+	OrigP90, AppxP90 time.Duration
+	Reduction        float64
+	OrigMed, AppxMed time.Duration
+	MedReduction     float64
+}
+
+// RTTSweep reproduces Figure 15: 90th-percentile main-interaction latency
+// over the user-study workload while the proxy↔origin RTT varies.
+type RTTSweep struct {
+	Rows []RTTSweepRow
+	// Runs holds the underlying per-configuration study results, reused by
+	// Figure 16.
+	Runs map[string]map[time.Duration][2]*studyRun // app → rtt → [orig, appx]
+}
+
+// DefaultRTTs are the paper's sweep points.
+func DefaultRTTs() []time.Duration {
+	return []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 150 * time.Millisecond}
+}
+
+// RunFig15 replays the user study at each RTT with and without prefetching.
+func RunFig15(p Params, rtts []time.Duration) (*RTTSweep, error) {
+	p.Fill()
+	if len(rtts) == 0 {
+		rtts = DefaultRTTs()
+	}
+	out := &RTTSweep{Runs: map[string]map[time.Duration][2]*studyRun{}}
+	for _, a := range apps.All() {
+		out.Runs[a.Name] = map[time.Duration][2]*studyRun{}
+		for _, rtt := range rtts {
+			orig, err := runStudy(p, a, rtt, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig15: %s orig@%v: %w", a.Name, rtt, err)
+			}
+			appx, err := runStudy(p, a, rtt, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig15: %s appx@%v: %w", a.Name, rtt, err)
+			}
+			out.Runs[a.Name][rtt] = [2]*studyRun{orig, appx}
+			op90 := metrics.Percentile(orig.MainLatencies, 0.9)
+			ap90 := metrics.Percentile(appx.MainLatencies, 0.9)
+			omed := metrics.Median(orig.MainLatencies)
+			amed := metrics.Median(appx.MainLatencies)
+			out.Rows = append(out.Rows, RTTSweepRow{
+				App: a.APK.Manifest.Label, RTT: rtt,
+				OrigP90: op90, AppxP90: ap90,
+				Reduction: metrics.Reduction(op90, ap90),
+				OrigMed:   omed, AppxMed: amed,
+				MedReduction: metrics.Reduction(omed, amed),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats Figure 15.
+func (s *RTTSweep) Render() string {
+	rows := make([][]string, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			r.App, fmtMS(r.RTT),
+			fmtMS(r.OrigP90), fmtMS(r.AppxP90), fmtPct(r.Reduction),
+			fmtMS(r.OrigMed), fmtMS(r.AppxMed), fmtPct(r.MedReduction),
+		})
+	}
+	return "Figure 15: main-interaction latency vs proxy<->origin RTT (p90 as in the paper; median for stability)\n" +
+		table([]string{"App", "RTT", "Orig p90", "APPx p90", "saved", "Orig med", "APPx med", "saved"}, rows)
+}
+
+// CDFRow is one (app, RTT) distribution comparison of Figure 16.
+type CDFRow struct {
+	App string
+	RTT time.Duration
+
+	OrigMedian, AppxMedian time.Duration
+	MedianReduction        float64
+	OrigCDF, AppxCDF       []metrics.CDFPoint
+	DataUsage              float64
+	UsedPrefetchRatio      float64
+}
+
+// CDFResult reproduces Figure 16.
+type CDFResult struct {
+	Rows []CDFRow
+}
+
+// RunFig16 derives the latency CDFs and normalized data usage from the
+// Figure-15 study runs (the paper draws both from the same replays).
+func RunFig16(p Params, sweep *RTTSweep, rtts []time.Duration) (*CDFResult, error) {
+	p.Fill()
+	if sweep == nil {
+		var err error
+		sweep, err = RunFig15(p, rtts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rtts) == 0 {
+		rtts = DefaultRTTs()
+	}
+	out := &CDFResult{}
+	for _, a := range apps.All() {
+		for _, rtt := range rtts {
+			pair, ok := sweep.Runs[a.Name][rtt]
+			if !ok {
+				continue
+			}
+			orig, appx := pair[0], pair[1]
+			om := metrics.Median(orig.MainLatencies)
+			am := metrics.Median(appx.MainLatencies)
+			out.Rows = append(out.Rows, CDFRow{
+				App: a.APK.Manifest.Label, RTT: rtt,
+				OrigMedian: om, AppxMedian: am,
+				MedianReduction:   metrics.Reduction(om, am),
+				OrigCDF:           metrics.CDF(orig.MainLatencies, 10),
+				AppxCDF:           metrics.CDF(appx.MainLatencies, 10),
+				DataUsage:         appx.DataUsage,
+				UsedPrefetchRatio: appx.UsedPrefetchRatio,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats Figure 16 (medians, deciles, data usage).
+func (c *CDFResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: latency CDF medians and normalized data usage\n")
+	rows := make([][]string, 0, len(c.Rows))
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			r.App, fmtMS(r.RTT),
+			fmtMS(r.OrigMedian), fmtMS(r.AppxMedian), fmtPct(r.MedianReduction),
+			fmt.Sprintf("%.2fx", r.DataUsage),
+			fmt.Sprintf("%.1f%%", r.UsedPrefetchRatio*100),
+		})
+	}
+	b.WriteString(table([]string{"App", "RTT", "Orig med", "APPx med", "saved", "data usage", "prefetch used"}, rows))
+	b.WriteString("\nCDF deciles (ms), orig vs appx:\n")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  %-13s @%-6s orig:", r.App, fmtMS(r.RTT))
+		for _, pt := range r.OrigCDF {
+			fmt.Fprintf(&b, " %d", pt.Latency.Milliseconds())
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  %-13s %-7s appx:", "", "")
+		for _, pt := range r.AppxCDF {
+			fmt.Fprintf(&b, " %d", pt.Latency.Milliseconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TradeoffRow is one probability point of Figure 17.
+type TradeoffRow struct {
+	Probability float64
+	Median      time.Duration
+	DataUsage   float64
+}
+
+// Tradeoff reproduces Figure 17: the latency/data-usage knob on Wish.
+type Tradeoff struct {
+	Rows []TradeoffRow
+}
+
+// DefaultProbabilities are the paper's sweep points.
+func DefaultProbabilities() []float64 { return []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} }
+
+// RunFig17 sweeps the global prefetch probability on Wish and reports
+// median main-interaction latency and normalized data usage.
+func RunFig17(p Params, probs []float64) (*Tradeoff, error) {
+	p.Fill()
+	if len(probs) == 0 {
+		probs = DefaultProbabilities()
+	}
+	a := apps.Wish()
+	out := &Tradeoff{}
+	for _, prob := range probs {
+		prob := prob
+		l, err := lab.New(lab.Options{
+			App: a, Scale: p.Scale, Prefetch: prob > 0,
+			Configure: func(c *config.Config) { c.GlobalProbability = prob },
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := replayInLab(p, l)
+		l.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fig17 p=%.2f: %w", prob, err)
+		}
+		out.Rows = append(out.Rows, TradeoffRow{
+			Probability: prob,
+			Median:      metrics.Median(run.MainLatencies),
+			DataUsage:   run.DataUsage,
+		})
+	}
+	return out, nil
+}
+
+// replayInLab runs the user study against an existing lab (runStudy variant
+// for pre-configured labs).
+func replayInLab(p Params, l *lab.Lab) (*studyRun, error) {
+	return replayStudy(p, l)
+}
+
+// Render formats Figure 17.
+func (t *Tradeoff) Render() string {
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", r.Probability*100),
+			fmtMS(r.Median),
+			fmt.Sprintf("%.2fx", r.DataUsage),
+		})
+	}
+	return "Figure 17: latency vs data usage as prefetch probability varies (Wish)\n" +
+		table([]string{"Probability", "Median latency", "Data usage"}, rows)
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/lab"
+	"appx/internal/metrics"
+)
+
+// MechRow is one mechanism variant's measurement.
+type MechRow struct {
+	Variant string
+	// StoreOpen is the mean latency of a warmed main interaction.
+	StoreOpen time.Duration
+	// HitRatio is the proxy-wide cache hit ratio over the run.
+	HitRatio float64
+}
+
+// MechAblation quantifies the proxy's own design choices (DESIGN.md's
+// ablation index): full prefetching, prefetching without chain recursion
+// (Figure 3(c) disabled), and no prefetching at all. Run on DoorDash, whose
+// main interaction sits mid-chain — exactly where chaining pays.
+type MechAblation struct {
+	Rows []MechRow
+}
+
+// RunMechAblation measures a warmed DoorDash store-open under each variant.
+func RunMechAblation(p Params) (*MechAblation, error) {
+	p.Fill()
+	variants := []struct {
+		name string
+		opts func(*lab.Options)
+	}{
+		{"full", func(o *lab.Options) { o.Prefetch = true }},
+		{"no-chain", func(o *lab.Options) { o.Prefetch = true; o.DisableChaining = true }},
+		{"no-prefetch", func(o *lab.Options) { o.Prefetch = false }},
+	}
+	out := &MechAblation{}
+	for _, v := range variants {
+		opts := lab.Options{App: apps.DoorDash(), Scale: p.Scale}
+		v.opts(&opts)
+		l, err := lab.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		var totals []time.Duration
+		for run := 0; run < p.Runs; run++ {
+			d, err := l.NewDevice(fmt.Sprintf("mech-%s-%d", v.name, run))
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			if _, err := d.Launch(); err != nil {
+				l.Close()
+				return nil, err
+			}
+			// Warm-up walk teaches every chain level's run-time values.
+			if _, err := d.TapMain(0); err != nil {
+				l.Close()
+				return nil, err
+			}
+			if _, err := d.Tap("menu-item", 0); err != nil {
+				l.Close()
+				return nil, err
+			}
+			d.Back()
+			d.Back()
+			l.Proxy.Drain()
+			m, err := d.TapMain(1 + run%4)
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			totals = append(totals, l.Unscale(m.Total))
+		}
+		snap := l.Proxy.Stats().Snapshot()
+		l.Close()
+		out.Rows = append(out.Rows, MechRow{
+			Variant:   v.name,
+			StoreOpen: metrics.Mean(totals),
+			HitRatio:  snap.HitRatio(),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the mechanism ablation.
+func (m *MechAblation) Render() string {
+	rows := make([][]string, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		rows = append(rows, []string{r.Variant, fmtMS(r.StoreOpen), fmtPct(r.HitRatio)})
+	}
+	return "Mechanism ablation: warmed DoorDash store-open per proxy variant\n" +
+		table([]string{"Variant", "Store open", "Hit ratio"}, rows)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that the race detector is active. Its ~10× CPU
+// slowdown distorts the scaled time emulation, so timing-shape tests skip
+// themselves under -race (the logic they exercise is covered un-instrumented
+// elsewhere).
+const raceEnabled = true

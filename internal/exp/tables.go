@@ -1,0 +1,345 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appx/internal/apps"
+	"appx/internal/fuzz"
+	"appx/internal/httpmsg"
+	"appx/internal/sig"
+	"appx/internal/static"
+	"appx/internal/trace"
+)
+
+// Table1 reproduces Table 1: app descriptions and main interactions.
+type Table1 struct {
+	Rows [][]string
+}
+
+// RunTable1 builds Table 1 from the app registry.
+func RunTable1() *Table1 {
+	t := &Table1{}
+	for _, a := range apps.All() {
+		t.Rows = append(t.Rows, []string{a.APK.Manifest.Label, a.APK.Manifest.Category, a.APK.Manifest.MainInteraction})
+	}
+	return t
+}
+
+// Render formats the table.
+func (t *Table1) Render() string {
+	return "Table 1: apps and main interactions\n" +
+		table([]string{"App", "Category", "Main Interaction"}, t.Rows)
+}
+
+// Table2 reproduces Table 2: main-interaction transactions and origin RTTs.
+type Table2 struct {
+	Rows [][]string
+}
+
+// RunTable2 builds Table 2 from the per-host link configuration.
+func RunTable2() *Table2 {
+	t := &Table2{}
+	for _, a := range apps.All() {
+		hosts := append([]string(nil), a.Hosts...)
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			t.Rows = append(t.Rows, []string{a.APK.Manifest.Label, h, fmtMS(a.HostRTT[h])})
+		}
+	}
+	return t
+}
+
+// Render formats the table.
+func (t *Table2) Render() string {
+	return "Table 2: origin hosts and proxy<->origin RTTs\n" +
+		table([]string{"App", "Origin host", "RTT"}, t.Rows)
+}
+
+// Table3Row is one app's signature/dependency comparison (Table 3).
+type Table3Row struct {
+	App string
+
+	// APPx static analysis.
+	SigsTotal, SigsPrefetchable, Deps, MaxChain int
+	// Auto UI fuzzing baseline.
+	FuzzSigs, FuzzPrefetchable, FuzzDeps, FuzzMaxChain int
+	// User-study trace baseline.
+	UserSigs, UserPrefetchable, UserDeps, UserMaxChain int
+}
+
+// Table3 reproduces Table 3.
+type Table3 struct {
+	Rows []Table3Row
+}
+
+// RunTable3 compares APPx's statically identified signatures against what
+// automatic UI fuzzing and the user-study traces observe, using the paper's
+// methodology: regex-match the URIs of collected traffic against the APPx
+// signatures and count the unique matches (§6.1).
+func RunTable3(p Params) (*Table3, error) {
+	p.Fill()
+	out := &Table3{}
+	for _, a := range apps.All() {
+		g, err := static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s: %w", a.Name, err)
+		}
+		row := Table3Row{
+			App:              a.APK.Manifest.Label,
+			SigsTotal:        len(g.Sigs),
+			SigsPrefetchable: len(g.Prefetchable()),
+			Deps:             len(g.Deps),
+			MaxChain:         g.MaxChainLen(),
+		}
+
+		// Auto UI fuzzing column: random events, collect traffic, match.
+		fuzzObserved, err := observeFuzz(a, g, p)
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s fuzz: %w", a.Name, err)
+		}
+		row.FuzzSigs, row.FuzzPrefetchable, row.FuzzDeps, row.FuzzMaxChain = summarizeObserved(g, fuzzObserved)
+
+		// User-study column: replay generated traces, collect traffic, match.
+		userObserved, err := observeStudy(a, g, p)
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s study: %w", a.Name, err)
+		}
+		row.UserSigs, row.UserPrefetchable, row.UserDeps, row.UserMaxChain = summarizeObserved(g, userObserved)
+
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// observeFuzz collects the set of signature IDs whose URIs the fuzz-driven
+// app's traffic matches.
+func observeFuzz(a *apps.App, g *sig.Graph, p Params) (map[string]bool, error) {
+	observed := map[string]bool{}
+	d, err := inProcDevice(a, recordingTransport(a, g, observed))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fuzz.Run(d, a.APK, fuzz.Options{Seed: p.Seed, Events: p.FuzzEvents}); err != nil {
+		return nil, err
+	}
+	return observed, nil
+}
+
+// observeStudy collects signature coverage from the user-study traces.
+func observeStudy(a *apps.App, g *sig.Graph, p Params) (map[string]bool, error) {
+	observed := map[string]bool{}
+	traces := trace.GenerateStudy(a.APK, p.Users, p.Seed, p.TraceDuration)
+	for _, tr := range traces {
+		d, err := inProcDevice(a, recordingTransport(a, g, observed))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range trace.Replay(d, tr, 1e9) {
+			if m.Err != nil {
+				return nil, m.Err
+			}
+		}
+	}
+	return observed, nil
+}
+
+// recordingTransport serves requests in process while recording which
+// signatures they match.
+func recordingTransport(a *apps.App, g *sig.Graph, observed map[string]bool) transportFunc {
+	h := a.Handler(0)
+	return func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		if ms := g.MatchRequest(r); len(ms) > 0 {
+			observed[ms[0].ID] = true
+		}
+		return httpmsg.ServeViaHandler(h, r)
+	}
+}
+
+// summarizeObserved counts observed unique signatures, observed
+// prefetchable ones, dependency edges with both endpoints observed, and the
+// longest chain within the observed subgraph.
+func summarizeObserved(g *sig.Graph, observed map[string]bool) (sigs, prefetchable, deps, maxChain int) {
+	sigs = len(observed)
+	for _, id := range g.Prefetchable() {
+		if observed[id] {
+			prefetchable++
+		}
+	}
+	sub := sig.NewGraph(g.App)
+	for _, s := range g.Sigs {
+		if observed[s.ID] {
+			sub.Add(s)
+		}
+	}
+	for _, d := range g.Deps {
+		if observed[d.PredID] && observed[d.SuccID] {
+			sub.AddDep(d)
+			deps++
+		}
+	}
+	maxChain = sub.MaxChainLen()
+	return
+}
+
+// Render formats Table 3 in the paper's "APPx / fuzzing / user study" style.
+func (t *Table3) Render() string {
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.App,
+			fmt.Sprintf("%d / %d / %d", r.SigsTotal, r.FuzzSigs, r.UserSigs),
+			fmt.Sprintf("%d / %d / %d", r.SigsPrefetchable, r.FuzzPrefetchable, r.UserPrefetchable),
+			fmt.Sprintf("%d / %d / %d", r.Deps, r.FuzzDeps, r.UserDeps),
+			fmt.Sprintf("%d / %d / %d", r.MaxChain, r.FuzzMaxChain, r.UserMaxChain),
+		})
+	}
+	return "Table 3: signatures and dependencies (APPx / auto UI fuzzing / user study)\n" +
+		table([]string{"App", "Unique sigs", "Prefetchable", "Dependencies", "Max chain"}, rows)
+}
+
+// CaseStudy reproduces the Figure 11/12 dependency case studies.
+type CaseStudy struct {
+	App   string
+	Title string
+	// Chain is the longest successive dependency chain (Figure 11).
+	Chain []string
+	// FanOut maps one predecessor to its successors (Figure 12).
+	FanOutPred string
+	FanOut     []string
+}
+
+// RunFig11 extracts DoorDash's successive chain.
+func RunFig11() (*CaseStudy, error) {
+	a := apps.DoorDash()
+	g, err := static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+	if err != nil {
+		return nil, err
+	}
+	return &CaseStudy{
+		App:   a.APK.Manifest.Label,
+		Title: "Figure 11: successive dependency chain",
+		Chain: describeSigs(g, g.Chain()),
+	}, nil
+}
+
+// RunFig12 extracts Wish's single-transaction fan-out.
+func RunFig12() (*CaseStudy, error) {
+	a := apps.Wish()
+	g, err := static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+	if err != nil {
+		return nil, err
+	}
+	// The predecessor with the most distinct successors is the Figure-12
+	// "product detail" pivot.
+	var best string
+	bestN := -1
+	for _, s := range g.Sigs {
+		if n := len(g.Successors(s.ID)); n > bestN {
+			best, bestN = s.ID, n
+		}
+	}
+	cs := &CaseStudy{
+		App:        a.APK.Manifest.Label,
+		Title:      "Figure 12: multiple relationships on a single transaction",
+		FanOutPred: describeSig(g, best),
+	}
+	for _, succ := range g.Successors(best) {
+		for _, d := range g.DepsInto(succ) {
+			if d.PredID == best {
+				cs.FanOut = append(cs.FanOut,
+					fmt.Sprintf("%s  (%s <- %s)", describeSig(g, succ), d.Loc, d.RespPath))
+			}
+		}
+	}
+	return cs, nil
+}
+
+func describeSig(g *sig.Graph, id string) string {
+	if s := g.Sig(id); s != nil {
+		return s.Method + " " + s.URI.String()
+	}
+	return id
+}
+
+func describeSigs(g *sig.Graph, ids []string) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = describeSig(g, id)
+	}
+	return out
+}
+
+// Render formats a case study.
+func (c *CaseStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", c.Title, c.App)
+	if len(c.Chain) > 0 {
+		for i, s := range c.Chain {
+			fmt.Fprintf(&b, "  %d. %s\n", i+1, s)
+		}
+	}
+	if c.FanOutPred != "" {
+		fmt.Fprintf(&b, "  predecessor: %s\n", c.FanOutPred)
+		for _, s := range c.FanOut {
+			fmt.Fprintf(&b, "    -> %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+// AblationRow is one (app, feature-set) analysis outcome.
+type AblationRow struct {
+	App      string
+	Variant  string
+	Sigs     int
+	Deps     int
+	MaxChain int
+}
+
+// Ablation quantifies the §4.1 Extractocol extensions (the DESIGN.md ablation
+// experiment): analysis quality with each extension disabled.
+type Ablation struct {
+	Rows []AblationRow
+}
+
+// RunAblation analyzes every app under full features, each single-feature
+// removal, and the no-extension baseline.
+func RunAblation() (*Ablation, error) {
+	variants := []struct {
+		name  string
+		feats static.Features
+	}{
+		{"full", static.AllFeatures()},
+		{"no-intents", static.Features{Rx: true, Alias: true}},
+		{"no-rx", static.Features{Intents: true, Alias: true}},
+		{"no-alias", static.Features{Intents: true, Rx: true}},
+		{"baseline", static.BaselineFeatures()},
+	}
+	out := &Ablation{}
+	for _, a := range apps.All() {
+		for _, v := range variants {
+			g, err := static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: v.feats})
+			if err != nil {
+				return nil, fmt.Errorf("ablation: %s/%s: %w", a.Name, v.name, err)
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				App: a.Name, Variant: v.name,
+				Sigs: len(g.Sigs), Deps: len(g.Deps), MaxChain: g.MaxChainLen(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats the ablation table.
+func (a *Ablation) Render() string {
+	rows := make([][]string, 0, len(a.Rows))
+	for _, r := range a.Rows {
+		rows = append(rows, []string{r.App, r.Variant,
+			fmt.Sprintf("%d", r.Sigs), fmt.Sprintf("%d", r.Deps), fmt.Sprintf("%d", r.MaxChain)})
+	}
+	return "Ablation: static-analysis extensions (§4.1)\n" +
+		table([]string{"App", "Variant", "Sigs", "Deps", "Max chain"}, rows)
+}

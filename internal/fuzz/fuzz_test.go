@@ -1,0 +1,156 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/device"
+	"appx/internal/httpmsg"
+	"appx/internal/interp"
+)
+
+// inProcDevice builds a device whose transport goes straight to the app's
+// origin handler.
+func inProcDevice(t testing.TB, a *apps.App) (*device.Device, *[]*httpmsg.Transaction) {
+	t.Helper()
+	h := a.Handler(0)
+	d, err := device.New(device.Config{
+		APK:   a.APK,
+		Scale: 1, // render delays skipped: no RenderDelay map entries used
+		Transport: interp.TransportFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+			return httpmsg.ServeViaHandler(h, r)
+		}),
+		Props: interp.DeviceProps{UserAgent: "Fuzz/1.0", AppVersion: a.APK.Manifest.Version},
+	})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	var txns []*httpmsg.Transaction
+	d.OnTransaction(func(txn *httpmsg.Transaction) { txns = append(txns, txn) })
+	return d, &txns
+}
+
+func TestFuzzDrivesApp(t *testing.T) {
+	a := apps.Wish()
+	d, txns := inProcDevice(t, a)
+	res, err := Run(d, a.APK, Options{Seed: 1, Events: 40})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Events < 40 {
+		t.Fatalf("events = %d", res.Events)
+	}
+	if len(*txns) == 0 {
+		t.Fatal("fuzzing generated no traffic")
+	}
+	if !res.ScreensSeen["feed"] {
+		t.Fatalf("screens seen = %v", res.ScreensSeen)
+	}
+}
+
+func TestFuzzDeterministic(t *testing.T) {
+	a := apps.DoorDash()
+	d1, tx1 := inProcDevice(t, a)
+	d2, tx2 := inProcDevice(t, a)
+	if _, err := Run(d1, a.APK, Options{Seed: 42, Events: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d2, a.APK, Options{Seed: 42, Events: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*tx1) != len(*tx2) {
+		t.Fatalf("same seed, different traffic: %d vs %d", len(*tx1), len(*tx2))
+	}
+	for i := range *tx1 {
+		if (*tx1)[i].Request.URL() != (*tx2)[i].Request.URL() {
+			t.Fatalf("txn %d differs: %s vs %s", i, (*tx1)[i].Request.URL(), (*tx2)[i].Request.URL())
+		}
+	}
+}
+
+func TestFuzzSeedsDiffer(t *testing.T) {
+	a := apps.Wish()
+	d1, tx1 := inProcDevice(t, a)
+	d2, tx2 := inProcDevice(t, a)
+	Run(d1, a.APK, Options{Seed: 1, Events: 30})
+	Run(d2, a.APK, Options{Seed: 2, Events: 30})
+	if len(*tx1) == len(*tx2) {
+		same := true
+		for i := range *tx1 {
+			if (*tx1)[i].Request.URL() != (*tx2)[i].Request.URL() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traffic")
+		}
+	}
+}
+
+func TestFuzzReachesDeepScreens(t *testing.T) {
+	// Enough events must reach the DoorDash item screen (depth 3).
+	a := apps.DoorDash()
+	d, _ := inProcDevice(t, a)
+	res, err := Run(d, a.APK, Options{Seed: 7, Events: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ScreensSeen["item"] {
+		t.Fatalf("fuzzer never reached the item screen: %v", res.ScreensSeen)
+	}
+}
+
+func TestFuzzAllAppsNoErrors(t *testing.T) {
+	for _, a := range apps.All() {
+		d, _ := inProcDevice(t, a)
+		res, err := Run(d, a.APK, Options{Seed: 3, Events: 60})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d fuzz errors", a.Name, res.Errors)
+		}
+	}
+}
+
+// deadEndAPK builds an app whose only navigation leads to a screen with no
+// widgets, forcing the fuzzer's relaunch path.
+func deadEndAPK(t testing.TB) (*apps.App, *device.Device) {
+	t.Helper()
+	a := apps.PurpleOcean()
+	d, _ := inProcDevice(t, a)
+	return a, d
+}
+
+func TestFuzzIntervalPacing(t *testing.T) {
+	a := apps.Postmates()
+	d, _ := inProcDevice(t, a)
+	start := time.Now()
+	res, err := Run(d, a.APK, Options{Seed: 5, Events: 6, Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 5 post-launch events at >= 20ms apart.
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("interval not honoured: %d events in %v", res.Events, elapsed)
+	}
+}
+
+func TestFuzzRelaunchesFromDeadEnd(t *testing.T) {
+	// The horoscope screen has only Back; the "reading" leaf also. Fuzzing
+	// long enough must bounce through dead ends without error.
+	a, d := deadEndAPK(t)
+	res, err := Run(d, a.APK, Options{Seed: 9, Events: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if len(res.ScreensSeen) < 3 {
+		t.Fatalf("screens = %v", res.ScreensSeen)
+	}
+}

@@ -1,0 +1,573 @@
+// Package httpmsg models HTTP transactions (request-response pairs)
+// independently of the wire representation.
+//
+// APPx reasons about requests at the granularity of named fields — URI, query
+// string, header fields, and body fields (form-encoded or JSON) — because
+// those are the positions where inter-transaction dependencies live (§4.1 of
+// the paper) and the positions dynamic learning fills in at run time (§4.2).
+// This package provides that field-level view plus lossless conversion to and
+// from net/http, and the exact-match canonical key the proxy uses to decide
+// whether a prefetched response may be served (§4.5: "the proxy sends the
+// response only when the prefetch request is identical to the client's
+// request").
+package httpmsg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"appx/internal/jsonpath"
+)
+
+// Field is an ordered key-value pair (query parameter, header, or form body
+// field).
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// BodyKind discriminates request body representations.
+type BodyKind uint8
+
+const (
+	BodyNone BodyKind = iota
+	BodyForm          // application/x-www-form-urlencoded fields
+	BodyJSON          // application/json document
+	BodyRaw           // opaque bytes
+)
+
+func (k BodyKind) String() string {
+	switch k {
+	case BodyNone:
+		return "none"
+	case BodyForm:
+		return "form"
+	case BodyJSON:
+		return "json"
+	case BodyRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("bodykind(%d)", uint8(k))
+	}
+}
+
+// Request is a field-structured HTTP request.
+type Request struct {
+	Method string
+	Scheme string // "http" in this emulation; the paper's proxy sees decrypted HTTPS
+	Host   string
+	Path   string
+	Query  []Field
+	Header []Field
+
+	BodyKind BodyKind
+	BodyForm []Field
+	BodyJSON any // encoding/json generic value shape
+	BodyRaw  []byte
+}
+
+// Clone deep-copies the request.
+func (r *Request) Clone() *Request {
+	c := *r
+	c.Query = append([]Field(nil), r.Query...)
+	c.Header = append([]Field(nil), r.Header...)
+	c.BodyForm = append([]Field(nil), r.BodyForm...)
+	c.BodyRaw = append([]byte(nil), r.BodyRaw...)
+	if r.BodyJSON != nil {
+		c.BodyJSON = cloneJSON(r.BodyJSON)
+	}
+	return &c
+}
+
+func cloneJSON(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		m := make(map[string]any, len(x))
+		for k, vv := range x {
+			m[k] = cloneJSON(vv)
+		}
+		return m
+	case []any:
+		s := make([]any, len(x))
+		for i, vv := range x {
+			s[i] = cloneJSON(vv)
+		}
+		return s
+	default:
+		return x
+	}
+}
+
+// URL renders the request URL including the encoded query string.
+func (r *Request) URL() string {
+	scheme := r.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	u := scheme + "://" + r.Host + r.Path
+	if len(r.Query) > 0 {
+		vals := url.Values{}
+		for _, f := range r.Query {
+			vals.Add(f.Key, f.Value)
+		}
+		u += "?" + vals.Encode()
+	}
+	return u
+}
+
+// GetHeader returns the first header value for key (case-insensitive) and
+// whether it was present.
+func (r *Request) GetHeader(key string) (string, bool) {
+	for _, f := range r.Header {
+		if strings.EqualFold(f.Key, key) {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetHeader replaces all values of key with one value, appending when absent.
+func (r *Request) SetHeader(key, value string) {
+	out := r.Header[:0]
+	found := false
+	for _, f := range r.Header {
+		if strings.EqualFold(f.Key, key) {
+			if !found {
+				out = append(out, Field{Key: f.Key, Value: value})
+				found = true
+			}
+			continue
+		}
+		out = append(out, f)
+	}
+	if !found {
+		out = append(out, Field{Key: key, Value: value})
+	}
+	r.Header = out
+}
+
+// DeleteHeader removes every header named key (case-insensitive).
+func (r *Request) DeleteHeader(key string) {
+	out := r.Header[:0]
+	for _, f := range r.Header {
+		if !strings.EqualFold(f.Key, key) {
+			out = append(out, f)
+		}
+	}
+	r.Header = out
+}
+
+// GetQuery returns the first query value for key.
+func (r *Request) GetQuery(key string) (string, bool) {
+	for _, f := range r.Query {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetQuery replaces the first query value for key, appending when absent.
+func (r *Request) SetQuery(key, value string) {
+	for i, f := range r.Query {
+		if f.Key == key {
+			r.Query[i].Value = value
+			return
+		}
+	}
+	r.Query = append(r.Query, Field{Key: key, Value: value})
+}
+
+// GetForm returns the first form body field value for key.
+func (r *Request) GetForm(key string) (string, bool) {
+	for _, f := range r.BodyForm {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetForm replaces the first form field for key, appending when absent, and
+// marks the body as form-encoded.
+func (r *Request) SetForm(key, value string) {
+	r.BodyKind = BodyForm
+	for i, f := range r.BodyForm {
+		if f.Key == key {
+			r.BodyForm[i].Value = value
+			return
+		}
+	}
+	r.BodyForm = append(r.BodyForm, Field{Key: key, Value: value})
+}
+
+// DeleteForm removes all form fields named key.
+func (r *Request) DeleteForm(key string) {
+	out := r.BodyForm[:0]
+	for _, f := range r.BodyForm {
+		if f.Key != key {
+			out = append(out, f)
+		}
+	}
+	r.BodyForm = out
+}
+
+// hopByHop lists fields excluded from the canonical key: transport details
+// that differ between a prefetched request and the client's live request
+// without changing application semantics. Content-Type is covered by
+// BodyKind, which the key already includes.
+var hopByHop = map[string]bool{
+	"content-length":    true,
+	"content-type":      true,
+	"connection":        true,
+	"accept-encoding":   true,
+	"proxy-connection":  true,
+	"keep-alive":        true,
+	"transfer-encoding": true,
+	"te":                true,
+	"trailer":           true,
+	"upgrade":           true,
+}
+
+// CanonicalKey returns a deterministic digest of the request covering method,
+// host, path, query string, application headers, and body. Two requests with
+// equal keys are "identical" in the sense of §4.5 — only then may the proxy
+// serve a prefetched response.
+func (r *Request) CanonicalKey() string {
+	h := sha256.New()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			io.WriteString(h, p)
+			h.Write([]byte{0})
+		}
+	}
+	w("m", strings.ToUpper(r.Method), "h", strings.ToLower(r.Host), "p", r.Path)
+
+	q := append([]Field(nil), r.Query...)
+	sort.SliceStable(q, func(i, j int) bool {
+		if q[i].Key != q[j].Key {
+			return q[i].Key < q[j].Key
+		}
+		return q[i].Value < q[j].Value
+	})
+	for _, f := range q {
+		w("q", f.Key, f.Value)
+	}
+
+	var hdr []Field
+	for _, f := range r.Header {
+		k := strings.ToLower(f.Key)
+		if hopByHop[k] {
+			continue
+		}
+		hdr = append(hdr, Field{Key: k, Value: f.Value})
+	}
+	sort.SliceStable(hdr, func(i, j int) bool {
+		if hdr[i].Key != hdr[j].Key {
+			return hdr[i].Key < hdr[j].Key
+		}
+		return hdr[i].Value < hdr[j].Value
+	})
+	for _, f := range hdr {
+		w("H", f.Key, f.Value)
+	}
+
+	switch r.BodyKind {
+	case BodyForm:
+		bf := append([]Field(nil), r.BodyForm...)
+		sort.SliceStable(bf, func(i, j int) bool {
+			if bf[i].Key != bf[j].Key {
+				return bf[i].Key < bf[j].Key
+			}
+			return bf[i].Value < bf[j].Value
+		})
+		for _, f := range bf {
+			w("b", f.Key, f.Value)
+		}
+	case BodyJSON:
+		w("j", canonicalJSON(r.BodyJSON))
+	case BodyRaw:
+		w("r", string(r.BodyRaw))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalJSON renders a generic JSON value with sorted object keys.
+func canonicalJSON(v any) string {
+	var b strings.Builder
+	writeCanonicalJSON(&b, v)
+	return b.String()
+}
+
+func writeCanonicalJSON(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			kb, _ := json.Marshal(k)
+			b.Write(kb)
+			b.WriteByte(':')
+			writeCanonicalJSON(b, x[k])
+		}
+		b.WriteByte('}')
+	case []any:
+		b.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeCanonicalJSON(b, e)
+		}
+		b.WriteByte(']')
+	default:
+		eb, _ := json.Marshal(x)
+		b.Write(eb)
+	}
+}
+
+// EncodeBody renders the body bytes and matching Content-Type.
+func (r *Request) EncodeBody() (contentType string, body []byte) {
+	switch r.BodyKind {
+	case BodyForm:
+		vals := url.Values{}
+		for _, f := range r.BodyForm {
+			vals.Add(f.Key, f.Value)
+		}
+		return "application/x-www-form-urlencoded", []byte(vals.Encode())
+	case BodyJSON:
+		b, _ := json.Marshal(r.BodyJSON)
+		return "application/json", b
+	case BodyRaw:
+		return "application/octet-stream", r.BodyRaw
+	default:
+		return "", nil
+	}
+}
+
+// ToHTTP converts to a *http.Request suitable for a client round trip.
+func (r *Request) ToHTTP() (*http.Request, error) {
+	ct, body := r.EncodeBody()
+	req, err := http.NewRequest(strings.ToUpper(r.Method), r.URL(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range r.Header {
+		req.Header.Add(f.Key, f.Value)
+	}
+	if ct != "" && req.Header.Get("Content-Type") == "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return req, nil
+}
+
+// FromHTTP converts an inbound *http.Request (as seen by a proxy or origin
+// handler) into the field-structured form, consuming the body.
+func FromHTTP(req *http.Request) (*Request, error) {
+	out := &Request{
+		Method: req.Method,
+		Scheme: "http",
+		Host:   req.Host,
+		Path:   req.URL.Path,
+	}
+	if req.URL.Scheme != "" {
+		out.Scheme = req.URL.Scheme
+	}
+	if out.Host == "" {
+		out.Host = req.URL.Host
+	}
+	for _, key := range sortedQueryKeys(req.URL.Query()) {
+		for _, v := range req.URL.Query()[key] {
+			out.Query = append(out.Query, Field{Key: key, Value: v})
+		}
+	}
+	for _, key := range sortedHeaderKeys(req.Header) {
+		for _, v := range req.Header[key] {
+			out.Header = append(out.Header, Field{Key: key, Value: v})
+		}
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		if err != nil {
+			return nil, fmt.Errorf("httpmsg: reading body: %w", err)
+		}
+		req.Body.Close()
+	}
+	if len(body) == 0 {
+		return out, nil
+	}
+	ct := req.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/x-www-form-urlencoded"):
+		vals, err := url.ParseQuery(string(body))
+		if err != nil {
+			out.BodyKind = BodyRaw
+			out.BodyRaw = body
+			return out, nil
+		}
+		out.BodyKind = BodyForm
+		for _, key := range sortedQueryKeys(vals) {
+			for _, v := range vals[key] {
+				out.BodyForm = append(out.BodyForm, Field{Key: key, Value: v})
+			}
+		}
+	case strings.HasPrefix(ct, "application/json"):
+		v, err := jsonpath.Decode(body)
+		if err != nil {
+			out.BodyKind = BodyRaw
+			out.BodyRaw = body
+			return out, nil
+		}
+		out.BodyKind = BodyJSON
+		out.BodyJSON = v
+	default:
+		out.BodyKind = BodyRaw
+		out.BodyRaw = body
+	}
+	return out, nil
+}
+
+func sortedQueryKeys(v url.Values) []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedHeaderKeys(h http.Header) []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Response is a captured HTTP response.
+type Response struct {
+	Status int
+	Header []Field
+	Body   []byte
+
+	jsonOnce bool
+	jsonVal  any
+	jsonErr  error
+}
+
+// Clone deep-copies the response (without the parsed-JSON cache).
+func (r *Response) Clone() *Response {
+	return &Response{
+		Status: r.Status,
+		Header: append([]Field(nil), r.Header...),
+		Body:   append([]byte(nil), r.Body...),
+	}
+}
+
+// GetHeader returns the first header value for key (case-insensitive).
+func (r *Response) GetHeader(key string) (string, bool) {
+	for _, f := range r.Header {
+		if strings.EqualFold(f.Key, key) {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// JSON lazily parses the body as JSON, caching the result.
+func (r *Response) JSON() (any, error) {
+	if !r.jsonOnce {
+		r.jsonOnce = true
+		r.jsonVal, r.jsonErr = jsonpath.Decode(r.Body)
+	}
+	return r.jsonVal, r.jsonErr
+}
+
+// FromHTTPResponse captures a *http.Response, consuming its body.
+func FromHTTPResponse(resp *http.Response) (*Response, error) {
+	out := &Response{Status: resp.StatusCode}
+	for _, key := range sortedHeaderKeys(resp.Header) {
+		for _, v := range resp.Header[key] {
+			out.Header = append(out.Header, Field{Key: key, Value: v})
+		}
+	}
+	if resp.Body != nil {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("httpmsg: reading response body: %w", err)
+		}
+		resp.Body.Close()
+		out.Body = b
+	}
+	return out, nil
+}
+
+// WriteTo writes the response through a http.ResponseWriter.
+func (r *Response) WriteTo(w http.ResponseWriter) error {
+	for _, f := range r.Header {
+		w.Header().Add(f.Key, f.Value)
+	}
+	w.WriteHeader(r.Status)
+	_, err := w.Write(r.Body)
+	return err
+}
+
+// Transaction pairs a request with its response — the unit the paper calls a
+// "network transaction".
+type Transaction struct {
+	Request  *Request
+	Response *Response
+}
+
+// ServeViaHandler performs a transaction against an in-process http.Handler,
+// bypassing the network. Tools (the verification phase, the analyzers) use
+// it to exercise origin logic without sockets.
+func ServeViaHandler(h http.Handler, r *Request) (*Response, error) {
+	hreq, err := r.ToHTTP()
+	if err != nil {
+		return nil, err
+	}
+	hreq.Host = r.Host
+	hreq.RemoteAddr = "127.0.0.1:0"
+	rec := &memoryRecorder{status: http.StatusOK, header: http.Header{}}
+	h.ServeHTTP(rec, hreq)
+	out := &Response{Status: rec.status}
+	for _, key := range sortedHeaderKeys(rec.header) {
+		for _, v := range rec.header[key] {
+			out.Header = append(out.Header, Field{Key: key, Value: v})
+		}
+	}
+	out.Body = rec.body.Bytes()
+	return out, nil
+}
+
+// memoryRecorder is a minimal in-memory http.ResponseWriter.
+type memoryRecorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (m *memoryRecorder) Header() http.Header { return m.header }
+
+func (m *memoryRecorder) WriteHeader(status int) { m.status = status }
+
+func (m *memoryRecorder) Write(p []byte) (int, error) { return m.body.Write(p) }

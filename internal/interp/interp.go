@@ -1,0 +1,500 @@
+// Package interp executes AIR programs.
+//
+// The interpreter is the "Dalvik VM" of the emulated device: UI event
+// handlers of the synthetic apps run here, construct HTTP requests through
+// the semantic APIs, execute them via an injected transport, parse JSON
+// responses, and render screens. Because it consumes the same AIR the static
+// analyzer consumes, the traffic it generates is ground truth for the
+// analyzer's signatures.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+
+	"appx/internal/air"
+	"appx/internal/httpmsg"
+	"appx/internal/jsonpath"
+)
+
+// Transport performs a single HTTP transaction on behalf of the app.
+type Transport interface {
+	RoundTrip(*httpmsg.Request) (*httpmsg.Response, error)
+}
+
+// TransportFunc adapts a function to Transport.
+type TransportFunc func(*httpmsg.Request) (*httpmsg.Response, error)
+
+// RoundTrip implements Transport.
+func (f TransportFunc) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) { return f(r) }
+
+// DeviceProps are the run-time values static analysis cannot know (§4.2 of
+// the paper: "device-specific values (e.g., user-agent request header)").
+type DeviceProps struct {
+	UserAgent  string
+	Locale     string
+	AppVersion string
+	// Flags drive run-time branch conditions (device.flag), producing the
+	// paper's Figure-8 instance classes.
+	Flags map[string]bool
+}
+
+// Hooks observe app-level events during execution.
+type Hooks struct {
+	// OnTransaction fires after each completed HTTP transaction.
+	OnTransaction func(*httpmsg.Transaction)
+	// OnRender fires when the app renders a screen (ui.render).
+	OnRender func(screen string)
+	// OnImage fires when the app displays an image blob (ui.showImage).
+	OnImage func(bytes int)
+}
+
+// Env is one app execution environment — the mutable device/session state
+// shared across handler invocations.
+type Env struct {
+	Prog      *air.Program
+	Transport Transport
+	Device    DeviceProps
+	Hooks     Hooks
+
+	// MaxSteps bounds total executed instructions per Call to catch runaway
+	// programs; 0 means the default of 1,000,000.
+	MaxSteps int
+
+	mu      sync.Mutex
+	intents map[string]Value
+	cookies map[string]string
+
+	steps int
+}
+
+// NewEnv builds an execution environment for a verified program.
+func NewEnv(prog *air.Program, tr Transport, dev DeviceProps) *Env {
+	return &Env{
+		Prog:      prog,
+		Transport: tr,
+		Device:    dev,
+		intents:   make(map[string]Value),
+		cookies:   make(map[string]string),
+	}
+}
+
+// Cookie returns the stored cookie for host.
+func (e *Env) Cookie(host string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cookies[host]
+}
+
+// errTooManySteps aborts runaway executions.
+var errTooManySteps = errors.New("interp: step budget exhausted")
+
+// Call invokes a method by qualified name with the given arguments.
+func (e *Env) Call(qualified string, args ...Value) (Value, error) {
+	e.steps = 0
+	return e.call(qualified, args)
+}
+
+func (e *Env) call(qualified string, args []Value) (Value, error) {
+	m := e.Prog.Method(qualified)
+	if m == nil {
+		return nil, fmt.Errorf("interp: unknown method %q", qualified)
+	}
+	if len(args) != m.NumParams {
+		return nil, fmt.Errorf("interp: %s wants %d args, got %d", qualified, m.NumParams, len(args))
+	}
+	regs := make([]Value, m.NumRegs)
+	copy(regs, args)
+
+	bi := 0
+	for {
+		if bi < 0 || bi >= len(m.Blocks) {
+			return nil, fmt.Errorf("interp: %s: fell off block range at b%d", qualified, bi)
+		}
+		blk := m.Blocks[bi]
+		jumped := false
+		for ii := 0; ii < len(blk.Instrs); ii++ {
+			in := blk.Instrs[ii]
+			maxSteps := e.MaxSteps
+			if maxSteps == 0 {
+				maxSteps = 1_000_000
+			}
+			if e.steps++; e.steps > maxSteps {
+				return nil, errTooManySteps
+			}
+			switch in.Op {
+			case air.OpConstStr:
+				regs[in.Dst] = in.Str
+			case air.OpConstInt:
+				regs[in.Dst] = in.Int
+			case air.OpConstBool:
+				regs[in.Dst] = in.Int != 0
+			case air.OpMove:
+				regs[in.Dst] = regs[in.A]
+			case air.OpConcat:
+				regs[in.Dst] = ToString(regs[in.A]) + ToString(regs[in.B])
+			case air.OpNewObject:
+				regs[in.Dst] = &Object{Class: in.Sym, Fields: map[string]Value{}}
+			case air.OpIPut:
+				obj, ok := regs[in.A].(*Object)
+				if !ok {
+					return nil, fmt.Errorf("interp: %s b%d[%d]: iput on non-object %T", qualified, bi, ii, regs[in.A])
+				}
+				obj.Fields[in.Sym] = regs[in.B]
+			case air.OpIGet:
+				obj, ok := regs[in.A].(*Object)
+				if !ok {
+					return nil, fmt.Errorf("interp: %s b%d[%d]: iget on non-object %T", qualified, bi, ii, regs[in.A])
+				}
+				regs[in.Dst] = obj.Fields[in.Sym]
+			case air.OpNewMap:
+				regs[in.Dst] = &MapObj{M: map[string]Value{}}
+			case air.OpMapPut:
+				mo, ok := regs[in.A].(*MapObj)
+				if !ok {
+					return nil, fmt.Errorf("interp: %s b%d[%d]: map-put on %T", qualified, bi, ii, regs[in.A])
+				}
+				mo.M[in.Sym] = regs[in.B]
+			case air.OpMapGet:
+				switch src := regs[in.A].(type) {
+				case *MapObj:
+					regs[in.Dst] = src.M[in.Sym]
+				case map[string]any:
+					regs[in.Dst] = src[in.Sym]
+				default:
+					return nil, fmt.Errorf("interp: %s b%d[%d]: map-get on %T", qualified, bi, ii, regs[in.A])
+				}
+			case air.OpNewList:
+				regs[in.Dst] = &ListObj{}
+			case air.OpListAdd:
+				lo, ok := regs[in.A].(*ListObj)
+				if !ok {
+					return nil, fmt.Errorf("interp: %s b%d[%d]: list-add on %T", qualified, bi, ii, regs[in.A])
+				}
+				lo.Items = append(lo.Items, regs[in.B])
+			case air.OpInvoke:
+				callArgs := make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					callArgs[i] = regs[a]
+				}
+				v, err := e.call(in.Sym, callArgs)
+				if err != nil {
+					return nil, err
+				}
+				regs[in.Dst] = v
+			case air.OpCallAPI:
+				callArgs := make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					callArgs[i] = regs[a]
+				}
+				v, err := e.callAPI(in.Sym, callArgs)
+				if err != nil {
+					return nil, fmt.Errorf("interp: %s b%d[%d] %s: %w", qualified, bi, ii, in.Sym, err)
+				}
+				regs[in.Dst] = v
+			case air.OpIf:
+				if Truthy(regs[in.A]) {
+					bi = in.Target
+					jumped = true
+				}
+			case air.OpIfNull:
+				if regs[in.A] == nil {
+					bi = in.Target
+					jumped = true
+				}
+			case air.OpGoto:
+				bi = in.Target
+				jumped = true
+			case air.OpForEach:
+				items, ok := elements(regs[in.A])
+				if !ok {
+					return nil, fmt.Errorf("interp: %s b%d[%d]: for-each over %T", qualified, bi, ii, regs[in.A])
+				}
+				extra := make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					extra[i] = regs[a]
+				}
+				for _, item := range items {
+					callArgs := append([]Value{item}, extra...)
+					if _, err := e.call(in.Sym, callArgs); err != nil {
+						return nil, err
+					}
+				}
+			case air.OpReturn:
+				if in.A == air.NoReg {
+					return nil, nil
+				}
+				return regs[in.A], nil
+			default:
+				return nil, fmt.Errorf("interp: %s: unsupported op %v", qualified, in.Op)
+			}
+			if jumped {
+				break
+			}
+		}
+		if !jumped {
+			bi++ // fall through
+		}
+	}
+}
+
+func (e *Env) callAPI(api string, args []Value) (Value, error) {
+	switch api {
+	case air.APIHTTPNewRequest:
+		return &ReqHandle{Req: &httpmsg.Request{Method: strings.ToUpper(ToString(args[0])), Scheme: "http"}}, nil
+
+	case air.APIHTTPSetURL:
+		rh, err := reqArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		raw := ToString(args[1])
+		u, perr := url.Parse(raw)
+		if perr != nil || u.Host == "" {
+			return nil, fmt.Errorf("bad URL %q: %v", raw, perr)
+		}
+		rh.Req.Scheme = "http" // emulation is plaintext regardless of app scheme
+		rh.Req.Host = u.Host
+		rh.Req.Path = u.Path
+		for _, k := range sortedKeys(u.Query()) {
+			for _, v := range u.Query()[k] {
+				rh.Req.Query = append(rh.Req.Query, httpmsg.Field{Key: k, Value: v})
+			}
+		}
+		return nil, nil
+
+	case air.APIHTTPAddQuery:
+		rh, err := reqArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rh.Req.Query = append(rh.Req.Query, httpmsg.Field{Key: ToString(args[1]), Value: ToString(args[2])})
+		return nil, nil
+
+	case air.APIHTTPAddHeader:
+		rh, err := reqArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rh.Req.Header = append(rh.Req.Header, httpmsg.Field{Key: ToString(args[1]), Value: ToString(args[2])})
+		return nil, nil
+
+	case air.APIHTTPSetBodyField:
+		rh, err := reqArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rh.Req.BodyKind = httpmsg.BodyForm
+		rh.Req.BodyForm = append(rh.Req.BodyForm, httpmsg.Field{Key: ToString(args[1]), Value: ToString(args[2])})
+		return nil, nil
+
+	case air.APIHTTPExecute:
+		rh, err := reqArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if e.Transport == nil {
+			return nil, errors.New("no transport configured")
+		}
+		req := rh.Req.Clone()
+		resp, err := e.Transport.RoundTrip(req)
+		if err != nil {
+			return nil, fmt.Errorf("execute %s %s: %w", req.Method, req.URL(), err)
+		}
+		e.absorbCookies(req.Host, resp)
+		if e.Hooks.OnTransaction != nil {
+			e.Hooks.OnTransaction(&httpmsg.Transaction{Request: req, Response: resp})
+		}
+		return &RespHandle{Resp: resp}, nil
+
+	case air.APIHTTPRespBody:
+		resp, err := respArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, jerr := resp.Resp.JSON()
+		if jerr != nil {
+			return nil, nil // non-JSON body (e.g. image): app sees null
+		}
+		return v, nil
+
+	case air.APIJSONGet:
+		path, err := jsonpath.Parse(ToString(args[1]))
+		if err != nil {
+			return nil, err
+		}
+		vals := jsonpath.Extract(args[0], path)
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		if path.HasWildcard() {
+			return vals, nil // wildcard paths yield the whole fan-out
+		}
+		return vals[0], nil
+
+	case air.APIListGet:
+		items, ok := elements(args[0])
+		if !ok {
+			return nil, fmt.Errorf("list.get over %T", args[0])
+		}
+		idx := int(asInt(args[1]))
+		if idx < 0 || idx >= len(items) {
+			return nil, nil
+		}
+		return items[idx], nil
+	case air.APIListLen:
+		items, ok := elements(args[0])
+		if !ok {
+			return nil, fmt.Errorf("list.len over %T", args[0])
+		}
+		return int64(len(items)), nil
+
+	case air.APIDeviceUserAgent:
+		return e.Device.UserAgent, nil
+	case air.APIDeviceLocale:
+		return e.Device.Locale, nil
+	case air.APIDeviceVersion:
+		return e.Device.AppVersion, nil
+	case air.APIDeviceCookie:
+		return e.Cookie(ToString(args[0])), nil
+	case air.APIDeviceFlag:
+		return e.Device.Flags[ToString(args[0])], nil
+
+	case air.APIIntentPut:
+		e.mu.Lock()
+		e.intents[ToString(args[0])] = args[1]
+		e.mu.Unlock()
+		return nil, nil
+	case air.APIIntentGet:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.intents[ToString(args[0])], nil
+
+	case air.APIRxJust:
+		v := args[0]
+		return &Observable{force: func() (Value, error) { return v, nil }}, nil
+	case air.APIRxDefer:
+		name := ToString(args[0])
+		return &Observable{force: func() (Value, error) { return e.call(name, nil) }}, nil
+	case air.APIRxMap:
+		src, err := obsArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		name := ToString(args[1])
+		return &Observable{force: func() (Value, error) {
+			v, err := src.force()
+			if err != nil {
+				return nil, err
+			}
+			return e.call(name, []Value{v})
+		}}, nil
+	case air.APIRxFlatMap:
+		src, err := obsArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		name := ToString(args[1])
+		return &Observable{force: func() (Value, error) {
+			v, err := src.force()
+			if err != nil {
+				return nil, err
+			}
+			inner, err := e.call(name, []Value{v})
+			if err != nil {
+				return nil, err
+			}
+			io, ok := inner.(*Observable)
+			if !ok {
+				return nil, fmt.Errorf("rx.flatMap mapper %s returned %T, want observable", name, inner)
+			}
+			return io.force()
+		}}, nil
+	case air.APIRxSubscribe:
+		src, err := obsArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := src.force()
+		if err != nil {
+			return nil, err
+		}
+		return e.call(ToString(args[1]), []Value{v})
+
+	case air.APIUIRender:
+		if e.Hooks.OnRender != nil {
+			e.Hooks.OnRender(ToString(args[0]))
+		}
+		return nil, nil
+	case air.APIUIShowImage:
+		n := 0
+		if rh, ok := args[0].(*RespHandle); ok {
+			n = len(rh.Resp.Body)
+		}
+		if e.Hooks.OnImage != nil {
+			e.Hooks.OnImage(n)
+		}
+		return nil, nil
+	case air.APIJSONForEach:
+		return nil, errors.New("json.forEach is expressed as OpForEach over json.get")
+	}
+	return nil, fmt.Errorf("unknown API %q", api)
+}
+
+// absorbCookies stores Set-Cookie values in the device cookie jar (the name
+// before '=' through the first ';').
+func (e *Env) absorbCookies(host string, resp *httpmsg.Response) {
+	for _, f := range resp.Header {
+		if !strings.EqualFold(f.Key, "Set-Cookie") {
+			continue
+		}
+		v := f.Value
+		if i := strings.IndexByte(v, ';'); i >= 0 {
+			v = v[:i]
+		}
+		e.mu.Lock()
+		e.cookies[host] = v
+		e.mu.Unlock()
+	}
+}
+
+func reqArg(v Value) (*ReqHandle, error) {
+	rh, ok := v.(*ReqHandle)
+	if !ok {
+		return nil, fmt.Errorf("expected request handle, got %T", v)
+	}
+	return rh, nil
+}
+
+func respArg(v Value) (*RespHandle, error) {
+	rh, ok := v.(*RespHandle)
+	if !ok {
+		return nil, fmt.Errorf("expected response handle, got %T", v)
+	}
+	return rh, nil
+}
+
+func obsArg(v Value) (*Observable, error) {
+	o, ok := v.(*Observable)
+	if !ok {
+		return nil, fmt.Errorf("expected observable, got %T", v)
+	}
+	return o, nil
+}
+
+func sortedKeys(v url.Values) []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	// insertion sort; query maps are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

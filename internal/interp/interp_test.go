@@ -1,0 +1,448 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"appx/internal/air"
+	"appx/internal/httpmsg"
+)
+
+// fakeServer routes requests by path, recording them.
+type fakeServer struct {
+	got  []*httpmsg.Request
+	fail bool
+}
+
+func (s *fakeServer) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) {
+	s.got = append(s.got, r)
+	if s.fail {
+		return nil, fmt.Errorf("server down")
+	}
+	switch r.Path {
+	case "/api/get-feed":
+		return &httpmsg.Response{
+			Status: 200,
+			Header: []httpmsg.Field{{Key: "Set-Cookie", Value: "bsid=c38e; Path=/"}, {Key: "Content-Type", Value: "application/json"}},
+			Body:   []byte(`{"data":{"products":[{"product_info":{"id":"09cf"}},{"product_info":{"id":"3gf3"}}]}}`),
+		}, nil
+	case "/product/get":
+		cid, _ := r.GetForm("cid")
+		return &httpmsg.Response{
+			Status: 200,
+			Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+			Body:   []byte(`{"detail":{"cid":"` + cid + `"}}`),
+		}, nil
+	case "/img":
+		return &httpmsg.Response{Status: 200, Body: make([]byte, 1024)}, nil
+	default:
+		return &httpmsg.Response{Status: 404, Body: []byte(`{"error":"nf"}`)}, nil
+	}
+}
+
+// buildWishlike compiles a miniature Wish-like app: feed → per-item detail
+// (cid from feed id), with a branch-conditional body field and an image per
+// item.
+func buildWishlike(t testing.TB) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Main", air.KindActivity)
+
+	m := c.Method("launch", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://wish.example/api/get-feed"))
+	m.CallAPI(air.APIHTTPAddHeader, req, m.ConstStr("User-Agent"), m.CallAPI(air.APIDeviceUserAgent))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	ids := m.CallAPI(air.APIJSONGet, body, m.ConstStr("data.products[*].product_info.id"))
+	m.ForEach(ids, "Main.loadDetail")
+	m.CallAPI(air.APIUIRender, m.ConstStr("feed"))
+	m.Done()
+
+	d := c.Method("loadDetail", 1)
+	dreq := d.CallAPI(air.APIHTTPNewRequest, d.ConstStr("POST"))
+	d.CallAPI(air.APIHTTPSetURL, dreq, d.ConstStr("http://wish.example/product/get"))
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("cid"), d.Param(0))
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("_client"), d.ConstStr("android"))
+	skip := d.Block()
+	cont := d.Block()
+	flag := d.CallAPI(air.APIDeviceFlag, d.ConstStr("no_credit"))
+	d.If(flag, skip)
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("credit_id"), d.CallAPI(air.APIDeviceVersion))
+	d.Goto(cont)
+	d.Enter(skip)
+	d.Goto(cont)
+	d.Enter(cont)
+	dresp := d.CallAPI(air.APIHTTPExecute, dreq)
+	_ = dresp
+	ireq := d.CallAPI(air.APIHTTPNewRequest, d.ConstStr("GET"))
+	iurl := d.StrConcat("http://img.wish.example/img?cid=", d.Param(0))
+	d.CallAPI(air.APIHTTPSetURL, ireq, iurl)
+	iresp := d.CallAPI(air.APIHTTPExecute, ireq)
+	d.CallAPI(air.APIUIShowImage, iresp)
+	d.CallAPI(air.APIUIRender, d.ConstStr("detail"))
+	d.Done()
+
+	return pb.MustBuild()
+}
+
+func TestEndToEndFanOut(t *testing.T) {
+	srv := &fakeServer{}
+	env := NewEnv(buildWishlike(t), srv, DeviceProps{UserAgent: "UA/1", AppVersion: "4.13.0"})
+	var renders []string
+	var images int
+	env.Hooks.OnRender = func(s string) { renders = append(renders, s) }
+	env.Hooks.OnImage = func(n int) { images += n }
+
+	if _, err := env.Call("Main.launch"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	// 1 feed + 2 details + 2 images
+	if len(srv.got) != 5 {
+		t.Fatalf("requests = %d, want 5", len(srv.got))
+	}
+	if ua, _ := srv.got[0].GetHeader("User-Agent"); ua != "UA/1" {
+		t.Fatalf("user agent = %q", ua)
+	}
+	if cid, _ := srv.got[1].GetForm("cid"); cid != "09cf" {
+		t.Fatalf("first detail cid = %q", cid)
+	}
+	if cid, _ := srv.got[3].GetForm("cid"); cid != "3gf3" {
+		t.Fatalf("second detail cid = %q", cid)
+	}
+	if v, ok := srv.got[1].GetForm("credit_id"); !ok || v != "4.13.0" {
+		t.Fatalf("credit_id = %q %v (flag off: field expected)", v, ok)
+	}
+	if q, _ := srv.got[2].GetQuery("cid"); q != "09cf" {
+		t.Fatalf("image query cid = %q", q)
+	}
+	if images != 2048 {
+		t.Fatalf("images bytes = %d", images)
+	}
+	if len(renders) != 3 || renders[2] != "feed" {
+		t.Fatalf("renders = %v", renders)
+	}
+}
+
+func TestBranchConditionDropsField(t *testing.T) {
+	srv := &fakeServer{}
+	env := NewEnv(buildWishlike(t), srv, DeviceProps{Flags: map[string]bool{"no_credit": true}})
+	if _, err := env.Call("Main.launch"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if _, ok := srv.got[1].GetForm("credit_id"); ok {
+		t.Fatal("credit_id present despite no_credit flag")
+	}
+}
+
+func TestCookieJar(t *testing.T) {
+	srv := &fakeServer{}
+	env := NewEnv(buildWishlike(t), srv, DeviceProps{})
+	if _, err := env.Call("Main.launch"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := env.Cookie("wish.example"); got != "bsid=c38e" {
+		t.Fatalf("cookie = %q", got)
+	}
+}
+
+func TestIntentFlow(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	a := pb.Class("A", air.KindActivity)
+	m := a.Method("go", 0)
+	m.CallAPI(air.APIIntentPut, m.ConstStr("item_id"), m.ConstStr("e5f"))
+	r := m.Invoke("B.onCreate")
+	m.Return(r)
+	m.Done()
+	b := pb.Class("B", air.KindActivity)
+	bm := b.Method("onCreate", 0)
+	id := bm.CallAPI(air.APIIntentGet, bm.ConstStr("item_id"))
+	bm.Return(id)
+	bm.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	v, err := env.Call("A.go")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if v != "e5f" {
+		t.Fatalf("intent value = %v", v)
+	}
+}
+
+func TestRxPipeline(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+
+	double := c.Method("double", 1)
+	double.Return(double.Concat(double.Param(0), double.Param(0)))
+	double.Done()
+
+	inner := c.Method("inner", 1)
+	o := inner.CallAPI(air.APIRxJust, inner.ConcatStr(inner.Param(0), "!"))
+	inner.Return(o)
+	inner.Done()
+
+	sink := c.Method("sink", 1)
+	sink.Return(sink.Param(0))
+	sink.Done()
+
+	m := c.Method("run", 0)
+	src := m.CallAPI(air.APIRxJust, m.ConstStr("ab"))
+	mapped := m.CallAPI(air.APIRxMap, src, m.ConstStr("C.double"))
+	flat := m.CallAPI(air.APIRxFlatMap, mapped, m.ConstStr("C.inner"))
+	out := m.CallAPI(air.APIRxSubscribe, flat, m.ConstStr("C.sink"))
+	m.Return(out)
+	m.Done()
+
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	v, err := env.Call("C.run")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if v != "abab!" {
+		t.Fatalf("rx result = %v, want abab!", v)
+	}
+}
+
+func TestRxDefer(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	prod := c.Method("produce", 0)
+	prod.Return(prod.ConstStr("lazy"))
+	prod.Done()
+	sink := c.Method("sink", 1)
+	sink.Return(sink.Param(0))
+	sink.Done()
+	m := c.Method("run", 0)
+	o := m.CallAPI(air.APIRxDefer, m.ConstStr("C.produce"))
+	res := m.CallAPI(air.APIRxSubscribe, o, m.ConstStr("C.sink"))
+	m.Return(res)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	v, err := env.Call("C.run")
+	if err != nil || v != "lazy" {
+		t.Fatalf("rx.defer = %v, %v", v, err)
+	}
+}
+
+func TestTransportErrorPropagates(t *testing.T) {
+	srv := &fakeServer{fail: true}
+	env := NewEnv(buildWishlike(t), srv, DeviceProps{})
+	if _, err := env.Call("Main.launch"); err == nil {
+		t.Fatal("expected transport error")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("loop", 0)
+	m.Goto(0)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	env.MaxSteps = 1000
+	if _, err := env.Call("C.loop"); err == nil {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestObjectFieldsAndMaps(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("run", 0)
+	obj := m.NewObject("Holder")
+	m.IPut(obj, "name", m.ConstStr("silk"))
+	alias := m.Move(obj)
+	name := m.IGet(alias, "name")
+	mp := m.NewMap()
+	m.MapPut(mp, "k", name)
+	out := m.MapGet(mp, "k")
+	m.Return(out)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	v, err := env.Call("C.run")
+	if err != nil || v != "silk" {
+		t.Fatalf("field/map flow = %v, %v", v, err)
+	}
+}
+
+func TestListOps(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	add := c.Method("accum", 2) // (item, acc)
+	acc := add.Param(1)
+	add.IPut(acc, "last", add.Param(0))
+	add.Done()
+	m := c.Method("run", 0)
+	l := m.NewList()
+	m.ListAdd(l, m.ConstStr("a"))
+	m.ListAdd(l, m.ConstStr("b"))
+	accObj := m.NewObject("Acc")
+	m.ForEach(l, "C.accum", accObj)
+	m.Return(m.IGet(accObj, "last"))
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	v, err := env.Call("C.run")
+	if err != nil || v != "b" {
+		t.Fatalf("list foreach = %v, %v", v, err)
+	}
+}
+
+func TestTruthyToString(t *testing.T) {
+	if Truthy(nil) || Truthy(false) || Truthy(int64(0)) || Truthy("") {
+		t.Fatal("falsy values misjudged")
+	}
+	if !Truthy(true) || !Truthy(int64(2)) || !Truthy("x") || !Truthy(&Object{}) {
+		t.Fatal("truthy values misjudged")
+	}
+	if ToString(int64(42)) != "42" || ToString(float64(30)) != "30" || ToString(true) != "true" || ToString(nil) != "" {
+		t.Fatal("ToString wrong")
+	}
+	if ToString(1.5) != "1.5" {
+		t.Fatalf("ToString(1.5) = %q", ToString(1.5))
+	}
+}
+
+func TestUnknownMethodAndArity(t *testing.T) {
+	env := NewEnv(buildWishlike(t), nil, DeviceProps{})
+	if _, err := env.Call("Nope.nothing"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := env.Call("Main.loadDetail"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestJSONGetScalarVsWildcard(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("run", 1)
+	v := m.CallAPI(air.APIJSONGet, m.Param(0), m.ConstStr("a.b"))
+	m.Return(v)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	doc := map[string]any{"a": map[string]any{"b": "deep"}}
+	got, err := env.Call("C.run", doc)
+	if err != nil || got != "deep" {
+		t.Fatalf("json.get scalar = %v, %v", got, err)
+	}
+	missing, err := env.Call("C.run", map[string]any{})
+	if err != nil || missing != nil {
+		t.Fatalf("json.get missing = %v, %v", missing, err)
+	}
+}
+
+func TestOnTransactionHook(t *testing.T) {
+	srv := &fakeServer{}
+	env := NewEnv(buildWishlike(t), srv, DeviceProps{})
+	var txns []*httpmsg.Transaction
+	env.Hooks.OnTransaction = func(txn *httpmsg.Transaction) { txns = append(txns, txn) }
+	if _, err := env.Call("Main.launch"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if len(txns) != 5 {
+		t.Fatalf("transactions observed = %d, want 5", len(txns))
+	}
+	if txns[0].Response.Status != 200 {
+		t.Fatalf("status = %d", txns[0].Response.Status)
+	}
+}
+
+func TestIfNullRuntime(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("pick", 1)
+	nullArm := m.Block()
+	m.IfNull(m.Param(0), nullArm)
+	a := m.ConstStr("non-null")
+	m.Return(a)
+	m.Enter(nullArm)
+	b := m.ConstStr("was-null")
+	m.Return(b)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	if v, err := env.Call("C.pick", nil); err != nil || v != "was-null" {
+		t.Fatalf("null arm = %v, %v", v, err)
+	}
+	if v, err := env.Call("C.pick", "x"); err != nil || v != "non-null" {
+		t.Fatalf("non-null arm = %v, %v", v, err)
+	}
+}
+
+func TestAsInt(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want int64
+	}{
+		{int64(7), 7}, {float64(3.9), 3}, {"12", 12}, {"12x", 12}, {"x", 0},
+		{true, 1}, {false, 0}, {nil, 0},
+	}
+	for _, c := range cases {
+		if got := asInt(c.in); got != c.want {
+			t.Errorf("asInt(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestListGetOutOfRange(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("run", 2)
+	v := m.CallAPI(air.APIListGet, m.Param(0), m.Param(1))
+	m.Return(v)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	list := []any{"a", "b"}
+	got, err := env.Call("C.run", list, "1")
+	if err != nil || got != "b" {
+		t.Fatalf("list.get = %v, %v", got, err)
+	}
+	got, err = env.Call("C.run", list, "9")
+	if err != nil || got != nil {
+		t.Fatalf("out of range = %v, %v (want nil)", got, err)
+	}
+}
+
+func TestListLen(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("run", 1)
+	n := m.CallAPI(air.APIListLen, m.Param(0))
+	m.Return(n)
+	m.Done()
+	env := NewEnv(pb.MustBuild(), nil, DeviceProps{})
+	got, err := env.Call("C.run", []any{"a", "b", "c"})
+	if err != nil || got != int64(3) {
+		t.Fatalf("list.len = %v, %v", got, err)
+	}
+}
+
+func TestCookieJarPerHost(t *testing.T) {
+	srv := interp_testMultiHost{}
+	pb := air.NewProgramBuilder()
+	c := pb.Class("C", air.KindPlain)
+	m := c.Method("run", 0)
+	for _, host := range []string{"a.example", "b.example"} {
+		req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+		m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://"+host+"/"))
+		m.CallAPI(air.APIHTTPExecute, req)
+	}
+	m.Done()
+	env := NewEnv(pb.MustBuild(), srv, DeviceProps{})
+	if _, err := env.Call("C.run"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Cookie("a.example") != "sid=a" || env.Cookie("b.example") != "sid=b" {
+		t.Fatalf("cookies = %q / %q", env.Cookie("a.example"), env.Cookie("b.example"))
+	}
+}
+
+type interp_testMultiHost struct{}
+
+func (interp_testMultiHost) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) {
+	return &httpmsg.Response{
+		Status: 200,
+		Header: []httpmsg.Field{{Key: "Set-Cookie", Value: "sid=" + r.Host[:1] + "; Path=/"}},
+		Body:   []byte(`{}`),
+	}, nil
+}

@@ -1,0 +1,139 @@
+package interp
+
+import (
+	"fmt"
+
+	"appx/internal/httpmsg"
+)
+
+// Value is a run-time AIR value. The concrete types are:
+//
+//	nil            null
+//	string         string
+//	int64          integer
+//	bool           boolean
+//	*Object        class instance
+//	*MapObj        mutable map
+//	*ListObj       mutable list
+//	map[string]any / []any / float64   parsed JSON (encoding/json shapes)
+//	*ReqHandle     HTTP request under construction
+//	*RespHandle    received HTTP response
+//	*Observable    Rx observable
+type Value = any
+
+// Object is a heap-allocated class instance.
+type Object struct {
+	Class  string
+	Fields map[string]Value
+}
+
+// MapObj is a mutable string-keyed map.
+type MapObj struct {
+	M map[string]Value
+}
+
+// ListObj is a mutable list.
+type ListObj struct {
+	Items []Value
+}
+
+// ReqHandle wraps an httpmsg.Request being built by the app.
+type ReqHandle struct {
+	Req *httpmsg.Request
+}
+
+// RespHandle wraps a received response.
+type RespHandle struct {
+	Resp *httpmsg.Response
+}
+
+// Observable is a single-value Rx source evaluated on subscription.
+type Observable struct {
+	// force computes the value; it is invoked once per subscription.
+	force func() (Value, error)
+}
+
+// Truthy implements AIR branch semantics: false, 0, "", and null are falsy;
+// everything else (including empty containers) is truthy.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// ToString renders a value the way string concatenation in the app would.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// asInt coerces a value to an integer (strings parsed leniently, digits only).
+func asInt(v Value) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	case string:
+		var n int64
+		for _, r := range x {
+			if r < '0' || r > '9' {
+				return n
+			}
+			n = n*10 + int64(r-'0')
+		}
+		return n
+	case bool:
+		if x {
+			return 1
+		}
+	}
+	return 0
+}
+
+// elements returns the iterable items of a list-like value for OpForEach.
+func elements(v Value) ([]Value, bool) {
+	switch x := v.(type) {
+	case *ListObj:
+		return x.Items, true
+	case []any:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = e
+		}
+		return out, true
+	case nil:
+		return nil, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,136 @@
+package lab
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"appx/internal/apps"
+	"appx/internal/config"
+	"appx/internal/netem"
+	"appx/internal/static"
+)
+
+func TestNewLabLifecycle(t *testing.T) {
+	l, err := New(Options{App: apps.Postmates(), Scale: 0.02, Prefetch: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer l.Close()
+	if l.Graph == nil || len(l.Graph.Sigs) == 0 {
+		t.Fatal("no analysis output")
+	}
+	if l.Config == nil {
+		t.Fatal("no config")
+	}
+	if l.ProxyAddr() == "" {
+		t.Fatal("no proxy address")
+	}
+	// The proxy must answer HTTP on its listener.
+	resp, err := http.Get("http://" + l.ProxyAddr() + "/")
+	if err != nil {
+		t.Fatalf("proxy not reachable: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestNewLabValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+func TestScaleLink(t *testing.T) {
+	l := scaleLink(netem.Link{RTT: 100 * time.Millisecond, Bandwidth: 1000}, 0.5)
+	if l.RTT != 50*time.Millisecond {
+		t.Fatalf("RTT = %v", l.RTT)
+	}
+	if l.Bandwidth != 2000 {
+		t.Fatalf("bandwidth = %d (must grow as time shrinks)", l.Bandwidth)
+	}
+	if zero := scaleLink(netem.Link{}, 0.5); zero.Bandwidth != 0 {
+		t.Fatal("unlimited bandwidth must stay unlimited")
+	}
+}
+
+func TestUnscale(t *testing.T) {
+	l := &Lab{Scale: 0.25}
+	if got := l.Unscale(time.Second); got != 4*time.Second {
+		t.Fatalf("Unscale = %v", got)
+	}
+}
+
+func TestConfigureHookApplied(t *testing.T) {
+	l, err := New(Options{
+		App: apps.Postmates(), Scale: 0.02, Prefetch: true,
+		Configure: func(c *config.Config) { c.GlobalProbability = 0.25 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Config.GlobalProbability != 0.25 {
+		t.Fatal("Configure hook not applied")
+	}
+}
+
+func TestFeaturesOverride(t *testing.T) {
+	baseline := static.BaselineFeatures()
+	l, err := New(Options{App: apps.Wish(), Scale: 0.02, Features: &baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	full, err := New(Options{App: apps.Wish(), Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if len(l.Graph.Deps) >= len(full.Graph.Deps) {
+		t.Fatalf("baseline deps %d >= full deps %d", len(l.Graph.Deps), len(full.Graph.Deps))
+	}
+}
+
+func TestDeviceEndToEnd(t *testing.T) {
+	l, err := New(Options{App: apps.Postmates(), Scale: 0.02, Prefetch: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	d, err := l.NewDevice("labuser")
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	m, err := d.Launch()
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if m.Transactions == 0 || m.Bytes == 0 {
+		t.Fatalf("launch measured nothing: %+v", m)
+	}
+}
+
+func TestRTTOverrideChangesLatency(t *testing.T) {
+	run := func(rtt time.Duration) time.Duration {
+		l, err := New(Options{App: apps.Postmates(), Scale: 0.1, Prefetch: false, ProxyOriginRTT: rtt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		d, err := l.NewDevice("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Launch(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := d.TapMain(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Network
+	}
+	if fast, slow := run(10*time.Millisecond), run(300*time.Millisecond); slow <= fast {
+		t.Fatalf("RTT override ineffective: fast=%v slow=%v", fast, slow)
+	}
+}

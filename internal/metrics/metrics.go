@@ -1,0 +1,90 @@
+// Package metrics provides the latency statistics the evaluation reports:
+// means, medians, percentiles (Figure 15 uses the 90th), and CDFs
+// (Figure 16).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) using nearest-rank on a
+// sorted copy; 0 for empty input.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Median is the 50th percentile.
+func Median(ds []time.Duration) time.Duration { return Percentile(ds, 0.5) }
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Latency time.Duration
+	Prob    float64
+}
+
+// CDF summarizes the sample distribution at n evenly spaced probabilities
+// (plus the maximum), sorted by latency.
+func CDF(ds []time.Duration, n int) []CDFPoint {
+	if len(ds) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		p := float64(i) / float64(n)
+		idx := int(p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out = append(out, CDFPoint{Latency: sorted[idx], Prob: p})
+	}
+	return out
+}
+
+// Reduction returns the fractional latency reduction from orig to accel
+// (0.47 = 47 % lower); 0 when orig is 0.
+func Reduction(orig, accel time.Duration) float64 {
+	if orig <= 0 {
+		return 0
+	}
+	r := 1 - float64(accel)/float64(orig)
+	if r < 0 {
+		return r // regressions are reported as negative reductions
+	}
+	return r
+}

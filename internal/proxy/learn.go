@@ -1,0 +1,382 @@
+package proxy
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+
+	"appx/internal/httpmsg"
+	"appx/internal/jsonpath"
+	"appx/internal/sig"
+)
+
+// Dynamic learning (§4.2 of the paper).
+//
+// Static analysis yields signatures whose patterns still contain two kinds of
+// unknowns: wildcards (device- or session-specific values such as User-Agent
+// and Cookie headers, dynamic hosts) and dependency references (values drawn
+// from predecessor responses). The proxy resolves the first kind from live
+// *successor* transactions — the most recent concrete example of the request
+// (Figure 7 case 2) — and the second kind from live *predecessor* responses
+// (Figure 7 case 1), replicating the request instance once per extracted
+// array element.
+
+// exemplar is the most recent live instance of a successor signature: the
+// source of run-time values and of the currently active instance class
+// (which optional fields are present, Figure 8).
+type exemplar struct {
+	// uriWilds holds captured values for the URI pattern's non-literal
+	// parts, in order.
+	uriWilds []string
+	// fieldWilds maps a field location ("query:k", "header:k", "form:k") to
+	// the captured values of that field pattern's non-literal parts.
+	fieldWilds map[string][]string
+	// present records which optional field locations appeared in the live
+	// request.
+	present map[string]bool
+	// headers is the live request's full header set. Real HTTP stacks add
+	// headers the app code never mentions (a default User-Agent, accept
+	// headers); for the prefetched request to be identical to the client's,
+	// those must be mimicked too — the paper's "learns missing values, such
+	// as HTTP header fields ... from the instances derived from the same
+	// signature".
+	headers []httpmsg.Field
+}
+
+// learnExemplar extracts an exemplar from a live request matching s.
+// It returns nil when the request does not actually instantiate the
+// signature's URI pattern.
+func learnExemplar(s *sig.Signature, req *httpmsg.Request) *exemplar {
+	uriWilds, ok := captureWilds(s.URI, req.Host+req.Path)
+	if !ok {
+		return nil
+	}
+	ex := &exemplar{
+		uriWilds:   uriWilds,
+		fieldWilds: map[string][]string{},
+		present:    map[string]bool{},
+		headers:    append([]httpmsg.Field(nil), req.Header...),
+	}
+	learnFields := func(where string, fields []sig.Field, get func(string) (string, bool)) {
+		for _, f := range fields {
+			loc := where + ":" + f.Key
+			v, found := get(f.Key)
+			if !found {
+				continue
+			}
+			ex.present[loc] = true
+			if wilds, ok := captureWilds(f.Value, v); ok {
+				ex.fieldWilds[loc] = wilds
+			}
+		}
+	}
+	learnFields("query", s.Query, req.GetQuery)
+	learnFields("header", s.Header, req.GetHeader)
+	learnFields("form", s.BodyForm, req.GetForm)
+	return ex
+}
+
+// captureWilds matches value against the pattern and returns the text
+// captured by each non-literal part, in order.
+func captureWilds(p sig.Pattern, value string) ([]string, bool) {
+	re, err := p.Regexp()
+	if err != nil {
+		return nil, false
+	}
+	m := re.FindStringSubmatch(value)
+	if m == nil {
+		return nil, false
+	}
+	return m[1:], true
+}
+
+// depPaths lists the distinct (PredID, RespPath) pairs appearing in the
+// signature's patterns for the given predecessor, in first-use order.
+func depPaths(s *sig.Signature, pred string) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p sig.Pattern) {
+		for _, part := range p.Parts {
+			if part.Kind == sig.Dep && part.PredID == pred && !seen[part.RespPath] {
+				seen[part.RespPath] = true
+				out = append(out, part.RespPath)
+			}
+		}
+	}
+	add(s.URI)
+	for _, f := range s.Query {
+		add(f.Value)
+	}
+	for _, f := range s.Header {
+		add(f.Value)
+	}
+	for _, f := range s.BodyForm {
+		add(f.Value)
+	}
+	for _, f := range s.BodyJSON {
+		add(f.Value)
+	}
+	return out
+}
+
+// maxFanOut bounds instances created from one predecessor response; a
+// 30-item feed stays under it, and anything larger is a server-driven
+// explosion the proxy should not amplify.
+const maxFanOut = 64
+
+// depCombos expands the predecessor response into per-instance value
+// assignments: one combination per element of the fanned-out paths
+// (cartesian across paths, capped).
+func depCombos(doc any, paths []string) []map[string]string {
+	combos := []map[string]string{{}}
+	for _, path := range paths {
+		p, err := jsonpath.Parse(path)
+		if err != nil {
+			return nil
+		}
+		vals := jsonpath.ExtractStrings(doc, p)
+		if len(vals) == 0 {
+			return nil
+		}
+		var next []map[string]string
+		for _, c := range combos {
+			for _, v := range vals {
+				nc := make(map[string]string, len(c)+1)
+				for k, vv := range c {
+					nc[k] = vv
+				}
+				nc[path] = v
+				next = append(next, nc)
+				if len(next) >= maxFanOut {
+					break
+				}
+			}
+			if len(next) >= maxFanOut {
+				break
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// resolvePattern renders a pattern using dependency values for pred and
+// exemplar-captured wildcard values (positional). ok is false while any part
+// remains unresolved.
+func resolvePattern(p sig.Pattern, pred string, combo map[string]string, wilds []string) (string, bool) {
+	var b strings.Builder
+	wi := 0
+	for _, part := range p.Parts {
+		switch part.Kind {
+		case sig.Lit:
+			b.WriteString(part.Lit)
+			continue
+		case sig.Dep:
+			if part.PredID == pred {
+				v, ok := combo[part.RespPath]
+				if !ok {
+					return "", false
+				}
+				b.WriteString(v)
+				wi++ // deps occupy a capture slot too
+				continue
+			}
+			// Dependency on a different predecessor: fall through to the
+			// exemplar value, which holds the most recently observed value
+			// for this slot.
+			fallthrough
+		case sig.Wild:
+			if wi >= len(wilds) {
+				return "", false
+			}
+			b.WriteString(wilds[wi])
+			wi++
+		}
+	}
+	return b.String(), true
+}
+
+// materialize builds one complete prefetch request for signature s from a
+// dependency combination and (optionally) an exemplar. ok is false when
+// run-time values are still missing — the instance must wait for a live
+// example (§4.2: "a prefetch request becomes ready ... when all dynamic
+// values have been resolved").
+func materialize(s *sig.Signature, pred string, combo map[string]string, ex *exemplar) (*httpmsg.Request, bool) {
+	var uriWilds []string
+	if ex != nil {
+		uriWilds = ex.uriWilds
+	}
+	uri, ok := resolvePattern(s.URI, pred, combo, uriWilds)
+	if !ok {
+		return nil, false
+	}
+	host, path, uriQuery, ok := splitURI(uri)
+	if !ok {
+		return nil, false
+	}
+	req := &httpmsg.Request{
+		Method: s.Method,
+		Scheme: "http",
+		Host:   host,
+		Path:   path,
+		Query:  uriQuery,
+	}
+
+	addFields := func(where string, fields []sig.Field, add func(k, v string)) bool {
+		for _, f := range fields {
+			loc := where + ":" + f.Key
+			if f.Optional {
+				// Optional fields follow the most recent instance class; with
+				// no exemplar they are omitted (the conservative class).
+				if ex == nil || !ex.present[loc] {
+					continue
+				}
+			}
+			var wilds []string
+			if ex != nil {
+				wilds = ex.fieldWilds[loc]
+			}
+			v, ok := resolvePattern(f.Value, pred, combo, wilds)
+			if !ok {
+				return false
+			}
+			add(f.Key, v)
+		}
+		return true
+	}
+	if !addFields("query", s.Query, func(k, v string) {
+		req.Query = append(req.Query, httpmsg.Field{Key: k, Value: v})
+	}) {
+		return nil, false
+	}
+	// Headers the app never sets but the client's HTTP stack adds (default
+	// User-Agent etc.) are mimicked from the exemplar; signature-described
+	// headers are then resolved from their patterns.
+	if ex != nil {
+		named := map[string]bool{}
+		for _, f := range s.Header {
+			named[strings.ToLower(f.Key)] = true
+		}
+		for _, h := range ex.headers {
+			if !named[strings.ToLower(h.Key)] {
+				req.Header = append(req.Header, h)
+			}
+		}
+	}
+	if !addFields("header", s.Header, func(k, v string) {
+		req.Header = append(req.Header, httpmsg.Field{Key: k, Value: v})
+	}) {
+		return nil, false
+	}
+	if s.BodyKind == httpmsg.BodyForm || len(s.BodyForm) > 0 {
+		if !addFields("form", s.BodyForm, func(k, v string) {
+			req.BodyKind = httpmsg.BodyForm
+			req.BodyForm = append(req.BodyForm, httpmsg.Field{Key: k, Value: v})
+		}) {
+			return nil, false
+		}
+	}
+	if len(s.BodyJSON) > 0 {
+		var doc any
+		for _, f := range s.BodyJSON {
+			if f.Optional && (ex == nil || !ex.present["json:"+f.Path]) {
+				continue
+			}
+			v, ok := resolvePattern(f.Value, pred, combo, nil)
+			if !ok {
+				return nil, false
+			}
+			path, err := jsonpath.Parse(f.Path)
+			if err != nil {
+				return nil, false
+			}
+			doc, err = jsonpath.Inject(doc, path, v)
+			if err != nil {
+				return nil, false
+			}
+		}
+		req.BodyKind = httpmsg.BodyJSON
+		req.BodyJSON = doc
+	}
+	return req, true
+}
+
+// splitURI decomposes a resolved URI value into host, path, and query
+// fields. Dependency values may carry complete URLs ("http://a.com/d.png",
+// Figure 3(c)'s prefetched image), so a scheme prefix and an embedded query
+// string are handled like the app's own URL parsing would.
+func splitURI(uri string) (host, path string, query []httpmsg.Field, ok bool) {
+	for _, scheme := range []string{"http://", "https://"} {
+		if strings.HasPrefix(uri, scheme) {
+			uri = uri[len(scheme):]
+			break
+		}
+	}
+	var rawQuery string
+	if qi := strings.IndexByte(uri, '?'); qi >= 0 {
+		uri, rawQuery = uri[:qi], uri[qi+1:]
+	}
+	slash := strings.IndexByte(uri, '/')
+	if slash <= 0 {
+		return "", "", nil, false
+	}
+	host, path = uri[:slash], uri[slash:]
+	if rawQuery != "" {
+		vals, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return "", "", nil, false
+		}
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, v := range vals[k] {
+				query = append(query, httpmsg.Field{Key: k, Value: v})
+			}
+		}
+	}
+	return host, path, query, true
+}
+
+// needsExemplar reports whether the signature contains run-time unknowns
+// that only a live example can resolve (wild parts, or deps on other
+// predecessors).
+func needsExemplar(s *sig.Signature, pred string) bool {
+	hasWild := func(p sig.Pattern) bool {
+		for _, part := range p.Parts {
+			if part.Kind == sig.Wild {
+				return true
+			}
+			if part.Kind == sig.Dep && part.PredID != pred {
+				return true
+			}
+		}
+		return false
+	}
+	if hasWild(s.URI) {
+		return true
+	}
+	for _, f := range s.Query {
+		if hasWild(f.Value) {
+			return true
+		}
+	}
+	for _, f := range s.Header {
+		if hasWild(f.Value) {
+			return true
+		}
+	}
+	for _, f := range s.BodyForm {
+		if hasWild(f.Value) {
+			return true
+		}
+	}
+	for _, f := range s.BodyJSON {
+		if hasWild(f.Value) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package proxy
+
+import (
+	"testing"
+
+	"appx/internal/httpmsg"
+	"appx/internal/sig"
+)
+
+func TestSplitURI(t *testing.T) {
+	cases := []struct {
+		in          string
+		host, path  string
+		queryLen    int
+		firstKey    string
+		firstVal    string
+		ok          bool
+		description string
+	}{
+		{"http://a.com/d.png", "a.com", "/d.png", 0, "", "", true, "scheme stripped"},
+		{"https://a.com/d.png", "a.com", "/d.png", 0, "", "", true, "https stripped"},
+		{"img.wish.example/img", "img.wish.example", "/img", 0, "", "", true, "schemeless"},
+		{"http://h.example/p?cid=55&z=9", "h.example", "/p", 2, "cid", "55", true, "query split"},
+		{"http://h.example/p?sp%20ace=a%26b", "h.example", "/p", 1, "sp ace", "a&b", true, "query decoding"},
+		{"no-slash-at-all", "", "", 0, "", "", false, "no path"},
+		{"/leading-slash", "", "", 0, "", "", false, "empty host"},
+		{"http://h/p?bad=%zz", "", "", 0, "", "", false, "bad escape"},
+	}
+	for _, c := range cases {
+		host, path, query, ok := splitURI(c.in)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.description, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if host != c.host || path != c.path || len(query) != c.queryLen {
+			t.Errorf("%s: got %q %q %v", c.description, host, path, query)
+		}
+		if c.queryLen > 0 && (query[0].Key != c.firstKey || query[0].Value != c.firstVal) {
+			t.Errorf("%s: first query = %+v", c.description, query[0])
+		}
+	}
+}
+
+func TestResolvePatternMissingDep(t *testing.T) {
+	p := sig.DepValue("pred", "items[*].id")
+	if _, ok := resolvePattern(p, "pred", map[string]string{}, nil); ok {
+		t.Fatal("resolved without the dependency value")
+	}
+	if got, ok := resolvePattern(p, "pred", map[string]string{"items[*].id": "x"}, nil); !ok || got != "x" {
+		t.Fatalf("resolvePattern = %q, %v", got, ok)
+	}
+}
+
+func TestMaterializeJSONBody(t *testing.T) {
+	s := &sig.Signature{
+		ID:     "t:json#0",
+		Method: "POST",
+		URI:    sig.Literal("api.example/graph"),
+		BodyJSON: []sig.JSONField{
+			{Path: "query.id", Value: sig.DepValue("t:pred#0", "top.id")},
+			{Path: "query.lang", Value: sig.Literal("en")},
+			{Path: "opts.debug", Value: sig.Literal("1"), Optional: true},
+		},
+	}
+	ex := &exemplar{fieldWilds: map[string][]string{}, present: map[string]bool{}}
+	req, ok := materialize(s, "t:pred#0", map[string]string{"top.id": "z9"}, ex)
+	if !ok {
+		t.Fatal("materialize failed")
+	}
+	if req.BodyKind != httpmsg.BodyJSON {
+		t.Fatalf("BodyKind = %v", req.BodyKind)
+	}
+	doc := req.BodyJSON.(map[string]any)
+	q := doc["query"].(map[string]any)
+	if q["id"] != "z9" || q["lang"] != "en" {
+		t.Fatalf("json body = %v", doc)
+	}
+	if _, present := doc["opts"]; present {
+		t.Fatal("optional json field included without exemplar presence")
+	}
+}
+
+func TestDepPathsOrderAndDedup(t *testing.T) {
+	s := &sig.Signature{
+		ID:     "t:s#0",
+		Method: "GET",
+		URI:    sig.Concat(sig.Literal("h/x/"), sig.DepValue("p", "b.path")),
+		Query: []sig.Field{
+			{Key: "a", Value: sig.DepValue("p", "a.path")},
+			{Key: "b", Value: sig.DepValue("p", "b.path")}, // duplicate path
+			{Key: "c", Value: sig.DepValue("other", "c.path")},
+		},
+	}
+	got := depPaths(s, "p")
+	if len(got) != 2 || got[0] != "b.path" || got[1] != "a.path" {
+		t.Fatalf("depPaths = %v", got)
+	}
+	if other := depPaths(s, "other"); len(other) != 1 || other[0] != "c.path" {
+		t.Fatalf("depPaths(other) = %v", other)
+	}
+}
+
+func TestCaptureWildsPositional(t *testing.T) {
+	p := sig.Concat(sig.Literal("k="), sig.Wildcard("w1"), sig.Literal(";v="), sig.Wildcard("w2"))
+	wilds, ok := captureWilds(p, "k=abc;v=def")
+	if !ok || len(wilds) != 2 || wilds[0] != "abc" || wilds[1] != "def" {
+		t.Fatalf("captureWilds = %v, %v", wilds, ok)
+	}
+	if _, ok := captureWilds(p, "nope"); ok {
+		t.Fatal("mismatched value captured")
+	}
+}
+
+func TestExemplarOptionalFieldClassSwitch(t *testing.T) {
+	// The proxy follows the most recent instance class (Figure 8): the
+	// exemplar flips between including and omitting the optional field.
+	s := mkSig()
+	with := &httpmsg.Request{
+		Method: "POST", Host: "h.example", Path: "/product/get",
+		Header:   []httpmsg.Field{{Key: "Cookie", Value: "c=1"}},
+		BodyKind: httpmsg.BodyForm,
+		BodyForm: []httpmsg.Field{{Key: "cid", Value: "a"}, {Key: "_client", Value: "android"}, {Key: "credit_id", Value: "cc"}},
+	}
+	without := with.Clone()
+	without.DeleteForm("credit_id")
+
+	exWith := learnExemplar(s, with)
+	exWithout := learnExemplar(s, without)
+	r1, _ := materialize(s, "t:pred#0", map[string]string{"items[*].id": "x"}, exWith)
+	r2, _ := materialize(s, "t:pred#0", map[string]string{"items[*].id": "x"}, exWithout)
+	if _, p := r1.GetForm("credit_id"); !p {
+		t.Fatal("class with credit_id lost the field")
+	}
+	if _, p := r2.GetForm("credit_id"); p {
+		t.Fatal("class without credit_id kept the field")
+	}
+}

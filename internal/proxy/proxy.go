@@ -1,0 +1,551 @@
+// Package proxy implements the APPx acceleration proxy (§4.2, §4.5, §5 of
+// the paper): a forward HTTP proxy that learns run-time values from live
+// traffic, reconstructs dependent requests ahead of time, prefetches their
+// responses with priority scheduling, and serves a prefetched response only
+// when the client's request is byte-equivalent to the prefetched one.
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appx/internal/config"
+	"appx/internal/httpmsg"
+	"appx/internal/proxy/sched"
+	"appx/internal/sig"
+)
+
+// Options configures a Proxy.
+type Options struct {
+	Graph    *sig.Graph
+	Config   *config.Config
+	Upstream Upstream
+
+	// Workers sizes the prefetch pool (default 8).
+	Workers int
+	// MaxChainDepth bounds recursive prefetching along dependency chains
+	// (default 8; Figure 3(c) prefetches chains).
+	MaxChainDepth int
+	// MaxPendingPerSig bounds instances waiting for an exemplar (default 256).
+	MaxPendingPerSig int
+	// MaxCacheEntriesPerUser bounds each user's prefetch cache (default
+	// 4096); when full, the entry closest to expiry is evicted.
+	MaxCacheEntriesPerUser int
+	// MaxUsers bounds tracked user states (default 10000); the least
+	// recently seen user is evicted when exceeded.
+	MaxUsers int
+	// DisablePrefetch turns the proxy into a plain forwarder (the "Orig"
+	// baseline of §6.2).
+	DisablePrefetch bool
+	// DisableChaining stops prefetched responses from seeding further
+	// prefetches (ablates the Figure 3(c) chain behaviour).
+	DisableChaining bool
+	// RefreshExpired re-issues the prefetch when a cached entry is found
+	// expired at lookup time, keeping hot entries warm. An extension beyond
+	// the paper, whose proxy re-learns only from the next live predecessor.
+	RefreshExpired bool
+	// Rand supplies probability draws; defaults to math/rand. Injected for
+	// deterministic tests.
+	Rand func() float64
+	// Now supplies time; defaults to time.Now. Injected for expiry tests.
+	Now func() time.Time
+	// UserKey extracts the per-user state key from a request; defaults to
+	// the client IP (§5: "the prototype distinguishes users by IP address").
+	UserKey func(*http.Request) string
+}
+
+// userHeader carries an explicit per-user tag from emulated devices; the
+// default UserKey prefers it over the client IP (all emulated devices on one
+// machine share 127.0.0.1).
+const userHeader = "X-Appx-User"
+
+// Proxy is the acceleration proxy. It implements http.Handler; point mobile
+// clients at it as their HTTP proxy.
+type Proxy struct {
+	opts  Options
+	stats *Stats
+	sched *sched.Scheduler
+
+	mu      sync.Mutex
+	users   map[string]*user
+	samples map[string]*httpmsg.Request
+
+	dataUsed atomic.Int64
+}
+
+// SampleRequest returns a successfully prefetched concrete request for the
+// signature, or nil. The verification phase uses it to probe expiration
+// times (§4.3).
+func (p *Proxy) SampleRequest(sigID string) *httpmsg.Request {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.samples[sigID]; ok {
+		return r.Clone()
+	}
+	return nil
+}
+
+// pendingInstance is a successor instance waiting for an exemplar.
+type pendingInstance struct {
+	s     *sig.Signature
+	pred  string
+	combo map[string]string
+	doc   any
+	depth int
+}
+
+// cacheEntry is one prefetched response.
+type cacheEntry struct {
+	resp    *httpmsg.Response
+	req     *httpmsg.Request
+	sigID   string
+	expires time.Time
+	used    bool
+}
+
+// user holds per-user learning state and cache (§2: "The proxy keeps track
+// of user contexts and manages prefetched response per user separately").
+type user struct {
+	key string
+
+	mu        sync.Mutex
+	exemplars map[string]*exemplar         // sigID → latest live example
+	pending   map[string][]pendingInstance // sigID → instances awaiting exemplar
+	cache     map[string]*cacheEntry       // canonical request key → response
+	issued    map[string]time.Time         // canonical keys recently prefetched
+	lastSeen  time.Time
+}
+
+// New builds a proxy.
+func New(opts Options) *Proxy {
+	if opts.Workers == 0 {
+		opts.Workers = 8
+	}
+	if opts.MaxChainDepth == 0 {
+		opts.MaxChainDepth = 8
+	}
+	if opts.MaxPendingPerSig == 0 {
+		opts.MaxPendingPerSig = 256
+	}
+	if opts.MaxCacheEntriesPerUser == 0 {
+		opts.MaxCacheEntriesPerUser = 4096
+	}
+	if opts.MaxUsers == 0 {
+		opts.MaxUsers = 10000
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Float64
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.UserKey == nil {
+		opts.UserKey = func(r *http.Request) string {
+			if u := r.Header.Get(userHeader); u != "" {
+				return u
+			}
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				return r.RemoteAddr
+			}
+			return host
+		}
+	}
+	if opts.Config == nil {
+		opts.Config = config.Default(opts.Graph)
+	}
+	p := &Proxy{
+		opts:  opts,
+		stats: NewStats(),
+		users: map[string]*user{},
+	}
+	p.sched = sched.New(opts.Workers, p.stats.Priority)
+	return p
+}
+
+// Stats exposes the proxy's counters.
+func (p *Proxy) Stats() *Stats { return p.stats }
+
+// DataUsedBytes reports total prefetch response bytes fetched so far.
+func (p *Proxy) DataUsedBytes() int64 { return p.dataUsed.Load() }
+
+// Drain waits for all queued prefetches to finish (testing/verification).
+func (p *Proxy) Drain() { p.sched.Drain() }
+
+// Close stops the prefetch workers.
+func (p *Proxy) Close() { p.sched.Close() }
+
+func (p *Proxy) user(key string) *user {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u, ok := p.users[key]
+	if !ok {
+		if len(p.users) >= p.opts.MaxUsers {
+			p.evictIdleUserLocked()
+		}
+		u = &user{
+			key:       key,
+			exemplars: map[string]*exemplar{},
+			pending:   map[string][]pendingInstance{},
+			cache:     map[string]*cacheEntry{},
+			issued:    map[string]time.Time{},
+		}
+		p.users[key] = u
+	}
+	u.lastSeen = p.opts.Now()
+	return u
+}
+
+// evictIdleUserLocked drops the least recently seen user (p.mu held).
+func (p *Proxy) evictIdleUserLocked() {
+	var oldestKey string
+	var oldest time.Time
+	for k, u := range p.users {
+		if oldestKey == "" || u.lastSeen.Before(oldest) {
+			oldestKey, oldest = k, u.lastSeen
+		}
+	}
+	if oldestKey != "" {
+		delete(p.users, oldestKey)
+	}
+}
+
+// PruneUsers drops user states idle for longer than maxIdle and returns how
+// many were removed. Long-running deployments call this periodically.
+func (p *Proxy) PruneUsers(maxIdle time.Duration) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cutoff := p.opts.Now().Add(-maxIdle)
+	n := 0
+	for k, u := range p.users {
+		if u.lastSeen.Before(cutoff) {
+			delete(p.users, k)
+			n++
+		}
+	}
+	return n
+}
+
+// UserCount reports the number of tracked user states.
+func (p *Proxy) UserCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.users)
+}
+
+// ServeHTTP handles one proxied client request (Figure 10's flow: serve
+// fresh prefetched responses directly, otherwise forward, then feed the
+// transaction into dynamic learning).
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Origin-form requests (no absolute URI) address the proxy itself
+	// rather than an upstream: serve the small operational surface.
+	if r.URL.Host == "" {
+		p.serveStatus(w, r)
+		return
+	}
+	userKey := p.opts.UserKey(r)
+	req, err := httpmsg.FromHTTP(r)
+	if err != nil {
+		http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The user tag is proxy addressing metadata, not application payload:
+	// it must not reach the origin or perturb exact-match keys.
+	req.DeleteHeader(userHeader)
+	u := p.user(userKey)
+	key := req.CanonicalKey()
+
+	if entry := p.lookup(u, key); entry != nil {
+		// R3: the prefetched request was byte-identical (canonical key
+		// equality), so the client receives exactly the origin's bytes.
+		u.mu.Lock()
+		firstUse := !entry.used
+		entry.used = true
+		u.mu.Unlock()
+		p.stats.CountHit(entry.sigID, int64(len(entry.resp.Body)), p.stats.RespTime(entry.sigID), firstUse)
+		entry.resp.WriteTo(w)
+		return
+	}
+
+	start := p.opts.Now()
+	resp, err := p.opts.Upstream.RoundTrip(req)
+	if err != nil {
+		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	elapsed := p.opts.Now().Sub(start)
+	resp.WriteTo(w)
+
+	if p.opts.DisablePrefetch {
+		return
+	}
+	matched := p.opts.Graph.MatchRequest(req)
+	if len(matched) == 0 {
+		return
+	}
+	p.stats.ObserveRespTime(matched[0].ID, elapsed)
+	p.stats.CountMiss(matched[0].ID, int64(len(resp.Body)))
+	// Ambiguous URI patterns (fully dynamic URLs look identical) mean one
+	// live transaction can instantiate several signatures; learn through
+	// every match so each keeps a usable exemplar.
+	for _, s := range matched {
+		p.learn(u, s, req, resp, 0, true)
+	}
+}
+
+// serveStatus answers direct (non-proxied) requests with health and
+// statistics — the operational surface of the proxy process.
+func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/", "/healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "appx proxy: %d signatures, %d prefetchable\n",
+			len(p.opts.Graph.Sigs), len(p.opts.Graph.Prefetchable()))
+	case "/appx/stats":
+		snap := p.stats.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"hits":              snap.Hits,
+			"misses":            snap.Misses,
+			"prefetches":        snap.Prefetches,
+			"hitRatio":          snap.HitRatio(),
+			"dataUsage":         snap.NormalizedDataUsage(),
+			"usedPrefetchRatio": snap.UsedPrefetchRatio(),
+			"savedLatencyMs":    snap.SavedLatency.Milliseconds(),
+			"users":             p.UserCount(),
+			"prefetchQueue":     p.sched.QueueLen(),
+			"dataUsedBytes":     p.DataUsedBytes(),
+		})
+	default:
+		http.Error(w, "appx proxy: unknown endpoint (this is a forward proxy; configure it as such)", http.StatusNotFound)
+	}
+}
+
+// lookup returns a fresh cached entry; expired entries are dropped
+// (invariant: no response older than its expiration time is ever served)
+// and optionally re-prefetched.
+func (p *Proxy) lookup(u *user, key string) *cacheEntry {
+	if p.opts.DisablePrefetch {
+		return nil
+	}
+	u.mu.Lock()
+	entry, ok := u.cache[key]
+	if !ok {
+		u.mu.Unlock()
+		return nil
+	}
+	if p.opts.Now().After(entry.expires) {
+		delete(u.cache, key)
+		delete(u.issued, key)
+		u.mu.Unlock()
+		if p.opts.RefreshExpired && entry.req != nil {
+			if s := p.opts.Graph.Sig(entry.sigID); s != nil {
+				p.maybePrefetch(u, s, entry.req, 0)
+			}
+		}
+		return nil
+	}
+	u.mu.Unlock()
+	return entry
+}
+
+// learn runs the Figure-6 flowchart for one completed transaction:
+// successor targets update the exemplar and release pending instances;
+// predecessor targets spawn successor instances.
+func (p *Proxy) learn(u *user, s *sig.Signature, req *httpmsg.Request, resp *httpmsg.Response, depth int, live bool) {
+	// Successor routine (learning target is a successor): adapt to the most
+	// recent condition — only from live client traffic, never from our own
+	// synthetic prefetch requests.
+	if live && len(p.opts.Graph.DepsInto(s.ID)) > 0 {
+		if ex := learnExemplar(s, req); ex != nil {
+			u.mu.Lock()
+			u.exemplars[s.ID] = ex
+			released := u.pending[s.ID]
+			delete(u.pending, s.ID)
+			u.mu.Unlock()
+			for _, pi := range released {
+				p.instantiate(u, pi.s, pi.pred, pi.combo, pi.doc, pi.depth)
+			}
+		}
+	}
+
+	// Predecessor routine: extract dependency values and build successor
+	// instances.
+	if resp.Status != http.StatusOK {
+		return
+	}
+	succIDs := p.opts.Graph.Successors(s.ID)
+	if len(succIDs) == 0 {
+		return
+	}
+	doc, err := resp.JSON()
+	if err != nil {
+		return
+	}
+	for _, succID := range succIDs {
+		succ := p.opts.Graph.Sig(succID)
+		if succ == nil {
+			continue
+		}
+		policy := p.opts.Config.Policy(succ.Hash())
+		if policy != nil && !policy.Prefetch {
+			continue
+		}
+		if policy != nil && !policy.Condition.Eval(doc) {
+			continue
+		}
+		paths := depPaths(succ, s.ID)
+		if len(paths) == 0 {
+			continue
+		}
+		for _, combo := range depCombos(doc, paths) {
+			p.instantiate(u, succ, s.ID, combo, doc, depth)
+		}
+	}
+}
+
+// instantiate materializes one successor instance, parking it when run-time
+// values are still missing, and schedules the prefetch when ready.
+func (p *Proxy) instantiate(u *user, s *sig.Signature, pred string, combo map[string]string, doc any, depth int) {
+	u.mu.Lock()
+	ex := u.exemplars[s.ID]
+	u.mu.Unlock()
+
+	// Every signature waits for at least one live example before its
+	// instances are issued: the client's HTTP stack contributes run-time
+	// headers no static pattern can predict, and the exact-match guarantee
+	// (R2) requires reproducing them.
+	if ex == nil {
+		u.mu.Lock()
+		if len(u.pending[s.ID]) < p.opts.MaxPendingPerSig {
+			u.pending[s.ID] = append(u.pending[s.ID], pendingInstance{s: s, pred: pred, combo: combo, doc: doc, depth: depth})
+		}
+		u.mu.Unlock()
+		return
+	}
+	req, ok := materialize(s, pred, combo, ex)
+	if !ok {
+		return
+	}
+	p.maybePrefetch(u, s, req, depth)
+}
+
+// maybePrefetch applies policy (probability, data budget, dedup) and
+// schedules the prefetch.
+func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, depth int) {
+	policy := p.opts.Config.Policy(s.Hash())
+	prob := p.opts.Config.EffectiveProbability(policy) * p.opts.Config.UserScale(u.key)
+	if prob <= 0 || (prob < 1 && p.opts.Rand() >= prob) {
+		return
+	}
+	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Load() >= budget {
+		return
+	}
+	expiry := p.opts.Config.Expiration(policy)
+	key := req.CanonicalKey()
+	now := p.opts.Now()
+
+	u.mu.Lock()
+	if entry, ok := u.cache[key]; ok && now.Before(entry.expires) {
+		u.mu.Unlock()
+		return
+	}
+	if t, ok := u.issued[key]; ok && now.Sub(t) < expiry {
+		u.mu.Unlock()
+		return
+	}
+	u.issued[key] = now
+	u.mu.Unlock()
+
+	task := &sched.Task{SigID: s.ID, Run: func() {
+		p.runPrefetch(u, s, req, key, expiry, depth)
+	}}
+	if !p.sched.Submit(task) {
+		u.mu.Lock()
+		delete(u.issued, key)
+		u.mu.Unlock()
+	}
+}
+
+// evictOneLocked removes one cache entry: any expired entry if present,
+// otherwise the entry closest to expiry (u.mu held).
+func evictOneLocked(u *user, now time.Time) {
+	var victim string
+	var soonest time.Time
+	for k, e := range u.cache {
+		if now.After(e.expires) {
+			victim = k
+			break
+		}
+		if victim == "" || e.expires.Before(soonest) {
+			victim, soonest = k, e.expires
+		}
+	}
+	if victim != "" {
+		delete(u.cache, victim)
+		delete(u.issued, victim)
+	}
+}
+
+// runPrefetch executes one prefetch: sends the (optionally header-tagged)
+// request upstream, caches the response under the clean request's key, and
+// feeds the transaction back into learning so dependency chains prefetch
+// end-to-end (Figure 3(c)).
+func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key string, expiry time.Duration, depth int) {
+	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Load() >= budget {
+		// Budget re-checked at execution time: instances queued before the
+		// budget ran out must not blow past it (C4).
+		u.mu.Lock()
+		delete(u.issued, key)
+		u.mu.Unlock()
+		return
+	}
+	sent := req
+	policy := p.opts.Config.Policy(s.Hash())
+	if policy != nil && len(policy.AddHeader) > 0 {
+		sent = req.Clone()
+		for _, h := range policy.AddHeader {
+			sent.Header = append(sent.Header, httpmsg.Field{Key: h.Key, Value: h.Value})
+		}
+	}
+	start := p.opts.Now()
+	resp, err := p.opts.Upstream.RoundTrip(sent)
+	if err != nil {
+		p.stats.CountPrefetchError(s.ID)
+		u.mu.Lock()
+		delete(u.issued, key)
+		u.mu.Unlock()
+		return
+	}
+	p.stats.ObserveRespTime(s.ID, p.opts.Now().Sub(start))
+	p.stats.CountPrefetch(s.ID, int64(len(resp.Body)))
+	p.dataUsed.Add(int64(len(resp.Body)))
+	if resp.Status != http.StatusOK {
+		// The origin rejected our reconstruction; do not cache errors
+		// (R3: never alter app behaviour with synthetic failures).
+		p.stats.CountPrefetchReject(s.ID)
+		return
+	}
+	p.mu.Lock()
+	if p.samples == nil {
+		p.samples = map[string]*httpmsg.Request{}
+	}
+	p.samples[s.ID] = req.Clone()
+	p.mu.Unlock()
+	u.mu.Lock()
+	if len(u.cache) >= p.opts.MaxCacheEntriesPerUser {
+		evictOneLocked(u, p.opts.Now())
+	}
+	u.cache[key] = &cacheEntry{resp: resp, req: req.Clone(), sigID: s.ID, expires: p.opts.Now().Add(expiry)}
+	u.mu.Unlock()
+
+	if depth < p.opts.MaxChainDepth && !p.opts.DisableChaining {
+		p.learn(u, s, req, resp, depth+1, false)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sched implements the proxy's prefetch priority scheduling (§5 of
+// the paper): multiple prefetch requests can be outstanding at any moment,
+// and to minimize overall response time the proxy prioritizes signatures
+// whose requests take longer to complete and whose prefetched responses are
+// hit more often, using a linear combination of the two as the priority.
+package sched
+
+import (
+	"sync"
+)
+
+// Task is one queued prefetch.
+type Task struct {
+	// SigID identifies the signature the prefetch belongs to; priorities
+	// are computed per signature.
+	SigID string
+	// Run performs the prefetch.
+	Run func()
+}
+
+// PriorityFunc maps a signature to its current priority (higher runs first).
+// It is consulted at dispatch time, so priorities reflect the latest
+// response-time and hit-rate statistics.
+type PriorityFunc func(sigID string) float64
+
+// Scheduler runs prefetch tasks on a bounded worker pool, highest priority
+// first.
+type Scheduler struct {
+	priority PriorityFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Task
+	closed  bool
+	wg      sync.WaitGroup
+	pending sync.WaitGroup
+	// maxQueue bounds queued tasks; excess submissions are dropped (the
+	// next predecessor observation will regenerate them).
+	maxQueue int
+}
+
+// New starts a scheduler with the given worker count (minimum 1) and
+// priority function.
+func New(workers int, priority PriorityFunc) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{priority: priority, maxQueue: 4096}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a task. It reports false when the scheduler is closed or
+// the queue is full.
+func (s *Scheduler) Submit(t *Task) bool {
+	s.mu.Lock()
+	if s.closed || len(s.queue) >= s.maxQueue {
+		s.mu.Unlock()
+		return false
+	}
+	s.queue = append(s.queue, t)
+	s.pending.Add(1)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+// QueueLen reports the number of queued (not yet running) tasks.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Drain blocks until every submitted task has finished running. Useful in
+// tests and the verification phase; live proxies never call it.
+func (s *Scheduler) Drain() {
+	s.pending.Wait()
+}
+
+// Close stops the workers after the current tasks finish; queued tasks are
+// discarded.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for range s.queue {
+		s.pending.Done()
+	}
+	s.queue = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		// Pick the highest-priority task. Queues are short (bounded) and
+		// priorities change between polls, so a scan beats a stale heap.
+		best := 0
+		bestP := s.priority(s.queue[0].SigID)
+		for i := 1; i < len(s.queue); i++ {
+			if p := s.priority(s.queue[i].SigID); p > bestP {
+				best, bestP = i, p
+			}
+		}
+		t := s.queue[best]
+		s.queue[best] = s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.mu.Unlock()
+
+		t.Run()
+		s.pending.Done()
+	}
+}

@@ -1,0 +1,225 @@
+package proxy
+
+import (
+	"sync"
+	"time"
+)
+
+// sigStats aggregates per-signature measurements used for prefetch
+// prioritization (§5) and reporting (§6).
+type sigStats struct {
+	// ewmaRespTime is the running average origin response time.
+	ewmaRespTime time.Duration
+	samples      int
+	// prefetches / hits / misses count issued prefetch requests, cache hits
+	// served to clients, and forwarded client requests for this signature.
+	prefetches int
+	hits       int
+	misses     int
+	// prefetchedBytes counts response bytes fetched ahead of time;
+	// servedBytes counts prefetched bytes actually delivered to clients.
+	prefetchedBytes int64
+	servedBytes     int64
+	// prefetchErrors counts transport failures; prefetchRejects counts
+	// non-200 origin answers to reconstructed requests — the §4.3
+	// verification phase disables signatures showing either.
+	prefetchErrors  int
+	prefetchRejects int
+	// usedEntries counts distinct prefetched responses served at least
+	// once (the numerator of the paper's "ratio of data actually used").
+	usedEntries int
+}
+
+// Stats tracks proxy-wide counters, safe for concurrent use.
+type Stats struct {
+	mu   sync.Mutex
+	sigs map[string]*sigStats
+
+	// ForwardedBytes counts origin response bytes fetched on behalf of live
+	// client requests (the baseline data usage).
+	forwardedBytes int64
+	// SavedLatency accumulates the estimated latency hidden from clients by
+	// cache hits (the hit signature's average origin response time).
+	savedLatency time.Duration
+}
+
+// NewStats returns empty statistics.
+func NewStats() *Stats {
+	return &Stats{sigs: make(map[string]*sigStats)}
+}
+
+func (s *Stats) sig(id string) *sigStats {
+	st, ok := s.sigs[id]
+	if !ok {
+		st = &sigStats{}
+		s.sigs[id] = st
+	}
+	return st
+}
+
+// ObserveRespTime folds one origin response time into the signature's
+// running average (EWMA, α = 1/4 after warm-up).
+func (s *Stats) ObserveRespTime(sigID string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sig(sigID)
+	if st.samples == 0 {
+		st.ewmaRespTime = d
+	} else {
+		st.ewmaRespTime = (st.ewmaRespTime*3 + d) / 4
+	}
+	st.samples++
+}
+
+// RespTime returns the signature's average origin response time.
+func (s *Stats) RespTime(sigID string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sig(sigID).ewmaRespTime
+}
+
+// CountPrefetch records an issued prefetch and its response size.
+func (s *Stats) CountPrefetch(sigID string, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sig(sigID)
+	st.prefetches++
+	st.prefetchedBytes += bytes
+}
+
+// CountPrefetchError records a prefetch transport failure.
+func (s *Stats) CountPrefetchError(sigID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sig(sigID).prefetchErrors++
+}
+
+// CountPrefetchReject records a non-200 origin answer to a prefetch.
+func (s *Stats) CountPrefetchReject(sigID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sig(sigID).prefetchRejects++
+}
+
+// CountHit records a client request served from the prefetch cache.
+// firstUse marks the first time this particular cached entry is served.
+func (s *Stats) CountHit(sigID string, bytes int64, saved time.Duration, firstUse bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sig(sigID)
+	st.hits++
+	st.servedBytes += bytes
+	if firstUse {
+		st.usedEntries++
+	}
+	s.savedLatency += saved
+}
+
+// CountMiss records a client request forwarded to the origin.
+func (s *Stats) CountMiss(sigID string, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sig(sigID)
+	st.misses++
+	s.forwardedBytes += bytes
+}
+
+// Priority computes the §5 scheduling priority: a linear combination of the
+// signature's average response time (normalized to seconds) and its hit
+// rate. Signatures never prefetched before get a neutral hit rate of 0.5 so
+// new opportunities are explored.
+func (s *Stats) Priority(sigID string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sig(sigID)
+	respSec := st.ewmaRespTime.Seconds()
+	hitRate := 0.5
+	if st.prefetches > 0 {
+		hitRate = float64(st.hits) / float64(st.prefetches)
+	}
+	return respSec + hitRate
+}
+
+// Snapshot is an immutable view of the aggregate counters.
+type Snapshot struct {
+	PerSig map[string]SigSnapshot
+
+	ForwardedBytes  int64
+	PrefetchedBytes int64
+	ServedBytes     int64
+	Hits            int
+	Misses          int
+	Prefetches      int
+	UsedEntries     int
+	SavedLatency    time.Duration
+}
+
+// SigSnapshot is one signature's counters.
+type SigSnapshot struct {
+	RespTime        time.Duration
+	Prefetches      int
+	Hits            int
+	Misses          int
+	PrefetchedBytes int64
+	ServedBytes     int64
+	PrefetchErrors  int
+	PrefetchRejects int
+}
+
+// Snapshot captures current counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{PerSig: make(map[string]SigSnapshot, len(s.sigs)), ForwardedBytes: s.forwardedBytes, SavedLatency: s.savedLatency}
+	for id, st := range s.sigs {
+		out.PerSig[id] = SigSnapshot{
+			RespTime:        st.ewmaRespTime,
+			Prefetches:      st.prefetches,
+			Hits:            st.hits,
+			Misses:          st.misses,
+			PrefetchedBytes: st.prefetchedBytes,
+			ServedBytes:     st.servedBytes,
+			PrefetchErrors:  st.prefetchErrors,
+			PrefetchRejects: st.prefetchRejects,
+		}
+		out.UsedEntries += st.usedEntries
+		out.PrefetchedBytes += st.prefetchedBytes
+		out.ServedBytes += st.servedBytes
+		out.Hits += st.hits
+		out.Misses += st.misses
+		out.Prefetches += st.prefetches
+	}
+	return out
+}
+
+// NormalizedDataUsage returns (forwarded+prefetched)/forwarded — the
+// paper's Figure-16 data-usage metric. 1.0 when nothing was forwarded.
+func (s Snapshot) NormalizedDataUsage() float64 {
+	if s.ForwardedBytes+s.ServedBytes == 0 {
+		return 1
+	}
+	// Baseline: every byte the client consumed would have been fetched from
+	// the origin anyway (forwarded misses + served hits). Overhead: bytes
+	// prefetched but never consumed.
+	baseline := float64(s.ForwardedBytes + s.ServedBytes)
+	total := float64(s.ForwardedBytes + s.PrefetchedBytes)
+	return total / baseline
+}
+
+// HitRatio returns hits/(hits+misses), 0 when idle.
+func (s Snapshot) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// UsedPrefetchRatio returns the fraction of prefetched transactions the app
+// actually consumed — distinct cached responses served at least once over
+// prefetches issued (the paper reports 1–5 %).
+func (s Snapshot) UsedPrefetchRatio() float64 {
+	if s.Prefetches == 0 {
+		return 0
+	}
+	return float64(s.UsedEntries) / float64(s.Prefetches)
+}

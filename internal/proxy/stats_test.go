@@ -1,0 +1,93 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveRespTimeEWMA(t *testing.T) {
+	s := NewStats()
+	s.ObserveRespTime("a", 100*time.Millisecond)
+	if got := s.RespTime("a"); got != 100*time.Millisecond {
+		t.Fatalf("first sample = %v", got)
+	}
+	// EWMA with α=1/4: (3*100 + 200)/4 = 125.
+	s.ObserveRespTime("a", 200*time.Millisecond)
+	if got := s.RespTime("a"); got != 125*time.Millisecond {
+		t.Fatalf("ewma = %v, want 125ms", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := NewStats()
+	// Slow signature with good hit rate beats fast one with poor hit rate
+	// (§5: linear combination of response time and hit rate).
+	s.ObserveRespTime("slow-good", 900*time.Millisecond)
+	s.CountPrefetch("slow-good", 10)
+	s.CountHit("slow-good", 10, 0, true)
+
+	s.ObserveRespTime("fast-bad", 50*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.CountPrefetch("fast-bad", 10)
+	}
+
+	if s.Priority("slow-good") <= s.Priority("fast-bad") {
+		t.Fatalf("priority(slow-good)=%v <= priority(fast-bad)=%v",
+			s.Priority("slow-good"), s.Priority("fast-bad"))
+	}
+	// Unknown signatures get the neutral exploration prior.
+	if got := s.Priority("never-seen"); got != 0.5 {
+		t.Fatalf("fresh priority = %v, want 0.5", got)
+	}
+}
+
+func TestSnapshotAggregation(t *testing.T) {
+	s := NewStats()
+	s.CountPrefetch("a", 100)
+	s.CountPrefetch("a", 100)
+	s.CountHit("a", 100, 10*time.Millisecond, true)
+	s.CountHit("a", 100, 10*time.Millisecond, false) // repeat serve of same entry
+	s.CountMiss("a", 300)
+	s.CountPrefetchError("b")
+	s.CountPrefetchReject("b")
+
+	snap := s.Snapshot()
+	if snap.Prefetches != 2 || snap.Hits != 2 || snap.Misses != 1 {
+		t.Fatalf("counts: %+v", snap)
+	}
+	if snap.UsedEntries != 1 {
+		t.Fatalf("used entries = %d, want 1 (distinct)", snap.UsedEntries)
+	}
+	if snap.PrefetchedBytes != 200 || snap.ServedBytes != 200 || snap.ForwardedBytes != 300 {
+		t.Fatalf("bytes: %+v", snap)
+	}
+	if snap.SavedLatency != 20*time.Millisecond {
+		t.Fatalf("saved = %v", snap.SavedLatency)
+	}
+	if b := snap.PerSig["b"]; b.PrefetchErrors != 1 || b.PrefetchRejects != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+func TestSnapshotDerivedMetrics(t *testing.T) {
+	s := NewStats()
+	s.CountMiss("a", 1000)        // forwarded
+	s.CountPrefetch("a", 500)     // prefetched, unused
+	s.CountPrefetch("a", 500)     // prefetched...
+	s.CountHit("a", 500, 0, true) // ...and consumed
+	snap := s.Snapshot()
+	// baseline = forwarded + served = 1500; total = forwarded + prefetched = 2000.
+	if got := snap.NormalizedDataUsage(); got < 1.33 || got > 1.34 {
+		t.Fatalf("data usage = %v", got)
+	}
+	if got := snap.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v", got)
+	}
+	if got := snap.UsedPrefetchRatio(); got != 0.5 {
+		t.Fatalf("used ratio = %v", got)
+	}
+	empty := NewStats().Snapshot()
+	if empty.NormalizedDataUsage() != 1 || empty.HitRatio() != 0 || empty.UsedPrefetchRatio() != 0 {
+		t.Fatal("empty snapshot derived metrics wrong")
+	}
+}

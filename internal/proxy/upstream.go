@@ -1,0 +1,99 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/netem"
+)
+
+// Upstream performs origin-side HTTP transactions on behalf of the proxy —
+// both forwarded client requests and prefetches.
+type Upstream interface {
+	RoundTrip(*httpmsg.Request) (*httpmsg.Response, error)
+}
+
+// UpstreamFunc adapts a function to Upstream.
+type UpstreamFunc func(*httpmsg.Request) (*httpmsg.Response, error)
+
+// RoundTrip implements Upstream.
+func (f UpstreamFunc) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) { return f(r) }
+
+// NetUpstream dials origin servers over emulated WAN links: each logical
+// hostname resolves to a real listener address and is shaped by its
+// configured netem link (Table 2's per-host proxy↔origin RTTs).
+type NetUpstream struct {
+	client *http.Client
+
+	mu      sync.RWMutex
+	resolve map[string]string
+	links   map[string]netem.Link
+}
+
+// NewNetUpstream builds an upstream with the given host→address resolution
+// table and per-host link shaping. Hosts without a link entry are unshaped.
+func NewNetUpstream(resolve map[string]string, links map[string]netem.Link) *NetUpstream {
+	u := &NetUpstream{
+		resolve: make(map[string]string, len(resolve)),
+		links:   make(map[string]netem.Link, len(links)),
+	}
+	for k, v := range resolve {
+		u.resolve[k] = v
+	}
+	for k, v := range links {
+		u.links[k] = v
+	}
+	tr := &http.Transport{
+		DialContext:         u.dial,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     30 * time.Second,
+		DisableCompression:  true,
+	}
+	u.client = &http.Client{Transport: tr, Timeout: 60 * time.Second}
+	return u
+}
+
+// SetHost adds or updates one host's resolution and link.
+func (u *NetUpstream) SetHost(host, addr string, link netem.Link) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.resolve[host] = addr
+	u.links[host] = link
+}
+
+func (u *NetUpstream) dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	host := addr
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		host = addr[:i]
+	}
+	u.mu.RLock()
+	real, ok := u.resolve[host]
+	link := u.links[host]
+	u.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("proxy: no origin registered for host %q", host)
+	}
+	d := netem.Dialer{Link: link, Timeout: 10 * time.Second}
+	return d.DialContext(ctx, network, real)
+}
+
+// RoundTrip implements Upstream.
+func (u *NetUpstream) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) {
+	hreq, err := r.ToHTTP()
+	if err != nil {
+		return nil, err
+	}
+	hreq.Host = r.Host
+	hresp, err := u.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	return httpmsg.FromHTTPResponse(hresp)
+}

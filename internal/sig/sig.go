@@ -1,0 +1,507 @@
+// Package sig defines APPx message signatures and the inter-transaction
+// dependency graph — the interchange format between the static analyzer
+// (internal/static), the verification phase (internal/verify), and the
+// acceleration proxy (internal/proxy).
+//
+// A Signature characterizes one HTTP transaction site in the app: the
+// request's method, URI, query, header, and body fields as patterns
+// (concatenations of literals, run-time wildcards, and dependency
+// references), plus the response fields the app is known to consume. A
+// Dependency records that a field of a successor request is derived from a
+// field of a predecessor response (Figure 5 of the paper: Signature ②'s
+// 'cid' body field ← Signature ①'s 'data.products[*].product_info.id').
+package sig
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"appx/internal/httpmsg"
+)
+
+// PartKind discriminates the atoms of a Pattern.
+type PartKind string
+
+const (
+	// Lit is a string literal known statically.
+	Lit PartKind = "lit"
+	// Wild is a value determined only at run time (device property, server
+	// cookie, dynamic host): matches anything, learned by the proxy.
+	Wild PartKind = "wild"
+	// Dep is a value derived from a predecessor transaction's response
+	// field; resolvable by dynamic learning once the predecessor is seen.
+	Dep PartKind = "dep"
+)
+
+// Part is one atom of a concatenation pattern.
+type Part struct {
+	Kind PartKind `json:"kind"`
+	Lit  string   `json:"lit,omitempty"`
+	// Origin describes where a wild value comes from (e.g. "device.userAgent"),
+	// for diagnostics only.
+	Origin string `json:"origin,omitempty"`
+	// PredID and RespPath locate the source of a dep value: the predecessor
+	// signature and the JSON path inside its response body.
+	PredID   string `json:"pred,omitempty"`
+	RespPath string `json:"respPath,omitempty"`
+}
+
+// Pattern is a concatenation of parts describing one field value.
+type Pattern struct {
+	Parts []Part `json:"parts"`
+}
+
+// Literal builds a single-literal pattern.
+func Literal(s string) Pattern { return Pattern{Parts: []Part{{Kind: Lit, Lit: s}}} }
+
+// Wildcard builds a single-wildcard pattern.
+func Wildcard(origin string) Pattern {
+	return Pattern{Parts: []Part{{Kind: Wild, Origin: origin}}}
+}
+
+// DepValue builds a single-dependency pattern.
+func DepValue(predID, respPath string) Pattern {
+	return Pattern{Parts: []Part{{Kind: Dep, PredID: predID, RespPath: respPath}}}
+}
+
+// Concat joins several patterns into one.
+func Concat(ps ...Pattern) Pattern {
+	var out Pattern
+	for _, p := range ps {
+		out.Parts = append(out.Parts, p.Parts...)
+	}
+	return out
+}
+
+// IsLiteral reports whether the pattern is a pure literal and returns it.
+func (p Pattern) IsLiteral() (string, bool) {
+	if len(p.Parts) == 1 && p.Parts[0].Kind == Lit {
+		return p.Parts[0].Lit, true
+	}
+	return "", false
+}
+
+// HasDep reports whether any part references a predecessor.
+func (p Pattern) HasDep() bool {
+	for _, part := range p.Parts {
+		if part.Kind == Dep {
+			return true
+		}
+	}
+	return false
+}
+
+// HasUnknown reports whether any part must be resolved at run time (wild or
+// dep).
+func (p Pattern) HasUnknown() bool {
+	for _, part := range p.Parts {
+		if part.Kind != Lit {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the pattern in the paper's notation: literals verbatim,
+// unknowns as ".*".
+func (p Pattern) String() string {
+	var b strings.Builder
+	for _, part := range p.Parts {
+		if part.Kind == Lit {
+			b.WriteString(part.Lit)
+		} else {
+			b.WriteString(".*")
+		}
+	}
+	return b.String()
+}
+
+// Regexp compiles the pattern to an anchored regular expression: literals
+// escaped, unknowns as non-greedy wildcards.
+func (p Pattern) Regexp() (*regexp.Regexp, error) {
+	var b strings.Builder
+	b.WriteString("^")
+	for _, part := range p.Parts {
+		if part.Kind == Lit {
+			b.WriteString(regexp.QuoteMeta(part.Lit))
+		} else {
+			b.WriteString("(.*)")
+		}
+	}
+	b.WriteString("$")
+	return regexp.Compile(b.String())
+}
+
+// Field is a named pattern in the query string, header, or form body.
+// Optional fields appear only under some run-time branch conditions
+// (Figure 8 of the paper); the proxy learns which instance class is current.
+type Field struct {
+	Key      string  `json:"key"`
+	Value    Pattern `json:"value"`
+	Optional bool    `json:"optional,omitempty"`
+}
+
+// JSONField is a pattern at a path inside a JSON request body.
+type JSONField struct {
+	Path     string  `json:"path"`
+	Value    Pattern `json:"value"`
+	Optional bool    `json:"optional,omitempty"`
+}
+
+// Signature describes one transaction site.
+type Signature struct {
+	// ID is the stable analysis-site identifier, e.g.
+	// "wish:DetailActivity.onCreate#1".
+	ID string `json:"id"`
+	// App is the application package name.
+	App string `json:"app"`
+
+	Method string  `json:"method"`
+	URI    Pattern `json:"uri"` // host + path (scheme-less), e.g. ".*/product/get"
+
+	Query  []Field `json:"query,omitempty"`
+	Header []Field `json:"header,omitempty"`
+
+	BodyKind httpmsg.BodyKind `json:"bodyKind"`
+	BodyForm []Field          `json:"bodyForm,omitempty"`
+	BodyJSON []JSONField      `json:"bodyJSON,omitempty"`
+
+	// RespFields are the response-body JSON paths the app consumes —
+	// the positions successors may depend on.
+	RespFields []string `json:"respFields,omitempty"`
+
+	// compiled URI matcher cache
+	uriRe *regexp.Regexp
+}
+
+// Hash returns a short stable digest of the signature's request shape, used
+// by the configuration file (§4.4, the `hash` field of Figure 9).
+func (s *Signature) Hash() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Hash a reduced, deterministic view.
+	view := struct {
+		ID     string
+		Method string
+		URI    string
+		Query  []Field
+		Header []Field
+		BKind  httpmsg.BodyKind
+		BForm  []Field
+		BJSON  []JSONField
+	}{s.ID, s.Method, s.URI.String(), s.Query, s.Header, s.BodyKind, s.BodyForm, s.BodyJSON}
+	enc.Encode(view)
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// URIRegexp returns the compiled anchored URI matcher, caching it.
+func (s *Signature) URIRegexp() *regexp.Regexp {
+	if s.uriRe == nil {
+		re, err := s.URI.Regexp()
+		if err != nil {
+			// Signatures are machine-generated; a bad pattern is a bug.
+			panic(fmt.Sprintf("sig: signature %s has invalid URI pattern: %v", s.ID, err))
+		}
+		s.uriRe = re
+	}
+	return s.uriRe
+}
+
+// MatchesRequest reports whether a live request plausibly instantiates this
+// signature: method equality plus URI regex match (the paper's learning
+// target identification, §4.2: "the proxy performs regular expression
+// matching on the URI of the incoming transaction").
+func (s *Signature) MatchesRequest(r *httpmsg.Request) bool {
+	if !strings.EqualFold(s.Method, r.Method) {
+		return false
+	}
+	return s.URIRegexp().MatchString(r.Host + r.Path)
+}
+
+// FieldLoc names a position inside a request where a dependency lands.
+type FieldLoc struct {
+	// Where is one of "uri", "query", "header", "form", "json".
+	Where string `json:"where"`
+	// Key is the query/header/form key or JSON body path; for "uri" it is
+	// the decimal index of the pattern part.
+	Key string `json:"key"`
+}
+
+func (l FieldLoc) String() string { return l.Where + ":" + l.Key }
+
+// Dependency is one edge of the dependency graph: successor field ← value at
+// RespPath of predecessor's response.
+type Dependency struct {
+	PredID   string   `json:"pred"`
+	SuccID   string   `json:"succ"`
+	RespPath string   `json:"respPath"`
+	Loc      FieldLoc `json:"loc"`
+}
+
+// Graph bundles an app's signatures and dependencies.
+type Graph struct {
+	App  string       `json:"app"`
+	Sigs []*Signature `json:"sigs"`
+	Deps []Dependency `json:"deps"`
+
+	byID map[string]*Signature
+}
+
+// NewGraph builds an empty graph for an app.
+func NewGraph(app string) *Graph {
+	return &Graph{App: app, byID: make(map[string]*Signature)}
+}
+
+// Add inserts a signature, replacing any previous one with the same ID.
+func (g *Graph) Add(s *Signature) {
+	if g.byID == nil {
+		g.reindex()
+	}
+	if _, exists := g.byID[s.ID]; exists {
+		for i, old := range g.Sigs {
+			if old.ID == s.ID {
+				g.Sigs[i] = s
+				break
+			}
+		}
+	} else {
+		g.Sigs = append(g.Sigs, s)
+	}
+	g.byID[s.ID] = s
+}
+
+// Sig resolves a signature by ID; nil when absent.
+func (g *Graph) Sig(id string) *Signature {
+	if g.byID == nil {
+		g.reindex()
+	}
+	return g.byID[id]
+}
+
+func (g *Graph) reindex() {
+	g.byID = make(map[string]*Signature, len(g.Sigs))
+	for _, s := range g.Sigs {
+		g.byID[s.ID] = s
+	}
+}
+
+// AddDep appends a dependency edge (deduplicating exact repeats).
+func (g *Graph) AddDep(d Dependency) {
+	for _, e := range g.Deps {
+		if e == d {
+			return
+		}
+	}
+	g.Deps = append(g.Deps, d)
+}
+
+// Predecessors returns the IDs of signatures that id depends on, in
+// deterministic order.
+func (g *Graph) Predecessors(id string) []string {
+	set := map[string]bool{}
+	for _, d := range g.Deps {
+		if d.SuccID == id {
+			set[d.PredID] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Successors returns the IDs of signatures depending on id.
+func (g *Graph) Successors(id string) []string {
+	set := map[string]bool{}
+	for _, d := range g.Deps {
+		if d.PredID == id {
+			set[d.SuccID] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// DepsInto returns the dependency edges landing in succ.
+func (g *Graph) DepsInto(succ string) []Dependency {
+	var out []Dependency
+	for _, d := range g.Deps {
+		if d.SuccID == succ {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DepsFrom returns the dependency edges leaving pred.
+func (g *Graph) DepsFrom(pred string) []Dependency {
+	var out []Dependency
+	for _, d := range g.Deps {
+		if d.PredID == pred {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Prefetchable returns the IDs of successor signatures — those with at least
+// one incoming dependency (the paper's "prefetchable signature is a
+// successor"). Sorted.
+func (g *Graph) Prefetchable() []string {
+	set := map[string]bool{}
+	for _, d := range g.Deps {
+		set[d.SuccID] = true
+	}
+	return sortedKeys(set)
+}
+
+// MaxChainLen returns the length (in edges + 1, i.e. number of transactions)
+// of the longest successive dependency chain. Cycles, which static
+// over-approximation can produce, are broken by visit marking.
+func (g *Graph) MaxChainLen() int {
+	adj := map[string][]string{}
+	for _, d := range g.Deps {
+		adj[d.PredID] = append(adj[d.PredID], d.SuccID)
+	}
+	memo := map[string]int{}
+	onPath := map[string]bool{}
+	var depth func(id string) int
+	depth = func(id string) int {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		if onPath[id] {
+			return 0
+		}
+		onPath[id] = true
+		best := 0
+		for _, nxt := range adj[id] {
+			if d := depth(nxt); d > best {
+				best = d
+			}
+		}
+		onPath[id] = false
+		memo[id] = best + 1
+		return best + 1
+	}
+	max := 0
+	if len(g.Sigs) > 0 && len(g.Deps) > 0 {
+		for _, s := range g.Sigs {
+			if d := depth(s.ID); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Chain returns one longest dependency chain as a sequence of signature IDs,
+// for the case-study outputs (Figures 11/12 of the paper).
+func (g *Graph) Chain() []string {
+	adj := map[string][]string{}
+	for _, d := range g.Deps {
+		adj[d.PredID] = append(adj[d.PredID], d.SuccID)
+	}
+	for _, v := range adj {
+		sort.Strings(v)
+	}
+	var best []string
+	onPath := map[string]bool{}
+	var walk func(id string, path []string)
+	walk = func(id string, path []string) {
+		if onPath[id] {
+			return
+		}
+		onPath[id] = true
+		path = append(path, id)
+		if len(path) > len(best) {
+			best = append([]string(nil), path...)
+		}
+		for _, nxt := range adj[id] {
+			walk(nxt, path)
+		}
+		onPath[id] = false
+	}
+	ids := make([]string, 0, len(g.Sigs))
+	for _, s := range g.Sigs {
+		ids = append(ids, s.ID)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		walk(id, nil)
+	}
+	return best
+}
+
+// MatchRequest finds the signatures whose URI pattern matches a live request,
+// most-specific (longest literal prefix) first.
+func (g *Graph) MatchRequest(r *httpmsg.Request) []*Signature {
+	var out []*Signature
+	for _, s := range g.Sigs {
+		if s.MatchesRequest(r) {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return literalLen(out[i].URI) > literalLen(out[j].URI)
+	})
+	return out
+}
+
+func literalLen(p Pattern) int {
+	n := 0
+	for _, part := range p.Parts {
+		if part.Kind == Lit {
+			n += len(part.Lit)
+		}
+	}
+	return n
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge combines several apps' graphs into one, so a single proxy instance
+// can accelerate multiple target apps (§2 of the paper: "the proxy can
+// accelerate multiple target apps"). Signature IDs are app-prefixed by
+// construction, so they cannot collide.
+func Merge(graphs ...*Graph) *Graph {
+	out := NewGraph("multi")
+	if len(graphs) == 1 {
+		out.App = graphs[0].App
+	}
+	for _, g := range graphs {
+		if g == nil {
+			continue
+		}
+		for _, s := range g.Sigs {
+			out.Add(s)
+		}
+		for _, d := range g.Deps {
+			out.AddDep(d)
+		}
+	}
+	return out
+}
+
+// Marshal serializes the graph to JSON.
+func (g *Graph) Marshal() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// Unmarshal parses a graph from JSON.
+func Unmarshal(b []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(b, &g); err != nil {
+		return nil, err
+	}
+	g.reindex()
+	return &g, nil
+}

@@ -1,0 +1,704 @@
+// Package static implements APPx's network-aware static program analysis
+// (§4.1 of the paper).
+//
+// The analyzer symbolically executes AIR programs from their UI entry points,
+// tracking how HTTP requests are constructed: which parts of the URI, query
+// string, headers, and body are string literals, which are run-time values
+// (device properties, cookies), and which are derived from fields of earlier
+// responses. Each http.execute site becomes a transaction signature; each
+// response-derived request field becomes a dependency edge.
+//
+// Branches on run-time conditions fork the abstract state and are re-joined
+// afterwards; request fields present on only some paths become *optional*
+// fields — exactly the paper's Figure-8 "instance classes based on branch
+// conditions". The three Extractocol extensions the paper contributes are
+// modelled as switchable Features so their effect can be ablated:
+//
+//   - Intents: a dedicated pre-pass builds the Intent map (key → abstract
+//     values put anywhere in the program); intent.get reads it.
+//   - Rx: rx.just/map/flatMap/defer build deferred symbolic computations
+//     that rx.subscribe forces.
+//   - Alias: heap objects passed across method boundaries keep their field
+//     contents; with the feature disabled, field reads on escaped objects
+//     degrade to wildcards (Extractocol's documented failure mode).
+package static
+
+import (
+	"fmt"
+
+	"appx/internal/air"
+	"appx/internal/sig"
+)
+
+// Features toggles the paper's three analysis extensions (§4.1).
+type Features struct {
+	Intents bool
+	Rx      bool
+	Alias   bool
+}
+
+// AllFeatures enables every extension — the full APPx analyzer.
+func AllFeatures() Features { return Features{Intents: true, Rx: true, Alias: true} }
+
+// BaselineFeatures disables all three — approximating stock Extractocol.
+func BaselineFeatures() Features { return Features{} }
+
+// Options configures an analysis run.
+type Options struct {
+	Features Features
+	// MaxForks bounds path splits per entry point (default 128).
+	MaxForks int
+	// MaxSteps bounds abstract instructions per entry point (default 200000).
+	MaxSteps int
+	// MaxCallDepth bounds the abstract call stack (default 64).
+	MaxCallDepth int
+}
+
+func (o *Options) fill() {
+	if o.MaxForks == 0 {
+		o.MaxForks = 128
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200_000
+	}
+	if o.MaxCallDepth == 0 {
+		o.MaxCallDepth = 64
+	}
+}
+
+// Analyze statically analyzes prog, starting from the given entry-point
+// methods (qualified names, invoked with wildcard arguments), and returns
+// the app's signature/dependency graph.
+func Analyze(prog *air.Program, app string, entries []string, opts Options) (*sig.Graph, error) {
+	opts.fill()
+	an := &analyzer{
+		prog:      prog,
+		app:       app,
+		opts:      opts,
+		sites:     map[string]*siteInfo{},
+		intentMap: map[string]AVal{},
+	}
+	an.assignSiteIDs()
+
+	// Pass 1: build the Intent map (when the feature is on). intent.get
+	// returns wildcards during this pass; only puts are recorded.
+	if opts.Features.Intents {
+		an.intentPass = true
+		if err := an.runEntries(entries); err != nil {
+			return nil, fmt.Errorf("static: intent pass: %w", err)
+		}
+		an.intentPass = false
+		// Reset transaction evidence gathered during pass 1.
+		for _, s := range an.sites {
+			s.snapshots = nil
+			s.respFields = nil
+		}
+	}
+
+	if err := an.runEntries(entries); err != nil {
+		return nil, fmt.Errorf("static: %w", err)
+	}
+	return an.buildGraph(), nil
+}
+
+type analyzer struct {
+	prog *air.Program
+	app  string
+	opts Options
+
+	siteIDs    map[string]map[int]string // qualified method -> coord -> site ID
+	sites      map[string]*siteInfo
+	intentMap  map[string]AVal
+	intentPass bool
+}
+
+// siteInfo accumulates evidence about one http.execute site.
+type siteInfo struct {
+	id         string
+	snapshots  []*reqSnapshot
+	respFields map[string]bool
+}
+
+// fieldVal is one request field in a snapshot.
+type fieldVal struct {
+	key      string
+	val      AVal
+	optional bool
+}
+
+// reqSnapshot is the request state captured at one execution of an execute
+// site along one abstract path.
+type reqSnapshot struct {
+	method   string
+	uriParts []AVal
+	query    []fieldVal
+	header   []fieldVal
+	form     []fieldVal
+}
+
+// assignSiteIDs walks the program once and gives every http.execute
+// instruction a stable ID: app:Class.Method#ordinal, keyed by its
+// (block,instr) coordinates.
+func (an *analyzer) assignSiteIDs() {
+	an.siteIDs = map[string]map[int]string{}
+	for _, m := range an.prog.Methods() {
+		n := 0
+		for bi, b := range m.Blocks {
+			for ii, in := range b.Instrs {
+				if in.Op == air.OpCallAPI && in.Sym == air.APIHTTPExecute {
+					if an.siteIDs[m.QualifiedName()] == nil {
+						an.siteIDs[m.QualifiedName()] = map[int]string{}
+					}
+					id := fmt.Sprintf("%s:%s#%d", an.app, m.QualifiedName(), n)
+					an.siteIDs[m.QualifiedName()][coord(bi, ii)] = id
+					n++
+				}
+			}
+		}
+	}
+}
+
+// coord packs block/instruction indices into one map key.
+func coord(bi, ii int) int { return bi<<20 | ii }
+
+func (an *analyzer) site(id string) *siteInfo {
+	s, ok := an.sites[id]
+	if !ok {
+		s = &siteInfo{id: id, respFields: map[string]bool{}}
+		an.sites[id] = s
+	}
+	if s.respFields == nil {
+		s.respFields = map[string]bool{}
+	}
+	return s
+}
+
+func (an *analyzer) runEntries(entries []string) error {
+	for _, entry := range entries {
+		m := an.prog.Method(entry)
+		if m == nil {
+			return fmt.Errorf("unknown entry point %q", entry)
+		}
+		st := newPathState(an)
+		args := make([]AVal, m.NumParams)
+		for i := range args {
+			args[i] = AWild{Origin: "entry-arg"}
+		}
+		if _, err := st.call(entry, args); err != nil {
+			if _, ok := err.(errBudget); ok {
+				// Budget exhaustion is graceful degradation, not failure:
+				// keep whatever evidence this entry produced so far.
+				continue
+			}
+			return fmt.Errorf("entry %s: %w", entry, err)
+		}
+	}
+	return nil
+}
+
+// heapKind discriminates heap records.
+type heapKind uint8
+
+const (
+	heapObj heapKind = iota
+	heapMap
+	heapList
+	heapReq
+)
+
+// heapRec is one abstract heap cell.
+type heapRec struct {
+	kind    heapKind
+	fields  map[string]AVal // obj/map fields
+	maybe   map[string]bool // fields present on only some joined paths
+	items   []AVal          // list elements
+	req     *reqRec
+	escaped bool // passed across a method boundary
+}
+
+func (r *heapRec) clone() *heapRec {
+	c := &heapRec{kind: r.kind, escaped: r.escaped}
+	if r.fields != nil {
+		c.fields = make(map[string]AVal, len(r.fields))
+		for k, v := range r.fields {
+			c.fields[k] = v
+		}
+	}
+	if r.maybe != nil {
+		c.maybe = make(map[string]bool, len(r.maybe))
+		for k, v := range r.maybe {
+			c.maybe[k] = v
+		}
+	}
+	c.items = append([]AVal(nil), r.items...)
+	if r.req != nil {
+		c.req = r.req.clone()
+	}
+	return c
+}
+
+// reqRec is an abstract HTTP request under construction.
+type reqRec struct {
+	method   string
+	urlParts []AVal
+	query    []fieldVal
+	header   []fieldVal
+	form     []fieldVal
+}
+
+func (r *reqRec) clone() *reqRec {
+	return &reqRec{
+		method:   r.method,
+		urlParts: append([]AVal(nil), r.urlParts...),
+		query:    append([]fieldVal(nil), r.query...),
+		header:   append([]fieldVal(nil), r.header...),
+		form:     append([]fieldVal(nil), r.form...),
+	}
+}
+
+// pathState is the per-path abstract machine state.
+type pathState struct {
+	an    *analyzer
+	heap  map[int]*heapRec
+	next  *int // shared object-ID counter (monotonic across forks)
+	forks *int // shared fork budget counter per entry
+	steps *int // shared step counter per entry
+	depth int  // call depth
+	stack []string
+}
+
+func newPathState(an *analyzer) *pathState {
+	next, forks, steps := 0, 0, 0
+	return &pathState{an: an, heap: map[int]*heapRec{}, next: &next, forks: &forks, steps: &steps}
+}
+
+func (st *pathState) clone() *pathState {
+	c := &pathState{an: st.an, next: st.next, forks: st.forks, steps: st.steps, depth: st.depth}
+	c.heap = make(map[int]*heapRec, len(st.heap))
+	for id, rec := range st.heap {
+		c.heap[id] = rec.clone()
+	}
+	c.stack = append([]string(nil), st.stack...)
+	return c
+}
+
+func (st *pathState) alloc(rec *heapRec) int {
+	*st.next++
+	id := *st.next
+	st.heap[id] = rec
+	return id
+}
+
+// joinWith merges another path's heap into this one after a branch join.
+// Shared object IDs are joined field-wise; IDs present on only one side are
+// adopted as-is.
+func (st *pathState) joinWith(other *pathState) {
+	for id, orec := range other.heap {
+		rec, ok := st.heap[id]
+		if !ok {
+			st.heap[id] = orec
+			continue
+		}
+		joinRec(rec, orec)
+	}
+}
+
+func joinRec(a, b *heapRec) {
+	if a.kind != b.kind {
+		return // incompatible; keep a
+	}
+	switch a.kind {
+	case heapObj, heapMap:
+		if a.fields == nil {
+			a.fields = map[string]AVal{}
+		}
+		if a.maybe == nil {
+			a.maybe = map[string]bool{}
+		}
+		for k, av := range a.fields {
+			bv, ok := b.fields[k]
+			if !ok {
+				a.maybe[k] = true
+				continue
+			}
+			a.fields[k] = joinVal(av, bv)
+			if b.maybe[k] {
+				a.maybe[k] = true
+			}
+		}
+		for k, bv := range b.fields {
+			if _, ok := a.fields[k]; !ok {
+				a.fields[k] = bv
+				a.maybe[k] = true
+			}
+		}
+	case heapList:
+		if len(b.items) > len(a.items) {
+			a.items = b.items
+		}
+	case heapReq:
+		a.req.join(b.req)
+	}
+	a.escaped = a.escaped || b.escaped
+}
+
+func (r *reqRec) join(o *reqRec) {
+	if r.method == "" {
+		r.method = o.method
+	}
+	if len(o.urlParts) > 0 && len(r.urlParts) == 0 {
+		r.urlParts = o.urlParts
+	}
+	r.query = joinFields(r.query, o.query)
+	r.header = joinFields(r.header, o.header)
+	r.form = joinFields(r.form, o.form)
+}
+
+// joinFields merges two field lists: fields on both sides keep a joined
+// value; one-sided fields become optional. Order follows a's order with b's
+// extras appended.
+func joinFields(a, b []fieldVal) []fieldVal {
+	bIdx := map[string]int{}
+	for i, f := range b {
+		if _, dup := bIdx[f.key]; !dup {
+			bIdx[f.key] = i
+		}
+	}
+	seen := map[string]bool{}
+	out := make([]fieldVal, 0, len(a)+len(b))
+	for _, f := range a {
+		seen[f.key] = true
+		if j, ok := bIdx[f.key]; ok {
+			out = append(out, fieldVal{
+				key:      f.key,
+				val:      joinVal(f.val, b[j].val),
+				optional: f.optional || b[j].optional,
+			})
+		} else {
+			f.optional = true
+			out = append(out, f)
+		}
+	}
+	for _, f := range b {
+		if !seen[f.key] {
+			f.optional = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// joinVal merges two abstract values from different paths: equal patterns
+// stay, dependency references are preferred over wildcards, anything else
+// degrades to a wildcard.
+func joinVal(a, b AVal) AVal {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	pa, pb := toPattern(a), toPattern(b)
+	if patternKey(pa) == patternKey(pb) {
+		return a
+	}
+	if _, ok := a.(ARespField); ok {
+		return a
+	}
+	if _, ok := b.(ARespField); ok {
+		return b
+	}
+	return AWild{Origin: "join"}
+}
+
+// errBudget marks analysis resource exhaustion; the caller degrades
+// gracefully rather than failing the whole analysis.
+type errBudget struct{ what string }
+
+func (e errBudget) Error() string { return "static: budget exhausted: " + e.what }
+
+// call abstractly executes a method with the given argument values.
+func (st *pathState) call(qualified string, args []AVal) (AVal, error) {
+	m := st.an.prog.Method(qualified)
+	if m == nil {
+		return nil, fmt.Errorf("unknown method %q", qualified)
+	}
+	if st.depth >= st.an.opts.MaxCallDepth {
+		return AUnknown{}, nil
+	}
+	for _, on := range st.stack {
+		if on == qualified {
+			return AUnknown{}, nil // recursion: cut off
+		}
+	}
+	// Mark heap arguments as escaped (they crossed a method boundary).
+	for _, a := range args {
+		st.markEscaped(a)
+	}
+	st.depth++
+	st.stack = append(st.stack, qualified)
+	regs := make([]AVal, m.NumRegs)
+	copy(regs, args)
+	ret, err := st.runFrom(m, 0, 0, regs)
+	st.stack = st.stack[:len(st.stack)-1]
+	st.depth--
+	st.markEscaped(ret)
+	return ret, err
+}
+
+func (st *pathState) markEscaped(v AVal) {
+	switch x := v.(type) {
+	case AObj:
+		if rec, ok := st.heap[x.ID]; ok {
+			rec.escaped = true
+		}
+	case AReq:
+		if rec, ok := st.heap[x.ID]; ok {
+			rec.escaped = true
+		}
+	}
+}
+
+// runFrom abstractly executes method m beginning at block bi, instruction
+// ii, until a return. Unknown branches fork the state; the forked path runs
+// to method completion and is then joined back.
+func (st *pathState) runFrom(m *air.Method, bi, ii int, regs []AVal) (AVal, error) {
+	maxVisits := 2
+	visits := map[int]int{}
+	for {
+		if bi >= len(m.Blocks) {
+			return nil, nil
+		}
+		if ii == 0 {
+			visits[bi]++
+			if visits[bi] > maxVisits {
+				return AUnknown{}, nil // loop cut-off
+			}
+		}
+		blk := m.Blocks[bi]
+		jumped := false
+		for ; ii < len(blk.Instrs); ii++ {
+			in := blk.Instrs[ii]
+			*st.steps++
+			if *st.steps > st.an.opts.MaxSteps {
+				return nil, errBudget{"steps"}
+			}
+			switch in.Op {
+			case air.OpConstStr:
+				regs[in.Dst] = ALit{S: in.Str}
+			case air.OpConstInt:
+				regs[in.Dst] = ALit{S: fmt.Sprintf("%d", in.Int)}
+			case air.OpConstBool:
+				if in.Int != 0 {
+					regs[in.Dst] = ALit{S: "true"}
+				} else {
+					regs[in.Dst] = ALit{S: "false"}
+				}
+			case air.OpMove:
+				regs[in.Dst] = regs[in.A]
+			case air.OpConcat:
+				regs[in.Dst] = concat(regs[in.A], regs[in.B])
+			case air.OpNewObject:
+				regs[in.Dst] = AObj{ID: st.alloc(&heapRec{kind: heapObj, fields: map[string]AVal{}})}
+			case air.OpIPut:
+				if obj, ok := regs[in.A].(AObj); ok {
+					if rec, ok2 := st.heap[obj.ID]; ok2 {
+						rec.fields[in.Sym] = regs[in.B]
+						delete(rec.maybe, in.Sym)
+					}
+				}
+			case air.OpIGet:
+				regs[in.Dst] = st.readField(regs[in.A], in.Sym)
+			case air.OpNewMap:
+				regs[in.Dst] = AObj{ID: st.alloc(&heapRec{kind: heapMap, fields: map[string]AVal{}})}
+			case air.OpMapPut:
+				if obj, ok := regs[in.A].(AObj); ok {
+					if rec, ok2 := st.heap[obj.ID]; ok2 {
+						rec.fields[in.Sym] = regs[in.B]
+						delete(rec.maybe, in.Sym)
+					}
+				}
+			case air.OpMapGet:
+				regs[in.Dst] = st.readMapKey(regs[in.A], in.Sym)
+			case air.OpNewList:
+				regs[in.Dst] = AObj{ID: st.alloc(&heapRec{kind: heapList})}
+			case air.OpListAdd:
+				if obj, ok := regs[in.A].(AObj); ok {
+					if rec, ok2 := st.heap[obj.ID]; ok2 {
+						rec.items = append(rec.items, regs[in.B])
+					}
+				}
+			case air.OpInvoke:
+				args := make([]AVal, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = regs[a]
+				}
+				v, err := st.call(in.Sym, args)
+				if err != nil {
+					return nil, err
+				}
+				regs[in.Dst] = v
+			case air.OpCallAPI:
+				args := make([]AVal, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = regs[a]
+				}
+				v, err := st.callAPI(m, bi, ii, in, args)
+				if err != nil {
+					return nil, err
+				}
+				regs[in.Dst] = v
+			case air.OpIf, air.OpIfNull:
+				taken, known := st.decideBranch(in, regs)
+				if known {
+					if taken {
+						bi, ii = in.Target, 0
+						jumped = true
+					}
+					if jumped {
+						break
+					}
+					continue
+				}
+				// Unknown condition: fork when budget allows.
+				if *st.forks < st.an.opts.MaxForks {
+					*st.forks++
+					forked := st.clone()
+					forkedRegs := append([]AVal(nil), regs...)
+					retTaken, err := forked.runFrom(m, in.Target, 0, forkedRegs)
+					if err != nil {
+						if _, ok := err.(errBudget); !ok {
+							return nil, err
+						}
+					}
+					retFall, err := st.runFrom2(m, bi, ii+1, regs)
+					if err != nil {
+						if _, ok := err.(errBudget); !ok {
+							return nil, err
+						}
+					}
+					st.joinWith(forked)
+					return joinVal(retFall, retTaken), nil
+				}
+				// Budget exhausted: fall through only.
+			case air.OpGoto:
+				bi, ii = in.Target, 0
+				jumped = true
+			case air.OpForEach:
+				elem := st.elementOf(regs[in.A])
+				extra := make([]AVal, len(in.Args))
+				for i, a := range in.Args {
+					extra[i] = regs[a]
+				}
+				if _, err := st.call(in.Sym, append([]AVal{elem}, extra...)); err != nil {
+					return nil, err
+				}
+			case air.OpReturn:
+				if in.A == air.NoReg {
+					return nil, nil
+				}
+				return regs[in.A], nil
+			}
+			if jumped {
+				break
+			}
+		}
+		if !jumped {
+			bi++
+			ii = 0
+		}
+	}
+}
+
+// runFrom2 continues execution mid-block (after a fork point) without
+// re-counting the block visit.
+func (st *pathState) runFrom2(m *air.Method, bi, ii int, regs []AVal) (AVal, error) {
+	return st.runFrom(m, bi, ii, regs)
+}
+
+// decideBranch resolves statically known conditions.
+func (st *pathState) decideBranch(in air.Instr, regs []AVal) (taken, known bool) {
+	v := regs[in.A]
+	if in.Op == air.OpIfNull {
+		if v == nil {
+			return true, true
+		}
+		if _, ok := v.(ALit); ok {
+			return false, true
+		}
+		return false, false
+	}
+	if s, ok := litString(v); ok {
+		return s != "" && s != "false" && s != "0", true
+	}
+	return false, false
+}
+
+func (st *pathState) readField(v AVal, field string) AVal {
+	obj, ok := v.(AObj)
+	if !ok {
+		return AWild{Origin: "iget-unknown"}
+	}
+	rec, ok := st.heap[obj.ID]
+	if !ok {
+		return AWild{Origin: "iget-unknown"}
+	}
+	if !st.an.opts.Features.Alias && rec.escaped {
+		// Without the on-demand alias analysis, field reads on objects that
+		// crossed a method boundary lose precision (Extractocol's limitation
+		// the paper fixes via FlowDroid's backward alias analysis).
+		return AWild{Origin: "no-alias"}
+	}
+	if fv, ok := rec.fields[field]; ok {
+		return fv
+	}
+	return AWild{Origin: "iget-missing"}
+}
+
+func (st *pathState) readMapKey(v AVal, key string) AVal {
+	switch x := v.(type) {
+	case AObj:
+		return st.readField(v, key)
+	case ARespDoc:
+		st.an.site(x.Pred).respFields[key] = true
+		return ARespField{Pred: x.Pred, Path: key}
+	case ARespField:
+		full := x.Path + "." + key
+		st.an.site(x.Pred).respFields[full] = true
+		return ARespField{Pred: x.Pred, Path: full}
+	default:
+		return AWild{Origin: "map-get-unknown"}
+	}
+}
+
+// elementOf describes a representative element of a list-like value.
+func (st *pathState) elementOf(v AVal) AVal {
+	switch x := v.(type) {
+	case AListOf:
+		return x.Elem
+	case AObj:
+		rec, ok := st.heap[x.ID]
+		if !ok || rec.kind != heapList || len(rec.items) == 0 {
+			return AWild{Origin: "foreach-elem"}
+		}
+		out := rec.items[0]
+		for _, it := range rec.items[1:] {
+			out = joinVal(out, it)
+		}
+		return out
+	default:
+		return AWild{Origin: "foreach-elem"}
+	}
+}
+
+func (st *pathState) reqOf(v AVal) *reqRec {
+	r, ok := v.(AReq)
+	if !ok {
+		return nil
+	}
+	rec, ok := st.heap[r.ID]
+	if !ok || rec.kind != heapReq {
+		return nil
+	}
+	return rec.req
+}

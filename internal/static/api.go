@@ -1,0 +1,229 @@
+package static
+
+import (
+	"strings"
+
+	"appx/internal/air"
+	"appx/internal/jsonpath"
+)
+
+// callAPI abstractly interprets one semantic-API call.
+func (st *pathState) callAPI(m *air.Method, bi, ii int, in air.Instr, args []AVal) (AVal, error) {
+	an := st.an
+	switch in.Sym {
+	case air.APIHTTPNewRequest:
+		method := "GET"
+		if s, ok := litString(args[0]); ok {
+			method = strings.ToUpper(s)
+		}
+		id := st.alloc(&heapRec{kind: heapReq, req: &reqRec{method: method}})
+		return AReq{ID: id}, nil
+
+	case air.APIHTTPSetURL:
+		if r := st.reqOf(args[0]); r != nil {
+			r.urlParts = flatten(args[1])
+		}
+		return nil, nil
+
+	case air.APIHTTPAddQuery:
+		if r := st.reqOf(args[0]); r != nil {
+			if k, ok := litString(args[1]); ok {
+				r.query = append(r.query, fieldVal{key: k, val: args[2]})
+			}
+		}
+		return nil, nil
+
+	case air.APIHTTPAddHeader:
+		if r := st.reqOf(args[0]); r != nil {
+			if k, ok := litString(args[1]); ok {
+				r.header = append(r.header, fieldVal{key: k, val: args[2]})
+			}
+		}
+		return nil, nil
+
+	case air.APIHTTPSetBodyField:
+		if r := st.reqOf(args[0]); r != nil {
+			if k, ok := litString(args[1]); ok {
+				r.form = append(r.form, fieldVal{key: k, val: args[2]})
+			}
+		}
+		return nil, nil
+
+	case air.APIHTTPExecute:
+		siteID := an.siteIDs[m.QualifiedName()][coord(bi, ii)]
+		if siteID == "" {
+			// Defensive: every execute was enumerated in assignSiteIDs.
+			siteID = an.app + ":" + m.QualifiedName() + "#?"
+		}
+		if r := st.reqOf(args[0]); r != nil && !an.intentPass {
+			site := an.site(siteID)
+			snap := &reqSnapshot{
+				method:   r.method,
+				uriParts: append([]AVal(nil), r.urlParts...),
+				query:    append([]fieldVal(nil), r.query...),
+				header:   append([]fieldVal(nil), r.header...),
+				form:     append([]fieldVal(nil), r.form...),
+			}
+			site.snapshots = append(site.snapshots, snap)
+		}
+		return AResp{Pred: siteID}, nil
+
+	case air.APIHTTPRespBody:
+		if resp, ok := args[0].(AResp); ok {
+			return ARespDoc{Pred: resp.Pred}, nil
+		}
+		return AWild{Origin: "resp-body"}, nil
+
+	case air.APIJSONGet:
+		pathLit, ok := litString(args[1])
+		if !ok {
+			return AWild{Origin: "json-path-dynamic"}, nil
+		}
+		return st.jsonGet(args[0], pathLit), nil
+
+	case air.APIListGet:
+		return st.elementOf(args[0]), nil
+	case air.APIListLen:
+		return AWild{Origin: "list.len"}, nil
+
+	case air.APIDeviceUserAgent, air.APIDeviceLocale, air.APIDeviceVersion, air.APIDeviceCookie:
+		return AWild{Origin: in.Sym}, nil
+	case air.APIDeviceFlag:
+		return AWild{Origin: in.Sym}, nil
+
+	case air.APIIntentPut:
+		if k, ok := litString(args[0]); ok {
+			if cur, exists := an.intentMap[k]; exists {
+				an.intentMap[k] = joinVal(cur, args[1])
+			} else {
+				an.intentMap[k] = args[1]
+			}
+		}
+		return nil, nil
+	case air.APIIntentGet:
+		if !an.opts.Features.Intents || an.intentPass {
+			return AWild{Origin: "intent"}, nil
+		}
+		if k, ok := litString(args[0]); ok {
+			if v, exists := an.intentMap[k]; exists {
+				return v, nil
+			}
+		}
+		return AWild{Origin: "intent"}, nil
+
+	case air.APIRxJust:
+		if !an.opts.Features.Rx {
+			return AUnknown{}, nil
+		}
+		v := args[0]
+		return AObs{force: func(*pathState) (AVal, error) { return v, nil }}, nil
+	case air.APIRxDefer:
+		if !an.opts.Features.Rx {
+			return AUnknown{}, nil
+		}
+		name, _ := litString(args[0])
+		return AObs{force: func(s *pathState) (AVal, error) { return s.call(name, nil) }}, nil
+	case air.APIRxMap:
+		if !an.opts.Features.Rx {
+			return AUnknown{}, nil
+		}
+		src, ok := args[0].(AObs)
+		name, _ := litString(args[1])
+		if !ok {
+			return AUnknown{}, nil
+		}
+		return AObs{force: func(s *pathState) (AVal, error) {
+			v, err := src.force(s)
+			if err != nil {
+				return nil, err
+			}
+			return s.call(name, []AVal{v})
+		}}, nil
+	case air.APIRxFlatMap:
+		if !an.opts.Features.Rx {
+			return AUnknown{}, nil
+		}
+		src, ok := args[0].(AObs)
+		name, _ := litString(args[1])
+		if !ok {
+			return AUnknown{}, nil
+		}
+		return AObs{force: func(s *pathState) (AVal, error) {
+			v, err := src.force(s)
+			if err != nil {
+				return nil, err
+			}
+			inner, err := s.call(name, []AVal{v})
+			if err != nil {
+				return nil, err
+			}
+			if io, ok := inner.(AObs); ok {
+				return io.force(s)
+			}
+			return AUnknown{}, nil
+		}}, nil
+	case air.APIRxSubscribe:
+		if !an.opts.Features.Rx {
+			return AUnknown{}, nil
+		}
+		src, ok := args[0].(AObs)
+		name, _ := litString(args[1])
+		if !ok {
+			return AUnknown{}, nil
+		}
+		v, err := src.force(st)
+		if err != nil {
+			return nil, err
+		}
+		return st.call(name, []AVal{v})
+
+	case air.APIUIRender, air.APIUIShowImage:
+		return nil, nil
+	}
+	return AUnknown{}, nil
+}
+
+// jsonGet models json.get over abstract response documents: accesses are
+// recorded as response fields of the originating transaction site, and the
+// returned value carries the dependency reference.
+func (st *pathState) jsonGet(doc AVal, path string) AVal {
+	switch x := doc.(type) {
+	case ARespDoc:
+		st.recordRespField(x.Pred, path)
+		return respFieldVal(x.Pred, path)
+	case ARespField:
+		full := joinPath(x.Path, path)
+		st.recordRespField(x.Pred, full)
+		return respFieldVal(x.Pred, full)
+	case AListOf:
+		// json.get on each element of a fan-out — propagate through.
+		inner := st.jsonGet(x.Elem, path)
+		return AListOf{Elem: inner}
+	default:
+		return AWild{Origin: "json-get"}
+	}
+}
+
+func (st *pathState) recordRespField(pred, path string) {
+	st.an.site(pred).respFields[path] = true
+}
+
+// respFieldVal wraps a response access: wildcard paths denote a fan-out list
+// whose elements are the individual values.
+func respFieldVal(pred, path string) AVal {
+	p, err := jsonpath.Parse(path)
+	if err == nil && p.HasWildcard() {
+		return AListOf{Elem: ARespField{Pred: pred, Path: path}}
+	}
+	return ARespField{Pred: pred, Path: path}
+}
+
+func joinPath(base, rel string) string {
+	if base == "" {
+		return rel
+	}
+	if rel == "" {
+		return base
+	}
+	return base + "." + rel
+}

@@ -1,0 +1,158 @@
+package static
+
+import (
+	"strings"
+
+	"appx/internal/sig"
+)
+
+// AVal is an abstract (symbolic) value in the analyzer's domain.
+//
+// The domain mirrors what APPx's extended Extractocol needs to express
+// (§4.1 of the paper): statically known literals, values determined only at
+// run time (wildcards), values derived from a predecessor transaction's
+// response (dependency references), and concatenations thereof.
+type AVal interface{ aval() }
+
+// ALit is a statically known string literal.
+type ALit struct{ S string }
+
+// AWild is a run-time value unknown to static analysis; Origin names its
+// source for diagnostics ("device.userAgent", "no-alias", ...).
+type AWild struct{ Origin string }
+
+// AConcat is an ordered concatenation of abstract values.
+type AConcat struct{ Parts []AVal }
+
+// ARespField is a scalar drawn from the response of transaction site Pred at
+// the given JSON path (possibly containing [*] — one value per array
+// element).
+type ARespField struct {
+	Pred string // predecessor site ID
+	Path string // jsonpath into the predecessor's response body
+}
+
+// ARespDoc is a whole parsed response document of a transaction site.
+type ARespDoc struct{ Pred string }
+
+// AListOf is a list whose elements are described by Elem (the result of a
+// wildcard json.get).
+type AListOf struct{ Elem AVal }
+
+// AObj is a reference to an abstract heap object (allocation-site
+// abstraction); the fields live in the path state's heap.
+type AObj struct{ ID int }
+
+// AReq is a reference to an abstract HTTP request under construction; the
+// request record lives in the path state's heap.
+type AReq struct{ ID int }
+
+// AResp is a received response handle for transaction site Pred.
+type AResp struct{ Pred string }
+
+// AObs is an Rx observable: a deferred symbolic computation.
+type AObs struct {
+	// force runs the deferred computation against a path state.
+	force func(st *pathState) (AVal, error)
+}
+
+// AUnknown is a value the analyzer cannot describe at all.
+type AUnknown struct{}
+
+func (ALit) aval()       {}
+func (AWild) aval()      {}
+func (AConcat) aval()    {}
+func (ARespField) aval() {}
+func (ARespDoc) aval()   {}
+func (AListOf) aval()    {}
+func (AObj) aval()       {}
+func (AReq) aval()       {}
+func (AResp) aval()      {}
+func (AObs) aval()       {}
+func (AUnknown) aval()   {}
+
+// concat joins two abstract values, flattening nested concatenations and
+// fusing adjacent literals.
+func concat(a, b AVal) AVal {
+	parts := append(flatten(a), flatten(b)...)
+	// Fuse adjacent literals.
+	var fused []AVal
+	for _, p := range parts {
+		if l, ok := p.(ALit); ok && len(fused) > 0 {
+			if prev, ok2 := fused[len(fused)-1].(ALit); ok2 {
+				fused[len(fused)-1] = ALit{S: prev.S + l.S}
+				continue
+			}
+		}
+		fused = append(fused, p)
+	}
+	if len(fused) == 1 {
+		return fused[0]
+	}
+	return AConcat{Parts: fused}
+}
+
+func flatten(v AVal) []AVal {
+	if c, ok := v.(AConcat); ok {
+		var out []AVal
+		for _, p := range c.Parts {
+			out = append(out, flatten(p)...)
+		}
+		return out
+	}
+	if v == nil {
+		return []AVal{ALit{S: ""}}
+	}
+	return []AVal{v}
+}
+
+// toPattern lowers an abstract value to a signature pattern. Values the
+// pattern language cannot express degrade to wildcards (a safe
+// over-approximation: the proxy will learn them at run time).
+func toPattern(v AVal) sig.Pattern {
+	switch x := v.(type) {
+	case nil:
+		return sig.Literal("")
+	case ALit:
+		return sig.Literal(x.S)
+	case AWild:
+		return sig.Wildcard(x.Origin)
+	case ARespField:
+		return sig.DepValue(x.Pred, x.Path)
+	case AConcat:
+		var out sig.Pattern
+		for _, p := range x.Parts {
+			out = sig.Concat(out, toPattern(p))
+		}
+		return out
+	case AListOf:
+		return toPattern(x.Elem)
+	default:
+		return sig.Wildcard("unknown")
+	}
+}
+
+// patternKey renders a pattern canonically for equality comparison during
+// snapshot merging.
+func patternKey(p sig.Pattern) string {
+	var b strings.Builder
+	for _, part := range p.Parts {
+		switch part.Kind {
+		case sig.Lit:
+			b.WriteString("L(" + part.Lit + ")")
+		case sig.Wild:
+			b.WriteString("W")
+		case sig.Dep:
+			b.WriteString("D(" + part.PredID + "|" + part.RespPath + ")")
+		}
+	}
+	return b.String()
+}
+
+// litString extracts the string when v is a literal.
+func litString(v AVal) (string, bool) {
+	if l, ok := v.(ALit); ok {
+		return l.S, true
+	}
+	return "", false
+}

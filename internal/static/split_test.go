@@ -1,0 +1,286 @@
+package static
+
+import (
+	"testing"
+
+	"appx/internal/air"
+	"appx/internal/sig"
+)
+
+func TestSplitURLPlainLiteral(t *testing.T) {
+	uri, query := splitURL([]AVal{ALit{S: "http://api.example/path/sub"}})
+	if uri.String() != "api.example/path/sub" {
+		t.Fatalf("uri = %q", uri.String())
+	}
+	if len(query) != 0 {
+		t.Fatalf("query = %v", query)
+	}
+}
+
+func TestSplitURLEmbeddedQueryWithDynamicTail(t *testing.T) {
+	// "http://h/img?cid=" + <dep> — the Figure 3(a) thumbnail pattern.
+	uri, query := splitURL([]AVal{
+		ALit{S: "http://img.example/img?cid="},
+		ARespField{Pred: "p", Path: "items[*].id"},
+	})
+	if uri.String() != "img.example/img" {
+		t.Fatalf("uri = %q", uri.String())
+	}
+	if len(query) != 1 || query[0].key != "cid" {
+		t.Fatalf("query = %+v", query)
+	}
+	pat := toPattern(query[0].val)
+	if !pat.HasDep() {
+		t.Fatalf("cid value lost the dependency: %+v", pat)
+	}
+}
+
+func TestSplitURLMultipleParams(t *testing.T) {
+	uri, query := splitURL([]AVal{
+		ALit{S: "https://h.example/s?a=1&b="},
+		AWild{Origin: "x"},
+		ALit{S: "&c=3"},
+	})
+	if uri.String() != "h.example/s" {
+		t.Fatalf("uri = %q", uri.String())
+	}
+	if len(query) != 3 {
+		t.Fatalf("query = %+v", query)
+	}
+	if query[0].key != "a" || query[1].key != "b" || query[2].key != "c" {
+		t.Fatalf("keys = %s %s %s", query[0].key, query[1].key, query[2].key)
+	}
+	if lit, ok := toPattern(query[2].val).IsLiteral(); !ok || lit != "3" {
+		t.Fatalf("c = %+v", toPattern(query[2].val))
+	}
+	if _, isLit := toPattern(query[1].val).IsLiteral(); isLit {
+		t.Fatal("b should be dynamic")
+	}
+}
+
+func TestSplitURLDynamicHost(t *testing.T) {
+	// Fully response-derived URL: a single dep part.
+	uri, query := splitURL([]AVal{ARespField{Pred: "p", Path: "data.url"}})
+	if len(uri.Parts) != 1 || uri.Parts[0].Kind != sig.Dep {
+		t.Fatalf("uri = %+v", uri)
+	}
+	if len(query) != 0 {
+		t.Fatalf("query = %v", query)
+	}
+}
+
+func TestSplitURLEmpty(t *testing.T) {
+	uri, _ := splitURL(nil)
+	if uri.String() != ".*" {
+		t.Fatalf("empty url pattern = %q", uri.String())
+	}
+}
+
+func TestIfNullBranching(t *testing.T) {
+	// if-null on a literal never jumps; on an unknown it forks — a field
+	// set only on the null arm must be optional.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("N", air.KindActivity)
+	m := c.Method("go", 0)
+	nullArm := m.Block()
+	done := m.Block()
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("POST"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://x.example/send"))
+	maybe := m.CallAPI(air.APIIntentGet, m.ConstStr("missing-key"))
+	m.IfNull(maybe, nullArm)
+	m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("present"), m.ConstStr("1"))
+	m.Goto(done)
+	m.Enter(nullArm)
+	m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("fallback"), m.ConstStr("1"))
+	m.Goto(done)
+	m.Enter(done)
+	m.CallAPI(air.APIHTTPExecute, req)
+	m.Done()
+
+	g, err := Analyze(pb.MustBuild(), "t", []string{"N.go"}, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Sig("t:N.go#0")
+	if s == nil {
+		t.Fatal("missing signature")
+	}
+	found := map[string]bool{}
+	for _, f := range s.BodyForm {
+		found[f.Key] = f.Optional
+	}
+	opt, ok := found["present"]
+	if !ok || !opt {
+		t.Fatalf("'present' = optional %v, ok %v (want optional)", opt, ok)
+	}
+	opt, ok = found["fallback"]
+	if !ok || !opt {
+		t.Fatalf("'fallback' = optional %v, ok %v (want optional)", opt, ok)
+	}
+}
+
+func TestMapGetOnResponseDoc(t *testing.T) {
+	// map-get on a parsed response document records the field access just
+	// like json.get.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("M", air.KindActivity)
+	m := c.Method("go", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://x.example/feed"))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	id := m.MapGet(body, "top_id")
+	req2 := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req2, m.ConstStr("http://x.example/item"))
+	m.CallAPI(air.APIHTTPAddQuery, req2, m.ConstStr("id"), id)
+	m.CallAPI(air.APIHTTPExecute, req2)
+	m.Done()
+
+	g, err := Analyze(pb.MustBuild(), "t", []string{"M.go"}, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := g.DepsInto("t:M.go#1")
+	if len(deps) != 1 || deps[0].RespPath != "top_id" {
+		t.Fatalf("map-get dep = %+v", deps)
+	}
+}
+
+func TestMethodFromNonLiteralDefaultsGET(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("D", air.KindActivity)
+	m := c.Method("go", 0)
+	dyn := m.CallAPI(air.APIDeviceLocale)
+	req := m.CallAPI(air.APIHTTPNewRequest, dyn)
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://x.example/dyn"))
+	m.CallAPI(air.APIHTTPExecute, req)
+	m.Done()
+	g, err := Analyze(pb.MustBuild(), "t", []string{"D.go"}, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Sig("t:D.go#0"); s == nil || s.Method != "GET" {
+		t.Fatalf("dynamic-method signature = %+v", s)
+	}
+}
+
+func TestForkBudgetDegradesGracefully(t *testing.T) {
+	// Deep branch ladders exceed the fork budget; the analyzer must still
+	// terminate and produce the signature.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("F", air.KindActivity)
+	m := c.Method("go", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("POST"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://x.example/send"))
+	done := m.Block()
+	for i := 0; i < 24; i++ {
+		arm := m.Block()
+		cont := m.Block()
+		flag := m.CallAPI(air.APIDeviceFlag, m.ConstStr("f"))
+		m.If(flag, arm)
+		m.Goto(cont)
+		m.Enter(arm)
+		m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("opt"), m.ConstStr("1"))
+		m.Goto(cont)
+		m.Enter(cont)
+	}
+	m.Goto(done)
+	m.Enter(done)
+	m.CallAPI(air.APIHTTPExecute, req)
+	m.Done()
+
+	g, err := Analyze(pb.MustBuild(), "t", []string{"F.go"}, Options{Features: AllFeatures(), MaxForks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sig("t:F.go#0") == nil {
+		t.Fatal("signature lost under fork budget")
+	}
+}
+
+func TestHeapListJoinInForEach(t *testing.T) {
+	// A heap list built from response fields: for-each over it must carry
+	// the dependency into the handler.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("L", air.KindActivity)
+
+	h := c.Method("loadItem", 1)
+	req := h.CallAPI(air.APIHTTPNewRequest, h.ConstStr("GET"))
+	h.CallAPI(air.APIHTTPSetURL, req, h.ConstStr("http://x.example/item"))
+	h.CallAPI(air.APIHTTPAddQuery, req, h.ConstStr("id"), h.Param(0))
+	h.CallAPI(air.APIHTTPExecute, req)
+	h.Done()
+
+	m := c.Method("go", 0)
+	freq := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, freq, m.ConstStr("http://x.example/feed"))
+	resp := m.CallAPI(air.APIHTTPExecute, freq)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	a := m.CallAPI(air.APIJSONGet, body, m.ConstStr("top.id"))
+	b := m.CallAPI(air.APIJSONGet, body, m.ConstStr("alt.id"))
+	list := m.NewList()
+	m.ListAdd(list, a)
+	m.ListAdd(list, b)
+	m.ForEach(list, "L.loadItem")
+	m.Done()
+
+	g, err := Analyze(pb.MustBuild(), "t", []string{"L.go"}, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := g.DepsInto("t:L.loadItem#0")
+	// The two list elements join; the dep reference survives (either path).
+	if len(deps) != 1 {
+		t.Fatalf("deps = %+v", deps)
+	}
+}
+
+func TestStepBudgetDegradesGracefully(t *testing.T) {
+	// A tiny step budget: analysis must not error out, only under-report.
+	prog := buildFeedDetail(t)
+	g, err := Analyze(prog, "t", []string{"Main.launch"}, Options{Features: AllFeatures(), MaxSteps: 10})
+	if err != nil {
+		t.Fatalf("Analyze with tiny budget: %v", err)
+	}
+	full, err := Analyze(prog, "t", []string{"Main.launch"}, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sigs) > len(full.Sigs) {
+		t.Fatalf("budgeted run found MORE sigs (%d > %d)", len(g.Sigs), len(full.Sigs))
+	}
+}
+
+func TestCallDepthCutoff(t *testing.T) {
+	// Mutual recursion terminates via the stack check.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("R", air.KindPlain)
+	fa := c.Method("a", 0)
+	fa.Invoke("R.b")
+	fa.Done()
+	fb := c.Method("b", 0)
+	fb.Invoke("R.a")
+	fb.Done()
+	if _, err := Analyze(pb.MustBuild(), "t", []string{"R.a"}, Options{}); err != nil {
+		t.Fatalf("mutual recursion: %v", err)
+	}
+}
+
+func TestConcatOfLiteralsFusesInSignature(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("F", air.KindActivity)
+	m := c.Method("go", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	u := m.StrConcat("http://x.example", m.ConstStr("/a/b"))
+	m.CallAPI(air.APIHTTPSetURL, req, u)
+	m.CallAPI(air.APIHTTPExecute, req)
+	m.Done()
+	g, err := Analyze(pb.MustBuild(), "t", []string{"F.go"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Sig("t:F.go#0")
+	if lit, ok := s.URI.IsLiteral(); !ok || lit != "x.example/a/b" {
+		t.Fatalf("URI = %+v", s.URI)
+	}
+}

@@ -1,0 +1,451 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"appx/internal/air"
+	"appx/internal/httpmsg"
+	"appx/internal/sig"
+)
+
+// buildFeedDetail compiles the canonical Wish-like pattern: GET feed →
+// for each item id → POST detail (cid=id) with a branch-conditional
+// credit_id field, plus an image GET whose URL embeds the id in the query
+// string.
+func buildFeedDetail(t testing.TB) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Main", air.KindActivity)
+
+	m := c.Method("launch", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://wish.example/api/get-feed"))
+	m.CallAPI(air.APIHTTPAddHeader, req, m.ConstStr("User-Agent"), m.CallAPI(air.APIDeviceUserAgent))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	ids := m.CallAPI(air.APIJSONGet, body, m.ConstStr("data.products[*].product_info.id"))
+	m.ForEach(ids, "Main.loadDetail")
+	m.CallAPI(air.APIUIRender, m.ConstStr("feed"))
+	m.Done()
+
+	d := c.Method("loadDetail", 1)
+	dreq := d.CallAPI(air.APIHTTPNewRequest, d.ConstStr("POST"))
+	d.CallAPI(air.APIHTTPSetURL, dreq, d.ConstStr("http://wish.example/product/get"))
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("cid"), d.Param(0))
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("_client"), d.ConstStr("android"))
+	skip := d.Block()
+	cont := d.Block()
+	flag := d.CallAPI(air.APIDeviceFlag, d.ConstStr("no_credit"))
+	d.If(flag, skip)
+	d.CallAPI(air.APIHTTPSetBodyField, dreq, d.ConstStr("credit_id"), d.CallAPI(air.APIDeviceVersion))
+	d.Goto(cont)
+	d.Enter(skip)
+	d.Goto(cont)
+	d.Enter(cont)
+	d.CallAPI(air.APIHTTPExecute, dreq)
+	ireq := d.CallAPI(air.APIHTTPNewRequest, d.ConstStr("GET"))
+	iurl := d.StrConcat("http://img.wish.example/img?cid=", d.Param(0))
+	d.CallAPI(air.APIHTTPSetURL, ireq, iurl)
+	iresp := d.CallAPI(air.APIHTTPExecute, ireq)
+	d.CallAPI(air.APIUIShowImage, iresp)
+	d.CallAPI(air.APIUIRender, d.ConstStr("detail"))
+	d.Done()
+
+	return pb.MustBuild()
+}
+
+func analyzeAll(t testing.TB, prog *air.Program, entries ...string) *sig.Graph {
+	t.Helper()
+	g, err := Analyze(prog, "testapp", entries, Options{Features: AllFeatures()})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return g
+}
+
+func TestFeedDetailSignatures(t *testing.T) {
+	g := analyzeAll(t, buildFeedDetail(t), "Main.launch")
+	if len(g.Sigs) != 3 {
+		b, _ := g.Marshal()
+		t.Fatalf("signatures = %d, want 3\n%s", len(g.Sigs), b)
+	}
+
+	feed := g.Sig("testapp:Main.launch#0")
+	if feed == nil {
+		t.Fatal("missing feed signature")
+	}
+	if feed.Method != "GET" || feed.URI.String() != "wish.example/api/get-feed" {
+		t.Fatalf("feed = %s %s", feed.Method, feed.URI.String())
+	}
+	if len(feed.RespFields) != 1 || feed.RespFields[0] != "data.products[*].product_info.id" {
+		t.Fatalf("feed.RespFields = %v", feed.RespFields)
+	}
+	// The User-Agent header must be a wildcard (device-determined).
+	if len(feed.Header) != 1 || feed.Header[0].Key != "User-Agent" || feed.Header[0].Value.String() != ".*" {
+		t.Fatalf("feed.Header = %+v", feed.Header)
+	}
+
+	detail := g.Sig("testapp:Main.loadDetail#0")
+	if detail == nil {
+		t.Fatal("missing detail signature")
+	}
+	if detail.Method != "POST" || detail.BodyKind != httpmsg.BodyForm {
+		t.Fatalf("detail = %s %v", detail.Method, detail.BodyKind)
+	}
+	byKey := map[string]sig.Field{}
+	for _, f := range detail.BodyForm {
+		byKey[f.Key] = f
+	}
+	cid, ok := byKey["cid"]
+	if !ok || !cid.Value.HasDep() {
+		t.Fatalf("cid field = %+v", cid)
+	}
+	if cid.Value.Parts[0].PredID != "testapp:Main.launch#0" ||
+		cid.Value.Parts[0].RespPath != "data.products[*].product_info.id" {
+		t.Fatalf("cid dep = %+v", cid.Value.Parts[0])
+	}
+	if cl, ok := byKey["_client"]; !ok {
+		t.Fatal("missing _client")
+	} else if lit, isLit := cl.Value.IsLiteral(); !isLit || lit != "android" {
+		t.Fatalf("_client = %+v", cl.Value)
+	}
+	credit, ok := byKey["credit_id"]
+	if !ok {
+		t.Fatal("missing credit_id")
+	}
+	if !credit.Optional {
+		t.Fatal("credit_id should be optional (branch-conditional, Figure 8)")
+	}
+	if cid.Optional || byKey["_client"].Optional {
+		t.Fatal("unconditional fields marked optional")
+	}
+}
+
+func TestImageURLQueryDependency(t *testing.T) {
+	g := analyzeAll(t, buildFeedDetail(t), "Main.launch")
+	img := g.Sig("testapp:Main.loadDetail#1")
+	if img == nil {
+		t.Fatal("missing image signature")
+	}
+	if img.URI.String() != "img.wish.example/img" {
+		t.Fatalf("img URI = %q", img.URI.String())
+	}
+	if len(img.Query) != 1 || img.Query[0].Key != "cid" || !img.Query[0].Value.HasDep() {
+		t.Fatalf("img query = %+v", img.Query)
+	}
+}
+
+func TestDependencyGraphShape(t *testing.T) {
+	g := analyzeAll(t, buildFeedDetail(t), "Main.launch")
+	pre := g.Predecessors("testapp:Main.loadDetail#0")
+	if len(pre) != 1 || pre[0] != "testapp:Main.launch#0" {
+		t.Fatalf("detail preds = %v", pre)
+	}
+	prefetchable := g.Prefetchable()
+	if len(prefetchable) != 2 {
+		t.Fatalf("prefetchable = %v, want detail+image", prefetchable)
+	}
+	if got := g.MaxChainLen(); got != 2 {
+		t.Fatalf("MaxChainLen = %d, want 2", got)
+	}
+}
+
+// buildIntentChain uses an Intent to pass the item id between two
+// activities; without Intent support the dependency is lost.
+func buildIntentChain(t testing.TB) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	a := pb.Class("ListActivity", air.KindActivity)
+	m := a.Method("onCreate", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://api.example/list"))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	id := m.CallAPI(air.APIJSONGet, body, m.ConstStr("items[0].id"))
+	m.CallAPI(air.APIIntentPut, m.ConstStr("sel"), id)
+	m.Invoke("DetailActivity.onCreate")
+	m.Done()
+
+	b := pb.Class("DetailActivity", air.KindActivity)
+	d := b.Method("onCreate", 0)
+	did := d.CallAPI(air.APIIntentGet, d.ConstStr("sel"))
+	dreq := d.CallAPI(air.APIHTTPNewRequest, d.ConstStr("GET"))
+	d.CallAPI(air.APIHTTPSetURL, dreq, d.ConstStr("http://api.example/detail"))
+	d.CallAPI(air.APIHTTPAddQuery, dreq, d.ConstStr("id"), did)
+	d.CallAPI(air.APIHTTPExecute, dreq)
+	d.Done()
+	return pb.MustBuild()
+}
+
+func TestIntentMapEnablesDependency(t *testing.T) {
+	prog := buildIntentChain(t)
+	g := analyzeAll(t, prog, "ListActivity.onCreate")
+	deps := g.DepsInto("testapp:DetailActivity.onCreate#0")
+	if len(deps) != 1 {
+		t.Fatalf("deps with intents = %v", deps)
+	}
+	if deps[0].PredID != "testapp:ListActivity.onCreate#0" || deps[0].RespPath != "items[0].id" {
+		t.Fatalf("dep = %+v", deps[0])
+	}
+
+	// Ablation: without Intent support the edge disappears.
+	g2, err := Analyze(prog, "testapp", []string{"ListActivity.onCreate"},
+		Options{Features: Features{Rx: true, Alias: true}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if deps := g2.DepsInto("testapp:DetailActivity.onCreate#0"); len(deps) != 0 {
+		t.Fatalf("deps without intents = %v, want none", deps)
+	}
+}
+
+// buildRxChain issues the detail request from inside an Rx pipeline.
+func buildRxChain(t testing.TB) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Rxc", air.KindActivity)
+
+	fetch := c.Method("fetch", 0)
+	req := fetch.CallAPI(air.APIHTTPNewRequest, fetch.ConstStr("GET"))
+	fetch.CallAPI(air.APIHTTPSetURL, req, fetch.ConstStr("http://api.example/feed"))
+	resp := fetch.CallAPI(air.APIHTTPExecute, req)
+	body := fetch.CallAPI(air.APIHTTPRespBody, resp)
+	fetch.Return(body)
+	fetch.Done()
+
+	pick := c.Method("pick", 1)
+	id := pick.CallAPI(air.APIJSONGet, pick.Param(0), pick.ConstStr("top.id"))
+	pick.Return(id)
+	pick.Done()
+
+	load := c.Method("load", 1)
+	lreq := load.CallAPI(air.APIHTTPNewRequest, load.ConstStr("GET"))
+	load.CallAPI(air.APIHTTPSetURL, lreq, load.ConstStr("http://api.example/item"))
+	load.CallAPI(air.APIHTTPAddQuery, lreq, load.ConstStr("id"), load.Param(0))
+	load.CallAPI(air.APIHTTPExecute, lreq)
+	load.Done()
+
+	m := c.Method("onCreate", 0)
+	o := m.CallAPI(air.APIRxDefer, m.ConstStr("Rxc.fetch"))
+	mapped := m.CallAPI(air.APIRxMap, o, m.ConstStr("Rxc.pick"))
+	m.CallAPI(air.APIRxSubscribe, mapped, m.ConstStr("Rxc.load"))
+	m.Done()
+	return pb.MustBuild()
+}
+
+func TestRxModelsEnableDependency(t *testing.T) {
+	prog := buildRxChain(t)
+	g := analyzeAll(t, prog, "Rxc.onCreate")
+	deps := g.DepsInto("testapp:Rxc.load#0")
+	if len(deps) != 1 || deps[0].RespPath != "top.id" {
+		t.Fatalf("rx deps = %+v", deps)
+	}
+
+	g2, err := Analyze(prog, "testapp", []string{"Rxc.onCreate"},
+		Options{Features: Features{Intents: true, Alias: true}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// Without Rx models the subscribe never runs, so the load signature
+	// itself is missing.
+	if s := g2.Sig("testapp:Rxc.load#0"); s != nil {
+		t.Fatalf("load signature found without rx models: %+v", s)
+	}
+}
+
+// buildAliasChain stores the feed id inside a heap object that crosses a
+// method boundary before the dependent request reads it back.
+func buildAliasChain(t testing.TB) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Al", air.KindActivity)
+
+	m := c.Method("onCreate", 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://api.example/feed"))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	id := m.CallAPI(air.APIJSONGet, body, m.ConstStr("top.id"))
+	holder := m.NewObject("Holder")
+	m.IPut(holder, "id", id)
+	m.Invoke("Al.load", holder)
+	m.Done()
+
+	load := c.Method("load", 1)
+	hid := load.IGet(load.Param(0), "id")
+	lreq := load.CallAPI(air.APIHTTPNewRequest, load.ConstStr("GET"))
+	load.CallAPI(air.APIHTTPSetURL, lreq, load.ConstStr("http://api.example/item"))
+	load.CallAPI(air.APIHTTPAddQuery, lreq, load.ConstStr("id"), hid)
+	load.CallAPI(air.APIHTTPExecute, lreq)
+	load.Done()
+	return pb.MustBuild()
+}
+
+func TestAliasAnalysisEnablesDependency(t *testing.T) {
+	prog := buildAliasChain(t)
+	g := analyzeAll(t, prog, "Al.onCreate")
+	deps := g.DepsInto("testapp:Al.load#0")
+	if len(deps) != 1 || deps[0].RespPath != "top.id" {
+		t.Fatalf("alias deps = %+v", deps)
+	}
+
+	g2, err := Analyze(prog, "testapp", []string{"Al.onCreate"},
+		Options{Features: Features{Intents: true, Rx: true}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The signature still exists but the dependency degrades to a wildcard.
+	s := g2.Sig("testapp:Al.load#0")
+	if s == nil {
+		t.Fatal("load signature missing without alias analysis")
+	}
+	if deps := g2.DepsInto("testapp:Al.load#0"); len(deps) != 0 {
+		t.Fatalf("deps without alias analysis = %v, want none", deps)
+	}
+}
+
+// Successive chain: a → b → c → d, each consuming the previous response id
+// (the DoorDash pattern of Figure 11).
+func buildChain(t testing.TB, n int) *air.Program {
+	t.Helper()
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Chain", air.KindActivity)
+	names := []string{"list", "store", "menu", "detail", "suggest", "extra", "more"}
+	for i := n - 1; i >= 1; i-- {
+		h := c.Method(names[i], 1)
+		req := h.CallAPI(air.APIHTTPNewRequest, h.ConstStr("GET"))
+		h.CallAPI(air.APIHTTPSetURL, req, h.ConstStr("http://dd.example/"+names[i]))
+		h.CallAPI(air.APIHTTPAddQuery, req, h.ConstStr("id"), h.Param(0))
+		resp := h.CallAPI(air.APIHTTPExecute, req)
+		if i+1 < n {
+			body := h.CallAPI(air.APIHTTPRespBody, resp)
+			id := h.CallAPI(air.APIJSONGet, body, h.ConstStr("id"))
+			h.Invoke("Chain."+names[i+1], id)
+		}
+		h.Done()
+	}
+	m := c.Method(names[0], 0)
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("GET"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://dd.example/"+names[0]))
+	resp := m.CallAPI(air.APIHTTPExecute, req)
+	body := m.CallAPI(air.APIHTTPRespBody, resp)
+	id := m.CallAPI(air.APIJSONGet, body, m.ConstStr("id"))
+	if n > 1 {
+		m.Invoke("Chain."+names[1], id)
+	}
+	m.Done()
+	return pb.MustBuild()
+}
+
+func TestSuccessiveChainLength(t *testing.T) {
+	g := analyzeAll(t, buildChain(t, 4), "Chain.list")
+	if got := g.MaxChainLen(); got != 4 {
+		b, _ := g.Marshal()
+		t.Fatalf("MaxChainLen = %d, want 4\n%s", got, b)
+	}
+	chain := g.Chain()
+	if len(chain) != 4 || !strings.Contains(chain[0], "list") || !strings.Contains(chain[3], "detail") {
+		t.Fatalf("Chain = %v", chain)
+	}
+}
+
+func TestAnalyzeUnknownEntry(t *testing.T) {
+	_, err := Analyze(buildFeedDetail(t), "x", []string{"No.method"}, Options{})
+	if err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+func TestSnapshotsFromBothBranchArms(t *testing.T) {
+	// Execute inside a branch: signature exists; a field set in only the
+	// taken arm is optional.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("Br", air.KindActivity)
+	m := c.Method("go", 0)
+	other := m.Block()
+	done := m.Block()
+	req := m.CallAPI(air.APIHTTPNewRequest, m.ConstStr("POST"))
+	m.CallAPI(air.APIHTTPSetURL, req, m.ConstStr("http://x.example/send"))
+	flag := m.CallAPI(air.APIDeviceFlag, m.ConstStr("f"))
+	m.If(flag, other)
+	m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("mode"), m.ConstStr("a"))
+	m.Goto(done)
+	m.Enter(other)
+	m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("mode"), m.ConstStr("b"))
+	m.CallAPI(air.APIHTTPSetBodyField, req, m.ConstStr("extra"), m.ConstStr("1"))
+	m.Goto(done)
+	m.Enter(done)
+	m.CallAPI(air.APIHTTPExecute, req)
+	m.Done()
+
+	g := analyzeAll(t, pb.MustBuild(), "Br.go")
+	s := g.Sig("testapp:Br.go#0")
+	if s == nil {
+		t.Fatal("missing signature")
+	}
+	fields := map[string]sig.Field{}
+	for _, f := range s.BodyForm {
+		fields[f.Key] = f
+	}
+	mode, ok := fields["mode"]
+	if !ok {
+		t.Fatalf("mode missing: %+v", s.BodyForm)
+	}
+	// mode is set on both arms with different literals → required wildcard.
+	if mode.Optional {
+		t.Fatal("mode should be required (set on both arms)")
+	}
+	if mode.Value.String() != ".*" {
+		t.Fatalf("mode value = %q, want wildcard after join", mode.Value.String())
+	}
+	extra, ok := fields["extra"]
+	if !ok || !extra.Optional {
+		t.Fatalf("extra = %+v, want optional", extra)
+	}
+}
+
+func TestLoopCutOff(t *testing.T) {
+	// A self-loop must not hang the analyzer.
+	pb := air.NewProgramBuilder()
+	c := pb.Class("L", air.KindPlain)
+	m := c.Method("spin", 0)
+	m.ConstInt(1)
+	m.Goto(0)
+	m.Done()
+	g, err := Analyze(pb.MustBuild(), "x", []string{"L.spin"}, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(g.Sigs) != 0 {
+		t.Fatalf("sigs = %d", len(g.Sigs))
+	}
+}
+
+func TestRecursionCutOff(t *testing.T) {
+	pb := air.NewProgramBuilder()
+	c := pb.Class("R", air.KindPlain)
+	m := c.Method("rec", 0)
+	m.Invoke("R.rec")
+	m.Done()
+	if _, err := Analyze(pb.MustBuild(), "x", []string{"R.rec"}, Options{}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+}
+
+func TestFanOutDepCarriesWildcardPath(t *testing.T) {
+	g := analyzeAll(t, buildFeedDetail(t), "Main.launch")
+	deps := g.DepsInto("testapp:Main.loadDetail#0")
+	found := false
+	for _, d := range deps {
+		if d.Loc.Where == "form" && d.Loc.Key == "cid" {
+			found = true
+			if !strings.Contains(d.RespPath, "[*]") {
+				t.Fatalf("cid dep path = %q, want wildcard fan-out", d.RespPath)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no form:cid dep; deps = %+v", deps)
+	}
+}
