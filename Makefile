@@ -1,0 +1,16 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs vet, build, and the race-enabled test suite.
+check:
+	./scripts/check.sh
+
+bench:
+	go run ./cmd/appx-bench

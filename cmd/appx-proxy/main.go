@@ -14,6 +14,17 @@
 // Signatures and configuration default to running Phase 1 (and optionally
 // Phase 2 with -verify) at startup; pass -sigs/-config to use files from
 // appx-analyze / appx-verify.
+//
+// The origin path is resilient: idempotent requests are retried with
+// jittered backoff, per-host circuit breakers shed traffic to sick origins,
+// and failing prefetch signatures back off. The -retry-*, -breaker-* and
+// -prefetch-backoff-* flags override the config file's resilience section;
+// -fault injects deterministic connect failures for resilience drills:
+//
+//	appx-proxy -app wish -fault api.wish.example=0.3 -fault-seed 7
+//
+// GET /appx/health (directly, not proxied) reports breaker states and
+// suspended signatures.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,40 +46,77 @@ import (
 	"appx/internal/verify"
 )
 
+// options collects the command-line configuration.
+type options struct {
+	appName  string
+	listen   string
+	sigsPath string
+	cfgPath  string
+	origins  string
+	doVerify bool
+	scale    float64
+	workers  int
+
+	// Resilience overrides; zero values defer to -config / built-in defaults.
+	retryAttempts       int
+	retryBase           time.Duration
+	attemptTimeout      time.Duration
+	breakerFailures     int
+	breakerOpen         time.Duration
+	prefetchFailLimit   int
+	prefetchBackoffBase time.Duration
+	prefetchBackoffMax  time.Duration
+
+	// Fault injection (resilience drills).
+	fault     string
+	faultSeed int64
+}
+
 func main() {
-	var (
-		appName  = flag.String("app", "", "built-in app to accelerate")
-		listen   = flag.String("listen", "127.0.0.1:8080", "proxy listen address")
-		sigsPath = flag.String("sigs", "", "signature graph JSON (default: analyze at startup)")
-		cfgPath  = flag.String("config", "", "proxy configuration JSON (default: derived)")
-		origins  = flag.String("origin", "", "comma-separated host=addr overrides; empty = start built-in origins in process")
-		doVerify = flag.Bool("verify", false, "run Phase 2 verification before serving")
-		scale    = flag.Float64("scale", 1, "emulated time scale for in-process origins")
-		workers  = flag.Int("workers", 8, "prefetch worker pool size")
-	)
+	var o options
+	flag.StringVar(&o.appName, "app", "", "built-in app to accelerate")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8080", "proxy listen address")
+	flag.StringVar(&o.sigsPath, "sigs", "", "signature graph JSON (default: analyze at startup)")
+	flag.StringVar(&o.cfgPath, "config", "", "proxy configuration JSON (default: derived)")
+	flag.StringVar(&o.origins, "origin", "", "comma-separated host=addr overrides; empty = start built-in origins in process")
+	flag.BoolVar(&o.doVerify, "verify", false, "run Phase 2 verification before serving")
+	flag.Float64Var(&o.scale, "scale", 1, "emulated time scale for in-process origins")
+	flag.IntVar(&o.workers, "workers", 8, "prefetch worker pool size")
+
+	flag.IntVar(&o.retryAttempts, "retry-attempts", 0, "total tries per idempotent origin request, including the first (0 = config default)")
+	flag.DurationVar(&o.retryBase, "retry-base", 0, "base delay of the jittered exponential retry backoff (0 = config default)")
+	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 0, "per-attempt origin deadline (0 = config default)")
+	flag.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive failures that open a host's circuit breaker (0 = config default)")
+	flag.DurationVar(&o.breakerOpen, "breaker-open", 0, "how long an open breaker waits before probing the host again (0 = config default)")
+	flag.IntVar(&o.prefetchFailLimit, "prefetch-failure-limit", 0, "consecutive failures that suspend a prefetch signature (0 = config default)")
+	flag.DurationVar(&o.prefetchBackoffBase, "prefetch-backoff-base", 0, "initial suspension of a failing prefetch signature (0 = config default)")
+	flag.DurationVar(&o.prefetchBackoffMax, "prefetch-backoff-max", 0, "suspension cap for a failing prefetch signature (0 = config default)")
+
+	flag.StringVar(&o.fault, "fault", "", "comma-separated host=prob connect-refusal injection, e.g. api.wish.example=0.3")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
 
-	if err := run(*appName, *listen, *sigsPath, *cfgPath, *origins, *doVerify, *scale, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "appx-proxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName, listen, sigsPath, cfgPath, origins string, doVerify bool, scale float64, workers int) error {
-	a := apps.ByName(appName)
+func run(o options) error {
+	a := apps.ByName(o.appName)
 	if a == nil {
-		return fmt.Errorf("unknown app %q", appName)
+		return fmt.Errorf("unknown app %q", o.appName)
 	}
 
-	g, err := loadGraph(a, sigsPath)
+	g, err := loadGraph(a, o.sigsPath)
 	if err != nil {
 		return err
 	}
 
 	var cfg *config.Config
 	switch {
-	case cfgPath != "":
-		b, err := os.ReadFile(cfgPath)
+	case o.cfgPath != "":
+		b, err := os.ReadFile(o.cfgPath)
 		if err != nil {
 			return err
 		}
@@ -75,9 +124,9 @@ func run(appName, listen, sigsPath, cfgPath, origins string, doVerify bool, scal
 		if err != nil {
 			return err
 		}
-	case doVerify:
+	case o.doVerify:
 		rep, err := verify.Run(verify.Options{
-			APK: a.APK, Graph: g, Origin: a.Handler(scale),
+			APK: a.APK, Graph: g, Origin: a.Handler(o.scale),
 			FuzzEvents: 200, ProbeMax: time.Second,
 		})
 		if err != nil {
@@ -88,28 +137,29 @@ func run(appName, listen, sigsPath, cfgPath, origins string, doVerify bool, scal
 	default:
 		cfg = config.Default(g)
 	}
+	applyResilienceFlags(cfg, o)
 
 	resolve := map[string]string{}
 	links := map[string]netem.Link{}
-	if origins == "" {
+	if o.origins == "" {
 		// Emulation mode: start the app's origins in process.
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: a.Handler(scale)}
+		srv := &http.Server{Handler: a.Handler(o.scale)}
 		go srv.Serve(ln)
 		for _, h := range a.Hosts {
 			resolve[h] = ln.Addr().String()
 			links[h] = netem.Link{
-				RTT:       time.Duration(float64(a.HostRTT[h]) * scale),
-				Bandwidth: int64(25_000_000 / scale),
+				RTT:       time.Duration(float64(a.HostRTT[h]) * o.scale),
+				Bandwidth: int64(25_000_000 / o.scale),
 			}
 		}
 		fmt.Fprintf(os.Stderr, "origins for %s emulated at %s (hosts: %s)\n",
 			a.Name, ln.Addr(), strings.Join(a.Hosts, ", "))
 	} else {
-		for _, pair := range strings.Split(origins, ",") {
+		for _, pair := range strings.Split(o.origins, ",") {
 			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
 			if len(kv) != 2 {
 				return fmt.Errorf("bad -origin entry %q (want host=addr)", pair)
@@ -118,17 +168,76 @@ func run(appName, listen, sigsPath, cfgPath, origins string, doVerify bool, scal
 		}
 	}
 
+	up := proxy.NewNetUpstream(resolve, links)
+	if o.fault != "" {
+		in, err := parseFaults(o.fault, o.faultSeed)
+		if err != nil {
+			return err
+		}
+		up.SetFaults(in)
+		fmt.Fprintf(os.Stderr, "fault injection active (%s, seed %d)\n", o.fault, o.faultSeed)
+	}
+
 	px := proxy.New(proxy.Options{
 		Graph:    g,
 		Config:   cfg,
-		Upstream: proxy.NewNetUpstream(resolve, links),
-		Workers:  workers,
+		Upstream: up,
+		Workers:  o.workers,
 	})
 	defer px.Close()
 
 	fmt.Fprintf(os.Stderr, "appx-proxy for %s listening on %s (%d signatures, %d prefetchable)\n",
-		a.Name, listen, len(g.Sigs), len(g.Prefetchable()))
-	return http.ListenAndServe(listen, px)
+		a.Name, o.listen, len(g.Sigs), len(g.Prefetchable()))
+	return http.ListenAndServe(o.listen, px)
+}
+
+// applyResilienceFlags folds non-zero command-line overrides into the
+// configuration's resilience section.
+func applyResilienceFlags(cfg *config.Config, o options) {
+	r := config.Resilience{}
+	if cfg.Resilience != nil {
+		r = *cfg.Resilience
+	}
+	set := false
+	for _, f := range []struct {
+		flag int64
+		dst  func()
+	}{
+		{int64(o.retryAttempts), func() { r.RetryAttempts = o.retryAttempts }},
+		{int64(o.retryBase), func() { r.RetryBaseDelay = config.Duration(o.retryBase) }},
+		{int64(o.attemptTimeout), func() { r.AttemptTimeout = config.Duration(o.attemptTimeout) }},
+		{int64(o.breakerFailures), func() { r.BreakerFailures = o.breakerFailures }},
+		{int64(o.breakerOpen), func() { r.BreakerOpenTimeout = config.Duration(o.breakerOpen) }},
+		{int64(o.prefetchFailLimit), func() { r.PrefetchFailureLimit = o.prefetchFailLimit }},
+		{int64(o.prefetchBackoffBase), func() { r.PrefetchBackoffBase = config.Duration(o.prefetchBackoffBase) }},
+		{int64(o.prefetchBackoffMax), func() { r.PrefetchBackoffMax = config.Duration(o.prefetchBackoffMax) }},
+	} {
+		if f.flag > 0 {
+			f.dst()
+			set = true
+		}
+	}
+	if set || cfg.Resilience != nil {
+		cfg.Resilience = &r
+	}
+}
+
+// parseFaults builds a deterministic connect-refusal injector from
+// host=prob pairs.
+func parseFaults(spec string, seed int64) (*netem.Injector, error) {
+	in := netem.NewInjector(seed)
+	for _, pair := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -fault entry %q (want host=prob)", pair)
+		}
+		p, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad -fault probability %q (want 0..1)", kv[1])
+		}
+		in.SetFault(kv[0], netem.Fault{ConnectRefuseProb: p})
+	}
+	return in, nil
 }
 
 func loadGraph(a *apps.App, sigsPath string) (*sig.Graph, error) {

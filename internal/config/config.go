@@ -132,6 +132,70 @@ type Policy struct {
 	Condition      *Condition `json:"condition,omitempty"`
 }
 
+// Resilience holds the origin-path fault-handling knobs: how hard the proxy
+// retries, when a sick host's circuit breaker trips, and how failing
+// prefetch signatures back off. Zero values mean "use the default" so a
+// config file may set only the fields it cares about.
+type Resilience struct {
+	// RetryAttempts bounds total tries per idempotent (GET/HEAD) origin
+	// request, including the first (default 2: one fast retry).
+	RetryAttempts int `json:"retry_attempts,omitempty"`
+	// RetryBaseDelay seeds the capped full-jitter exponential backoff
+	// between attempts (default 50ms).
+	RetryBaseDelay Duration `json:"retry_base_delay,omitempty"`
+	// RetryMaxDelay caps the backoff (default 2s).
+	RetryMaxDelay Duration `json:"retry_max_delay,omitempty"`
+	// AttemptTimeout bounds each individual origin attempt (default 15s),
+	// replacing the old single whole-request timeout.
+	AttemptTimeout Duration `json:"attempt_timeout,omitempty"`
+	// BreakerFailures is the consecutive-failure count that opens a host's
+	// circuit breaker (default 5).
+	BreakerFailures int `json:"breaker_failures,omitempty"`
+	// BreakerOpenTimeout is how long an open breaker rejects before
+	// admitting a half-open probe (default 10s).
+	BreakerOpenTimeout Duration `json:"breaker_open_timeout,omitempty"`
+	// PrefetchFailureLimit is the consecutive prefetch-failure count after
+	// which a signature is suspended (default 3).
+	PrefetchFailureLimit int `json:"prefetch_failure_limit,omitempty"`
+	// PrefetchBackoffBase is the first suspension period; it doubles per
+	// further consecutive failure (default 1s).
+	PrefetchBackoffBase Duration `json:"prefetch_backoff_base,omitempty"`
+	// PrefetchBackoffMax caps the suspension period (default 5m).
+	PrefetchBackoffMax Duration `json:"prefetch_backoff_max,omitempty"`
+}
+
+// Filled returns a copy with defaults applied to zero fields.
+func (r Resilience) Filled() Resilience {
+	if r.RetryAttempts <= 0 {
+		r.RetryAttempts = 2
+	}
+	if r.RetryBaseDelay <= 0 {
+		r.RetryBaseDelay = Duration(50 * time.Millisecond)
+	}
+	if r.RetryMaxDelay <= 0 {
+		r.RetryMaxDelay = Duration(2 * time.Second)
+	}
+	if r.AttemptTimeout <= 0 {
+		r.AttemptTimeout = Duration(15 * time.Second)
+	}
+	if r.BreakerFailures <= 0 {
+		r.BreakerFailures = 5
+	}
+	if r.BreakerOpenTimeout <= 0 {
+		r.BreakerOpenTimeout = Duration(10 * time.Second)
+	}
+	if r.PrefetchFailureLimit <= 0 {
+		r.PrefetchFailureLimit = 3
+	}
+	if r.PrefetchBackoffBase <= 0 {
+		r.PrefetchBackoffBase = Duration(time.Second)
+	}
+	if r.PrefetchBackoffMax <= 0 {
+		r.PrefetchBackoffMax = Duration(5 * time.Minute)
+	}
+	return r
+}
+
 // Config is the proxy's full configuration.
 type Config struct {
 	App      string    `json:"app"`
@@ -149,8 +213,18 @@ type Config struct {
 	// aggressive prefetching) to premium customers"). Keyed by the proxy's
 	// user key.
 	UserProbability map[string]float64 `json:"user_probability,omitempty"`
+	// Resilience tunes origin-path fault handling; nil means all defaults.
+	Resilience *Resilience `json:"resilience,omitempty"`
 
 	byHash map[string]*Policy
+}
+
+// EffectiveResilience resolves the resilience knobs with defaults applied.
+func (c *Config) EffectiveResilience() Resilience {
+	if c.Resilience != nil {
+		return c.Resilience.Filled()
+	}
+	return Resilience{}.Filled()
 }
 
 // UserScale returns the probability multiplier for a user (1 when no tier

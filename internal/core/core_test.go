@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -60,7 +61,7 @@ func TestGenerateAllPhases(t *testing.T) {
 
 	// The artifacts must yield a working proxy.
 	origin := a.Handler(0)
-	px := art.NewProxy(proxy.UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+	px := art.NewProxy(proxy.UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 		return httpmsg.ServeViaHandler(origin, r)
 	}), 4)
 	defer px.Close()

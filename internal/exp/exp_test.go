@@ -233,3 +233,31 @@ func TestMechAblationShape(t *testing.T) {
 	}
 	t.Log("\n" + res.Render())
 }
+
+func TestFaultSweepShape(t *testing.T) {
+	res, err := RunFaultSweep(7, []float64{0, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	clean, faulted := res.Rows[0], res.Rows[1]
+	// Graceful degradation: the healthy host's hit ratio is identical with
+	// and without the fault, and the sick host's load is shed, not retried
+	// forever.
+	if clean.HealthyHitRatio != faulted.HealthyHitRatio || clean.HealthyHitRatio == 0 {
+		t.Errorf("healthy hit ratio changed under fault: %.2f -> %.2f",
+			clean.HealthyHitRatio, faulted.HealthyHitRatio)
+	}
+	if faulted.Breaker != "open" {
+		t.Errorf("breaker = %q at 90%% fault, want open", faulted.Breaker)
+	}
+	if faulted.SickSuppressed == 0 {
+		t.Error("no prefetches shed at 90% fault")
+	}
+	if clean.SickErrors != 0 || clean.SickSuppressed != 0 {
+		t.Errorf("fault-free run saw errors=%d shed=%d", clean.SickErrors, clean.SickSuppressed)
+	}
+	t.Log("\n" + res.Render())
+}

@@ -1,0 +1,293 @@
+package netem
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault describes the failure behaviour of one origin host's link. All
+// probabilities are in [0, 1]; zero-valued faults inject nothing.
+//
+// The model covers the origin-side pathologies a mobile acceleration proxy
+// meets in the wild: servers that stop accepting connections, connections
+// cut mid-response, transient latency spikes, and stalls where the peer
+// stays connected but sends nothing.
+type Fault struct {
+	// ConnectRefuseProb is the probability a new connection attempt is
+	// refused outright.
+	ConnectRefuseProb float64
+	// ResetProb is the per-I/O-operation probability the connection is
+	// reset (the operation fails and the connection becomes unusable).
+	ResetProb float64
+	// SpikeProb is the per-I/O-operation probability of an added latency
+	// spike of SpikeDelay.
+	SpikeProb float64
+	// SpikeDelay is the extra delay charged when a spike fires.
+	SpikeDelay time.Duration
+	// StallProb is the per-I/O-operation probability the operation hangs
+	// for StallDelay before proceeding (a slowloris-style stall).
+	StallProb float64
+	// StallDelay is how long a stall lasts.
+	StallDelay time.Duration
+}
+
+// zero reports whether the fault injects nothing.
+func (f Fault) zero() bool {
+	return f.ConnectRefuseProb <= 0 && f.ResetProb <= 0 && f.SpikeProb <= 0 && f.StallProb <= 0
+}
+
+// ErrInjectedReset is returned by reads and writes on a connection the
+// injector has reset mid-stream.
+var ErrInjectedReset = errors.New("netem: connection reset (injected fault)")
+
+// ErrInjectedRefusal is returned for connection attempts the injector
+// refuses.
+var ErrInjectedRefusal = errors.New("netem: connection refused (injected fault)")
+
+// FaultStats counts the events one host's fault configuration has injected.
+type FaultStats struct {
+	Refusals int
+	Resets   int
+	Spikes   int
+	Stalls   int
+}
+
+// Injector draws fault decisions from a single seeded source, so a fixed
+// seed and a fixed sequence of operations reproduce the exact same failure
+// pattern. Safe for concurrent use; determinism across runs additionally
+// requires a deterministic operation order (single-threaded drivers).
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults map[string]Fault
+	stats  map[string]*FaultStats
+}
+
+// NewInjector returns an injector seeded for reproducible draws.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: map[string]Fault{},
+		stats:  map[string]*FaultStats{},
+	}
+}
+
+// SetFault installs (or replaces) the fault model for one host.
+func (in *Injector) SetFault(host string, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults[host] = f
+}
+
+// Fault returns the host's current fault model (zero when none is set).
+func (in *Injector) Fault(host string) Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults[host]
+}
+
+// Stats returns the event counts injected for one host so far.
+func (in *Injector) Stats(host string) FaultStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.stats[host]; st != nil {
+		return *st
+	}
+	return FaultStats{}
+}
+
+func (in *Injector) stat(host string) *FaultStats {
+	st := in.stats[host]
+	if st == nil {
+		st = &FaultStats{}
+		in.stats[host] = st
+	}
+	return st
+}
+
+// ConnectRefused draws the connect-refusal decision for one attempt against
+// host. Callers that establish their own connections (custom dialers, fake
+// upstreams in tests) use it as the decision engine without real sockets.
+func (in *Injector) ConnectRefused(host string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.faults[host]
+	if f.ConnectRefuseProb <= 0 {
+		return false
+	}
+	if in.rng.Float64() < f.ConnectRefuseProb {
+		in.stat(host).Refusals++
+		return true
+	}
+	return false
+}
+
+// ioDecision is one pre-I/O draw: at most one fault fires per operation,
+// checked in severity order (reset > stall > spike).
+type ioDecision struct {
+	reset bool
+	delay time.Duration
+}
+
+func (in *Injector) drawIO(host string) ioDecision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.faults[host]
+	if f.zero() {
+		return ioDecision{}
+	}
+	switch {
+	case f.ResetProb > 0 && in.rng.Float64() < f.ResetProb:
+		in.stat(host).Resets++
+		return ioDecision{reset: true}
+	case f.StallProb > 0 && in.rng.Float64() < f.StallProb:
+		in.stat(host).Stalls++
+		return ioDecision{delay: f.StallDelay}
+	case f.SpikeProb > 0 && in.rng.Float64() < f.SpikeProb:
+		in.stat(host).Spikes++
+		return ioDecision{delay: f.SpikeDelay}
+	}
+	return ioDecision{}
+}
+
+// WrapConn runs an existing connection through host's fault model: each
+// read and write may be delayed (spike/stall) or fail with an injected
+// reset. Compose with the Link shaping of WrapConn/Listener to emulate a
+// flaky WAN hop.
+func (in *Injector) WrapConn(c net.Conn, host string) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &faultConn{Conn: c, in: in, host: host}
+}
+
+// Dial connects like net.Dial but subject to host's fault model: the
+// attempt may be refused, and the returned connection is wrapped.
+func (in *Injector) Dial(network, addr, host string) (net.Conn, error) {
+	if in.ConnectRefused(host) {
+		return nil, ErrInjectedRefusal
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c, host), nil
+}
+
+// Listener wraps ln so every accepted connection runs through host's fault
+// model (refusals become immediate closes of the accepted connection).
+func (in *Injector) Listener(ln net.Listener, host string) net.Listener {
+	return &faultListener{Listener: ln, in: in, host: host}
+}
+
+type faultListener struct {
+	net.Listener
+	in   *Injector
+	host string
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := fl.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		// A "refused" connect on the accept side: close immediately so the
+		// peer sees the connection die during establishment.
+		if fl.in.ConnectRefused(fl.host) {
+			c.Close()
+			continue
+		}
+		return fl.in.WrapConn(c, fl.host), nil
+	}
+}
+
+// faultConn applies per-operation fault draws to both directions.
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	host string
+
+	mu    sync.Mutex
+	dead  bool
+	donec chan struct{} // lazily built close signal for interruptible delays
+}
+
+func (c *faultConn) done() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.donec == nil {
+		c.donec = make(chan struct{})
+		if c.dead {
+			close(c.donec)
+		}
+	}
+	return c.donec
+}
+
+// apply performs one fault draw; it returns an error when the connection is
+// (or becomes) reset.
+func (c *faultConn) apply() error {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return ErrInjectedReset
+	}
+	c.mu.Unlock()
+	d := c.in.drawIO(c.host)
+	if d.reset {
+		c.kill()
+		return ErrInjectedReset
+	}
+	if d.delay > 0 {
+		select {
+		case <-time.After(d.delay):
+		case <-c.done():
+			return net.ErrClosed
+		}
+	}
+	return nil
+}
+
+// kill marks the connection dead and severs the transport so blocked peers
+// notice.
+func (c *faultConn) kill() {
+	c.mu.Lock()
+	if !c.dead {
+		c.dead = true
+		if c.donec != nil {
+			close(c.donec)
+		}
+	}
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.apply(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.apply(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	if !c.dead {
+		c.dead = true
+		if c.donec != nil {
+			close(c.donec)
+		}
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,203 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFaultDeterminism: two injectors with the same seed and the same
+// operation sequence make identical decisions.
+func TestFaultDeterminism(t *testing.T) {
+	decide := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.SetFault("flaky.example", Fault{ConnectRefuseProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.ConnectRefused("flaky.example")
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed injectors", i)
+		}
+	}
+	c := decide(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestFaultRefusalRate(t *testing.T) {
+	in := NewInjector(42)
+	in.SetFault("h", Fault{ConnectRefuseProb: 0.3})
+	refused := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if in.ConnectRefused("h") {
+			refused++
+		}
+	}
+	if got := float64(refused) / n; got < 0.25 || got > 0.35 {
+		t.Fatalf("refusal rate = %.3f, want ~0.30", got)
+	}
+	if st := in.Stats("h"); st.Refusals != refused {
+		t.Fatalf("stats.Refusals = %d, want %d", st.Refusals, refused)
+	}
+}
+
+func TestFaultUnknownHostPassesThrough(t *testing.T) {
+	in := NewInjector(1)
+	for i := 0; i < 100; i++ {
+		if in.ConnectRefused("clean.example") {
+			t.Fatal("unconfigured host was refused")
+		}
+	}
+}
+
+// TestFaultResetMidStream: a ResetProb=1 connection fails its first I/O with
+// ErrInjectedReset and stays dead.
+func TestFaultResetMidStream(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(3)
+	in.SetFault("h", Fault{ResetProb: 1})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Write err = %v, want ErrInjectedReset", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Read after reset err = %v, want ErrInjectedReset", err)
+	}
+	if st := in.Stats("h"); st.Resets == 0 {
+		t.Fatal("no resets counted")
+	}
+}
+
+// TestFaultSpikeDelaysIO: SpikeProb=1 charges SpikeDelay on each operation.
+func TestFaultSpikeDelaysIO(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(4)
+	const spike = 60 * time.Millisecond
+	in.SetFault("h", Fault{SpikeProb: 1, SpikeDelay: spike})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := io.ReadFull(fc, make([]byte, 4)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// Write and read each pay one spike.
+	if elapsed := time.Since(start); elapsed < 2*spike {
+		t.Fatalf("spiked exchange took %v, want >= %v", elapsed, 2*spike)
+	}
+	if st := in.Stats("h"); st.Spikes < 2 {
+		t.Fatalf("spikes counted = %d, want >= 2", st.Spikes)
+	}
+}
+
+// TestFaultStallInterruptedByClose: a stalled operation unblocks when the
+// connection is closed.
+func TestFaultStallInterruptedByClose(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(5)
+	in.SetFault("h", Fault{StallProb: 1, StallDelay: time.Minute})
+	fc := in.WrapConn(c, "h")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled write returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write did not unblock on Close")
+	}
+}
+
+// TestFaultDial: refusal at 1.0 never reaches the network; at 0.0 the dial
+// succeeds and traffic flows through the wrapped conn.
+func TestFaultDial(t *testing.T) {
+	ln := echoServer(t)
+	in := NewInjector(6)
+	in.SetFault("dead", Fault{ConnectRefuseProb: 1})
+	if _, err := in.Dial("tcp", ln.Addr().String(), "dead"); !errors.Is(err, ErrInjectedRefusal) {
+		t.Fatalf("Dial err = %v, want ErrInjectedRefusal", err)
+	}
+	c, err := in.Dial("tcp", ln.Addr().String(), "alive")
+	if err != nil {
+		t.Fatalf("Dial healthy host: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+}
+
+// TestFaultListener: with refusal probability 1 every accepted connection is
+// closed before the client can complete an exchange.
+func TestFaultListener(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer base.Close()
+	in := NewInjector(9)
+	in.SetFault("h", Fault{ConnectRefuseProb: 1})
+	ln := in.Listener(base, "h")
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+
+	c, err := net.Dial("tcp", base.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	c.Write([]byte("x"))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("exchange succeeded through a 100%-refusing listener")
+	}
+}

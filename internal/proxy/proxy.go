@@ -6,7 +6,9 @@
 package proxy
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -17,6 +19,7 @@ import (
 
 	"appx/internal/config"
 	"appx/internal/httpmsg"
+	"appx/internal/proxy/resilience"
 	"appx/internal/proxy/sched"
 	"appx/internal/sig"
 )
@@ -72,11 +75,31 @@ type Proxy struct {
 	stats *Stats
 	sched *sched.Scheduler
 
+	// Origin-path resilience: per-host circuit breakers shared by both
+	// retrying upstreams. fwdUp serves live client requests (retries, but
+	// never refuses — the client asked); preUp serves prefetches (gated by
+	// the breaker, so a sick host stops consuming workers).
+	res      config.Resilience
+	breakers *resilience.Breakers
+	fwdUp    resilience.Upstream
+	preUp    resilience.Upstream
+
+	// sigFail tracks per-signature consecutive prefetch failures and the
+	// exponential-backoff suspension window they earn.
+	resMu   sync.Mutex
+	sigFail map[string]*sigBackoff
+
 	mu      sync.Mutex
 	users   map[string]*user
 	samples map[string]*httpmsg.Request
 
 	dataUsed atomic.Int64
+}
+
+// sigBackoff is one signature's failure streak and suspension deadline.
+type sigBackoff struct {
+	consecutive int
+	until       time.Time
 }
 
 // SampleRequest returns a successfully prefetched concrete request for the
@@ -161,13 +184,36 @@ func New(opts Options) *Proxy {
 		opts.Config = config.Default(opts.Graph)
 	}
 	p := &Proxy{
-		opts:  opts,
-		stats: NewStats(),
-		users: map[string]*user{},
+		opts:    opts,
+		stats:   NewStats(),
+		users:   map[string]*user{},
+		sigFail: map[string]*sigBackoff{},
 	}
+	p.res = opts.Config.EffectiveResilience()
+	// Now/Rand are read through p.opts so tests that rebind them after New
+	// (the established idiom here) also steer the resilience layer.
+	p.breakers = resilience.NewBreakers(resilience.BreakerOptions{
+		FailureThreshold: p.res.BreakerFailures,
+		OpenTimeout:      time.Duration(p.res.BreakerOpenTimeout),
+		Now:              func() time.Time { return p.opts.Now() },
+	})
+	retry := resilience.RetryOptions{
+		MaxAttempts:       p.res.RetryAttempts,
+		BaseDelay:         time.Duration(p.res.RetryBaseDelay),
+		MaxDelay:          time.Duration(p.res.RetryMaxDelay),
+		PerAttemptTimeout: time.Duration(p.res.AttemptTimeout),
+		Rand:              func() float64 { return p.opts.Rand() },
+		OnRetry:           func(host string, attempt int) { p.stats.CountRetry() },
+	}
+	p.fwdUp = resilience.NewRetrier(opts.Upstream, retry, p.breakers, false)
+	p.preUp = resilience.NewRetrier(opts.Upstream, retry, p.breakers, true)
 	p.sched = sched.New(opts.Workers, p.stats.Priority)
 	return p
 }
+
+// Breakers exposes the per-host circuit breaker set (operational tooling
+// and tests).
+func (p *Proxy) Breakers() *resilience.Breakers { return p.breakers }
 
 // Stats exposes the proxy's counters.
 func (p *Proxy) Stats() *Stats { return p.stats }
@@ -273,8 +319,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Forward on the client's behalf: the request context propagates client
+	// disconnects, and the retry middleware gives idempotent requests one
+	// fast retry before the client sees a 502.
 	start := p.opts.Now()
-	resp, err := p.opts.Upstream.RoundTrip(req)
+	resp, err := p.fwdUp.RoundTrip(r.Context(), req)
 	if err != nil {
 		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
 		return
@@ -311,20 +360,118 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 		snap := p.stats.Snapshot()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"hits":              snap.Hits,
-			"misses":            snap.Misses,
-			"prefetches":        snap.Prefetches,
-			"hitRatio":          snap.HitRatio(),
-			"dataUsage":         snap.NormalizedDataUsage(),
-			"usedPrefetchRatio": snap.UsedPrefetchRatio(),
-			"savedLatencyMs":    snap.SavedLatency.Milliseconds(),
-			"users":             p.UserCount(),
-			"prefetchQueue":     p.sched.QueueLen(),
-			"dataUsedBytes":     p.DataUsedBytes(),
+			"hits":                 snap.Hits,
+			"misses":               snap.Misses,
+			"prefetches":           snap.Prefetches,
+			"hitRatio":             snap.HitRatio(),
+			"dataUsage":            snap.NormalizedDataUsage(),
+			"usedPrefetchRatio":    snap.UsedPrefetchRatio(),
+			"savedLatencyMs":       snap.SavedLatency.Milliseconds(),
+			"users":                p.UserCount(),
+			"prefetchQueue":        p.sched.QueueLen(),
+			"dataUsedBytes":        p.DataUsedBytes(),
+			"retries":              snap.Retries,
+			"prefetchErrors":       snap.PrefetchErrors,
+			"suppressedPrefetches": snap.PrefetchSuppressed,
 		})
+	case "/appx/health":
+		p.serveHealth(w)
 	default:
 		http.Error(w, "appx proxy: unknown endpoint (this is a forward proxy; configure it as such)", http.StatusNotFound)
 	}
+}
+
+// serveHealth reports the resilience layer's view of the origin fleet:
+// per-host breaker states, suspended prefetch signatures, and the retry and
+// suppression counters. "degraded" means some origin work is currently
+// being shed.
+func (p *Proxy) serveHealth(w http.ResponseWriter) {
+	now := p.opts.Now()
+	degraded := false
+
+	breakers := map[string]any{}
+	for host, b := range p.breakers.Snapshot() {
+		breakers[host] = map[string]any{
+			"state":               b.State.String(),
+			"consecutiveFailures": b.ConsecutiveFailures,
+			"openForMs":           b.OpenFor.Milliseconds(),
+		}
+		if b.State != resilience.Closed {
+			degraded = true
+		}
+	}
+
+	suspended := map[string]any{}
+	p.resMu.Lock()
+	for id, b := range p.sigFail {
+		if now.Before(b.until) {
+			suspended[id] = map[string]any{
+				"consecutiveFailures": b.consecutive,
+				"resumeInMs":          b.until.Sub(now).Milliseconds(),
+			}
+			degraded = true
+		}
+	}
+	p.resMu.Unlock()
+
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	snap := p.stats.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":               status,
+		"breakers":             breakers,
+		"suspendedSignatures":  suspended,
+		"retries":              snap.Retries,
+		"prefetchErrors":       snap.PrefetchErrors,
+		"suppressedPrefetches": snap.PrefetchSuppressed,
+		"prefetchQueue":        p.sched.QueueLen(),
+		"dataUsedBytes":        p.DataUsedBytes(),
+	})
+}
+
+// sigSuspended reports whether a signature is inside its failure-backoff
+// suspension window.
+func (p *Proxy) sigSuspended(sigID string) bool {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	b := p.sigFail[sigID]
+	return b != nil && p.opts.Now().Before(b.until)
+}
+
+// recordSigFailure notes one consecutive prefetch failure for a signature;
+// at PrefetchFailureLimit the signature is suspended, with the window
+// doubling per further failure up to PrefetchBackoffMax.
+func (p *Proxy) recordSigFailure(sigID string) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	b := p.sigFail[sigID]
+	if b == nil {
+		b = &sigBackoff{}
+		p.sigFail[sigID] = b
+	}
+	b.consecutive++
+	if b.consecutive < p.res.PrefetchFailureLimit {
+		return
+	}
+	d := time.Duration(p.res.PrefetchBackoffBase)
+	max := time.Duration(p.res.PrefetchBackoffMax)
+	for i := p.res.PrefetchFailureLimit; i < b.consecutive && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.until = p.opts.Now().Add(d)
+}
+
+// recordSigSuccess clears a signature's failure streak.
+func (p *Proxy) recordSigSuccess(sigID string) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	delete(p.sigFail, sigID)
 }
 
 // lookup returns a fresh cached entry; expired entries are dropped
@@ -447,6 +594,13 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Load() >= budget {
 		return
 	}
+	// Resilience gates: a suspended signature (consecutive failures) or a
+	// host whose breaker is not admitting traffic stops producing prefetch
+	// work here, before it occupies queue slots, workers, or data budget.
+	if p.sigSuspended(s.ID) || !p.breakers.Ready(req.Host) {
+		p.stats.CountPrefetchSuppressed(s.ID)
+		return
+	}
 	expiry := p.opts.Config.Expiration(policy)
 	key := req.CanonicalKey()
 	now := p.opts.Now()
@@ -515,12 +669,19 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		}
 	}
 	start := p.opts.Now()
-	resp, err := p.opts.Upstream.RoundTrip(sent)
+	resp, err := p.preUp.RoundTrip(context.Background(), sent)
 	if err != nil {
-		p.stats.CountPrefetchError(s.ID)
 		u.mu.Lock()
 		delete(u.issued, key)
 		u.mu.Unlock()
+		if errors.Is(err, resilience.ErrOpen) {
+			// The breaker tripped between queueing and execution; this is
+			// suppression, not a fresh origin failure.
+			p.stats.CountPrefetchSuppressed(s.ID)
+			return
+		}
+		p.stats.CountPrefetchError(s.ID)
+		p.recordSigFailure(s.ID)
 		return
 	}
 	p.stats.ObserveRespTime(s.ID, p.opts.Now().Sub(start))
@@ -528,10 +689,17 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	p.dataUsed.Add(int64(len(resp.Body)))
 	if resp.Status != http.StatusOK {
 		// The origin rejected our reconstruction; do not cache errors
-		// (R3: never alter app behaviour with synthetic failures).
+		// (R3: never alter app behaviour with synthetic failures). Clear the
+		// dedup window so the signature's failure backoff — not a stale
+		// issued entry — governs when reconstruction is retried.
 		p.stats.CountPrefetchReject(s.ID)
+		p.recordSigFailure(s.ID)
+		u.mu.Lock()
+		delete(u.issued, key)
+		u.mu.Unlock()
 		return
 	}
+	p.recordSigSuccess(s.ID)
 	p.mu.Lock()
 	if p.samples == nil {
 		p.samples = map[string]*httpmsg.Request{}

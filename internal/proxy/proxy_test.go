@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -31,7 +32,7 @@ func (o *originUpstream) recorded() []*httpmsg.Request {
 	return append([]*httpmsg.Request(nil), o.calls...)
 }
 
-func (o *originUpstream) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) {
+func (o *originUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 	o.mu.Lock()
 	o.calls = append(o.calls, r.Clone())
 	o.mu.Unlock()
@@ -160,7 +161,7 @@ func TestHitResponseIdenticalToOrigin(t *testing.T) {
 		resp, err := pt.RoundTrip(r)
 		if err == nil && r.Path == "/product/get" {
 			clientResp = resp
-			originResp, _ = direct.RoundTrip(r)
+			originResp, _ = direct.RoundTrip(context.Background(), r)
 		}
 		return resp, err
 	}), interp.DeviceProps{UserAgent: "AppxTest/1.0", Locale: "en-US", AppVersion: l.app.APK.Manifest.Version})
@@ -515,7 +516,7 @@ func TestMultiAppProxy(t *testing.T) {
 
 	// Route upstream by host across both apps' origins.
 	wh, gh := wish.Handler(0), geek.Handler(0)
-	up := UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 		h := wh
 		if strings.Contains(r.Host, "geek") {
 			h = gh
@@ -568,7 +569,7 @@ func TestCacheBoundEviction(t *testing.T) {
 	g.AddDep(sig.Dependency{PredID: pred.ID, SuccID: succ.ID, RespPath: "ids[*]",
 		Loc: sig.FieldLoc{Where: "query", Key: "id"}})
 
-	up := UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 		if r.Path == "/list" {
 			return &httpmsg.Response{Status: 200,
 				Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
@@ -606,7 +607,7 @@ func TestUserPruning(t *testing.T) {
 	now := time.Now()
 	clock := &now
 	p := New(Options{Graph: g,
-		Upstream: UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		Upstream: UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 			return &httpmsg.Response{Status: 200}, nil
 		}),
 		Now: func() time.Time { return *clock },
@@ -627,7 +628,7 @@ func TestUserPruning(t *testing.T) {
 func TestMaxUsersEviction(t *testing.T) {
 	g := sig.NewGraph("t")
 	p := New(Options{Graph: g,
-		Upstream: UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+		Upstream: UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 			return &httpmsg.Response{Status: 200}, nil
 		}),
 		MaxUsers: 3,

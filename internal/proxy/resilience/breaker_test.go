@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreakers(clock *fakeClock) *Breakers {
+	return NewBreakers(BreakerOptions{
+		FailureThreshold:  3,
+		OpenTimeout:       10 * time.Second,
+		HalfOpenSuccesses: 2,
+		Now:               clock.Now,
+	})
+}
+
+func TestBreakerClosedUntilThreshold(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 2; i++ {
+		bs.ReportFailure("h")
+	}
+	if got := bs.State("h"); got != Closed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	// A success resets the streak.
+	bs.ReportSuccess("h")
+	bs.ReportFailure("h")
+	bs.ReportFailure("h")
+	if got := bs.State("h"); got != Closed {
+		t.Fatalf("state after reset + 2 failures = %v, want closed", got)
+	}
+	bs.ReportFailure("h")
+	if got := bs.State("h"); got != Open {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if bs.Allow("h") {
+		t.Fatal("open breaker allowed a request")
+	}
+	if bs.Ready("h") {
+		t.Fatal("open breaker reported ready")
+	}
+}
+
+func TestBreakerOpenToHalfOpenAfterTimeout(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 3; i++ {
+		bs.ReportFailure("h")
+	}
+	clock.Advance(9 * time.Second)
+	if bs.Allow("h") {
+		t.Fatal("allowed before OpenTimeout elapsed")
+	}
+	clock.Advance(time.Second)
+	if !bs.Ready("h") {
+		t.Fatal("not ready after OpenTimeout")
+	}
+	if !bs.Allow("h") {
+		t.Fatal("half-open breaker rejected the first probe")
+	}
+	if got := bs.State("h"); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// Only one probe may be in flight.
+	if bs.Allow("h") {
+		t.Fatal("second concurrent probe admitted")
+	}
+}
+
+func TestBreakerHalfOpenSuccessCloses(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 3; i++ {
+		bs.ReportFailure("h")
+	}
+	clock.Advance(10 * time.Second)
+	// Two successful probes (HalfOpenSuccesses = 2) close the circuit.
+	for i := 0; i < 2; i++ {
+		if !bs.Allow("h") {
+			t.Fatalf("probe %d rejected", i)
+		}
+		bs.ReportSuccess("h")
+	}
+	if got := bs.State("h"); got != Closed {
+		t.Fatalf("state after probe successes = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 3; i++ {
+		bs.ReportFailure("h")
+	}
+	clock.Advance(10 * time.Second)
+	if !bs.Allow("h") {
+		t.Fatal("probe rejected")
+	}
+	bs.ReportFailure("h")
+	if got := bs.State("h"); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The open timer restarted: still open 9s later, half-open at 10s.
+	clock.Advance(9 * time.Second)
+	if bs.Allow("h") {
+		t.Fatal("reopened breaker admitted traffic early")
+	}
+	clock.Advance(time.Second)
+	if !bs.Allow("h") {
+		t.Fatal("reopened breaker never re-probed")
+	}
+}
+
+func TestBreakerHostsIndependent(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 3; i++ {
+		bs.ReportFailure("sick")
+	}
+	if !bs.Allow("healthy") {
+		t.Fatal("healthy host affected by sick host's breaker")
+	}
+	snap := bs.Snapshot()
+	if snap["sick"].State != Open {
+		t.Fatalf("snapshot sick = %+v, want open", snap["sick"])
+	}
+	if snap["healthy"].State != Closed {
+		t.Fatalf("snapshot healthy = %+v, want closed", snap["healthy"])
+	}
+}
+
+func TestBreakerSnapshotOpenFor(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	for i := 0; i < 3; i++ {
+		bs.ReportFailure("h")
+	}
+	clock.Advance(4 * time.Second)
+	if got := bs.Snapshot()["h"].OpenFor; got != 4*time.Second {
+		t.Fatalf("OpenFor = %v, want 4s", got)
+	}
+}

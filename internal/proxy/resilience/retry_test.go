@@ -1,0 +1,220 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"appx/internal/httpmsg"
+)
+
+// flakyUpstream fails the first n calls, then succeeds.
+type flakyUpstream struct {
+	failFirst int
+	calls     int
+}
+
+func (f *flakyUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+	f.calls++
+	if f.calls <= f.failFirst {
+		return nil, fmt.Errorf("transient failure %d", f.calls)
+	}
+	return &httpmsg.Response{Status: 200, Body: []byte("ok")}, nil
+}
+
+func instantSleep(ctx context.Context, d time.Duration) error { return nil }
+
+func TestRetrySucceedsAfterTransientFailure(t *testing.T) {
+	up := &flakyUpstream{failFirst: 1}
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 2, Sleep: instantSleep}, nil, false)
+	resp, err := rt.RoundTrip(context.Background(), &httpmsg.Request{Method: "GET", Host: "h", Path: "/"})
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if resp.Status != 200 || up.calls != 2 {
+		t.Fatalf("status=%d calls=%d, want 200 after 2 calls", resp.Status, up.calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	up := &flakyUpstream{failFirst: 10}
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 3, Sleep: instantSleep}, nil, false)
+	_, err := rt.RoundTrip(context.Background(), &httpmsg.Request{Method: "GET", Host: "h", Path: "/"})
+	if err == nil {
+		t.Fatal("expected error after exhausting attempts")
+	}
+	if up.calls != 3 {
+		t.Fatalf("calls = %d, want 3", up.calls)
+	}
+}
+
+func TestRetryOnlyIdempotentMethods(t *testing.T) {
+	for _, method := range []string{"POST", "PUT", "DELETE", "PATCH"} {
+		up := &flakyUpstream{failFirst: 10}
+		rt := NewRetrier(up, RetryOptions{MaxAttempts: 3, Sleep: instantSleep}, nil, false)
+		if _, err := rt.RoundTrip(context.Background(), &httpmsg.Request{Method: method, Host: "h", Path: "/"}); err == nil {
+			t.Fatalf("%s: expected error", method)
+		}
+		if up.calls != 1 {
+			t.Fatalf("%s retried: %d calls, want 1", method, up.calls)
+		}
+	}
+}
+
+func TestRetryCountsCallback(t *testing.T) {
+	up := &flakyUpstream{failFirst: 2}
+	var retries int
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 3, Sleep: instantSleep,
+		OnRetry: func(host string, attempt int) { retries++ }}, nil, false)
+	if _, err := rt.RoundTrip(context.Background(), &httpmsg.Request{Method: "GET", Host: "h", Path: "/"}); err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if retries != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", retries)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base, max := 100*time.Millisecond, time.Second
+	// The full-jitter envelope: attempt k draws uniformly from
+	// [0, min(max, base<<k)).
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := base << attempt
+		if ceil > max {
+			ceil = max
+		}
+		for i := 0; i < 200; i++ {
+			d := Backoff(attempt, base, max, rng.Float64)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeededRand(t *testing.T) {
+	seq := func() []time.Duration {
+		rng := rand.New(rand.NewSource(5))
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = Backoff(i, 50*time.Millisecond, 2*time.Second, rng.Float64)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryPerAttemptDeadline(t *testing.T) {
+	// Each attempt gets its own deadline: an upstream that blocks until its
+	// context expires fails per attempt rather than hanging forever.
+	attempts := 0
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		attempts++
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	rt := NewRetrier(up, RetryOptions{
+		MaxAttempts: 2, PerAttemptTimeout: 20 * time.Millisecond, Sleep: instantSleep,
+	}, nil, false)
+	start := time.Now()
+	_, err := rt.RoundTrip(context.Background(), &httpmsg.Request{Method: "GET", Host: "h", Path: "/"})
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("per-attempt deadlines did not bound the call: %v", elapsed)
+	}
+}
+
+func TestRetryHonoursCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	up := &flakyUpstream{}
+	rt := NewRetrier(up, RetryOptions{Sleep: instantSleep}, nil, false)
+	if _, err := rt.RoundTrip(ctx, &httpmsg.Request{Method: "GET", Host: "h", Path: "/"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if up.calls != 0 {
+		t.Fatal("attempted a round trip under a cancelled context")
+	}
+}
+
+func TestRetryGatedByOpenBreaker(t *testing.T) {
+	clock := newFakeClock()
+	bs := NewBreakers(BreakerOptions{FailureThreshold: 2, OpenTimeout: 10 * time.Second, Now: clock.Now})
+	up := &flakyUpstream{failFirst: 100}
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 1, Sleep: instantSleep}, bs, true)
+	req := &httpmsg.Request{Method: "GET", Host: "sick", Path: "/"}
+	// Two failures trip the breaker; the third call fails fast with ErrOpen
+	// without reaching the upstream.
+	for i := 0; i < 2; i++ {
+		rt.RoundTrip(context.Background(), req)
+	}
+	calls := up.calls
+	_, err := rt.RoundTrip(context.Background(), req)
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if up.calls != calls {
+		t.Fatal("gated request still reached the upstream")
+	}
+	// After the timeout, the probe goes through and heals the circuit.
+	clock.Advance(10 * time.Second)
+	up.failFirst = 0
+	up.calls = 0
+	if _, err := rt.RoundTrip(context.Background(), req); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := bs.State("sick"); got != Closed {
+		t.Fatalf("state after healed probe = %v, want closed", got)
+	}
+}
+
+func TestRetryUngatedStillReportsToBreaker(t *testing.T) {
+	clock := newFakeClock()
+	bs := NewBreakers(BreakerOptions{FailureThreshold: 2, OpenTimeout: 10 * time.Second, Now: clock.Now})
+	up := &flakyUpstream{failFirst: 100}
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 1, Sleep: instantSleep}, bs, false)
+	req := &httpmsg.Request{Method: "GET", Host: "sick", Path: "/"}
+	for i := 0; i < 3; i++ {
+		rt.RoundTrip(context.Background(), req)
+	}
+	// Ungated: every call still reaches the upstream even once open...
+	if up.calls != 3 {
+		t.Fatalf("upstream calls = %d, want 3", up.calls)
+	}
+	// ...but the breaker has observed the failures.
+	if got := bs.State("sick"); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+func TestRetryFiveHundredCountsAsBreakerFailure(t *testing.T) {
+	clock := newFakeClock()
+	bs := NewBreakers(BreakerOptions{FailureThreshold: 2, OpenTimeout: time.Second, Now: clock.Now})
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		return &httpmsg.Response{Status: 503}, nil
+	})
+	rt := NewRetrier(up, RetryOptions{MaxAttempts: 1, Sleep: instantSleep}, bs, false)
+	req := &httpmsg.Request{Method: "GET", Host: "h", Path: "/"}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.RoundTrip(context.Background(), req); err != nil {
+			t.Fatalf("RoundTrip: %v", err) // 5xx is returned, not retried
+		}
+	}
+	if got := bs.State("h"); got != Open {
+		t.Fatalf("state after 5xx streak = %v, want open", got)
+	}
+}

@@ -1,0 +1,367 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"appx/internal/config"
+	"appx/internal/httpmsg"
+	"appx/internal/netem"
+	"appx/internal/proxy/resilience"
+	"appx/internal/sig"
+)
+
+// resilienceGraph builds a two-host dependency graph: a healthy list
+// endpoint whose response fans out into detail fetches on the same healthy
+// host and on a separately faultable host.
+func resilienceGraph() *sig.Graph {
+	g := sig.NewGraph("t")
+	pred := &sig.Signature{ID: "t:list#0", Method: "GET", URI: sig.Literal("ok.example/list")}
+	okSucc := &sig.Signature{ID: "t:okitem#0", Method: "GET", URI: sig.Literal("ok.example/detail"),
+		Query: []sig.Field{{Key: "id", Value: sig.DepValue(pred.ID, "ok[*]")}}}
+	sickSucc := &sig.Signature{ID: "t:sickitem#0", Method: "GET", URI: sig.Literal("sick.example/item"),
+		Query: []sig.Field{{Key: "id", Value: sig.DepValue(pred.ID, "sick[*]")}}}
+	g.Add(pred)
+	g.Add(okSucc)
+	g.Add(sickSucc)
+	g.AddDep(sig.Dependency{PredID: pred.ID, SuccID: okSucc.ID, RespPath: "ok[*]",
+		Loc: sig.FieldLoc{Where: "query", Key: "id"}})
+	g.AddDep(sig.Dependency{PredID: pred.ID, SuccID: sickSucc.ID, RespPath: "sick[*]",
+		Loc: sig.FieldLoc{Where: "query", Key: "id"}})
+	return g
+}
+
+// faultableUpstream serves the two-host origin in process. Requests for
+// sick.example consult a seeded netem fault injector once one is installed
+// (the injector's connect-refusal draw stands in for a refused dial), and
+// every /list response carries fresh ids so each round spawns new prefetch
+// work instead of deduplicating against the previous round's.
+type faultableUpstream struct {
+	mu         sync.Mutex
+	round      int
+	perRound   int
+	faults     *netem.Injector
+	rejectSick bool
+	calls      map[string]int // host → requests that reached the origin
+}
+
+func newFaultableUpstream(perRound int) *faultableUpstream {
+	return &faultableUpstream{perRound: perRound, calls: map[string]int{}}
+}
+
+func (f *faultableUpstream) setFaults(in *netem.Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = in
+}
+
+func (f *faultableUpstream) reached(host string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[host]
+}
+
+func (f *faultableUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r.Host == "sick.example" && f.faults != nil && f.faults.ConnectRefused(r.Host) {
+		return nil, fmt.Errorf("dial %s: %w", r.Host, netem.ErrInjectedRefusal)
+	}
+	f.calls[r.Host]++
+	if r.Host == "sick.example" && f.rejectSick {
+		return &httpmsg.Response{Status: 404, Body: []byte("no such item")}, nil
+	}
+	if r.Path == "/list" {
+		f.round++
+		ok := make([]string, f.perRound)
+		sick := make([]string, f.perRound)
+		for i := range ok {
+			ok[i] = fmt.Sprintf("r%d-%d", f.round, i)
+			sick[i] = fmt.Sprintf("s%d-%d", f.round, i)
+		}
+		body, _ := json.Marshal(map[string]any{"ok": ok, "sick": sick})
+		return &httpmsg.Response{Status: 200,
+			Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+			Body:   body}, nil
+	}
+	return &httpmsg.Response{Status: 200, Body: []byte(`{}`)}, nil
+}
+
+// resLab wires the two-host graph, a faultable origin, and a proxy with
+// deterministic time and randomness into one driveable fixture.
+type resLab struct {
+	t  *testing.T
+	p  *Proxy
+	up *faultableUpstream
+	pt *proxyTransport
+}
+
+func newResLab(t *testing.T, seed int64, res *config.Resilience) *resLab {
+	t.Helper()
+	g := resilienceGraph()
+	cfg := config.Default(g)
+	cfg.Resilience = res
+	up := newFaultableUpstream(6)
+	now := time.Unix(1_700_000_000, 0)
+	rnd := rand.New(rand.NewSource(seed))
+	// Workers: 1 keeps prefetch execution single-threaded so the injector's
+	// seeded draw sequence — and therefore every breaker transition — is
+	// identical run to run.
+	p := New(Options{Graph: g, Config: cfg, Upstream: up, Workers: 1,
+		Now:  func() time.Time { return now },
+		Rand: rnd.Float64,
+	})
+	t.Cleanup(p.Close)
+	l := &resLab{t: t, p: p, up: up, pt: &proxyTransport{p: p, user: "res-user"}}
+	// Teach both successor exemplars before any fault exists.
+	l.get("ok.example", "/detail", "seed")
+	l.get("sick.example", "/item", "seed")
+	return l
+}
+
+func (l *resLab) get(host, path, id string) *httpmsg.Response {
+	l.t.Helper()
+	req := &httpmsg.Request{Method: "GET", Host: host, Path: path}
+	if id != "" {
+		req.Query = []httpmsg.Field{{Key: "id", Value: id}}
+	}
+	resp, err := l.pt.RoundTrip(req)
+	if err != nil {
+		l.t.Fatalf("GET %s%s: %v", host, path, err)
+	}
+	return resp
+}
+
+// drive runs n list rounds: each teaches the proxy a fresh id fan-out,
+// drains the prefetch queue, then consumes two of the round's healthy
+// details (which must hit if prefetching stayed healthy).
+func (l *resLab) drive(n int) {
+	l.t.Helper()
+	for i := 0; i < n; i++ {
+		l.get("ok.example", "/list", "")
+		l.p.Drain()
+		round := l.up.round
+		l.get("ok.example", "/detail", fmt.Sprintf("r%d-0", round))
+		l.get("ok.example", "/detail", fmt.Sprintf("r%d-1", round))
+	}
+}
+
+func (l *resLab) health() map[string]any {
+	l.t.Helper()
+	req := httptest.NewRequest("GET", "/appx/health", nil)
+	rec := httptest.NewRecorder()
+	l.p.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		l.t.Fatalf("/appx/health = %d", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		l.t.Fatalf("/appx/health not JSON: %v", err)
+	}
+	return out
+}
+
+// TestBreakerStopsPrefetchingDeadHost: a host refusing every connection
+// stops receiving prefetch traffic after the breaker opens — the origin
+// sees zero prefetch requests, failures stop at the breaker threshold, and
+// later rounds are suppressed at planning time.
+func TestBreakerStopsPrefetchingDeadHost(t *testing.T) {
+	l := newResLab(t, 7, &config.Resilience{
+		RetryAttempts:        1, // isolate the breaker from retry behaviour
+		BreakerFailures:      3,
+		PrefetchFailureLimit: 1000, // keep signature backoff out of the way
+	})
+	in := netem.NewInjector(7)
+	in.SetFault("sick.example", netem.Fault{ConnectRefuseProb: 1})
+	l.up.setFaults(in)
+
+	taught := l.up.reached("sick.example") // the exemplar-teaching request
+	l.drive(6)
+
+	snap := l.p.Stats().Snapshot()
+	sick := snap.PerSig["t:sickitem#0"]
+	if sick.PrefetchErrors != 3 {
+		t.Fatalf("prefetch errors = %d, want exactly the breaker threshold 3", sick.PrefetchErrors)
+	}
+	if sick.PrefetchSuppressed == 0 {
+		t.Fatal("no prefetches suppressed after breaker opened")
+	}
+	if got := l.up.reached("sick.example"); got != taught {
+		t.Fatalf("dead host still received %d prefetch requests", got-taught)
+	}
+	if st := l.p.Breakers().State("sick.example"); st != resilience.Open {
+		t.Fatalf("sick.example breaker = %v, want open", st)
+	}
+	// The healthy host is unaffected: every round's fan-out prefetched, and
+	// the consumed details all hit.
+	ok := snap.PerSig["t:okitem#0"]
+	if ok.Prefetches != 6*6 {
+		t.Fatalf("healthy prefetches = %d, want 36", ok.Prefetches)
+	}
+	if ok.Hits != 2*6 {
+		t.Fatalf("healthy hits = %d, want 12", ok.Hits)
+	}
+	if st := l.p.Breakers().State("ok.example"); st != resilience.Closed {
+		t.Fatalf("ok.example breaker = %v, want closed", st)
+	}
+}
+
+// TestFaultSweepDegradesGracefully is the acceptance scenario: 30 %
+// injected connect-failure on one host. The sick host's error count
+// plateaus once its breaker opens, the healthy host's hit behaviour is
+// byte-for-byte identical to a fault-free run, and /appx/health reports the
+// open breaker.
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	res := func() *config.Resilience {
+		return &config.Resilience{
+			RetryAttempts:        1,
+			BreakerFailures:      3,
+			PrefetchFailureLimit: 1000,
+		}
+	}
+	const seed, rounds = 42, 20
+
+	// Fault-free reference run.
+	clean := newResLab(t, seed, res())
+	clean.drive(rounds)
+	cleanOK := clean.p.Stats().Snapshot().PerSig["t:okitem#0"]
+
+	// Faulted run: 30 % of sick.example connection attempts refused.
+	l := newResLab(t, seed, res())
+	in := netem.NewInjector(seed)
+	in.SetFault("sick.example", netem.Fault{ConnectRefuseProb: 0.3})
+	l.up.setFaults(in)
+	l.drive(rounds)
+
+	snap := l.p.Stats().Snapshot()
+	sick := snap.PerSig["t:sickitem#0"]
+	if sick.PrefetchErrors == 0 {
+		t.Fatal("no injected failures observed")
+	}
+	if st := l.p.Breakers().State("sick.example"); st != resilience.Open {
+		t.Fatalf("sick.example breaker = %v, want open after sustained faults", st)
+	}
+	// Plateau: with the breaker open (and a frozen clock, so it never times
+	// out into half-open), further rounds add suppressions but no errors.
+	l.drive(3)
+	after := l.p.Stats().Snapshot().PerSig["t:sickitem#0"]
+	if after.PrefetchErrors != sick.PrefetchErrors {
+		t.Fatalf("errors kept growing after breaker opened: %d -> %d",
+			sick.PrefetchErrors, after.PrefetchErrors)
+	}
+	if after.PrefetchSuppressed <= sick.PrefetchSuppressed {
+		t.Fatalf("suppression count did not grow: %d -> %d",
+			sick.PrefetchSuppressed, after.PrefetchSuppressed)
+	}
+	// Healthy host unaffected: same hits and prefetches as the clean run.
+	ok := snap.PerSig["t:okitem#0"]
+	if ok.Hits != cleanOK.Hits || ok.Hits == 0 {
+		t.Fatalf("healthy host hits changed under fault: clean=%d faulted=%d", cleanOK.Hits, ok.Hits)
+	}
+	if ok.Prefetches != cleanOK.Prefetches {
+		t.Fatalf("healthy host prefetches changed under fault: clean=%d faulted=%d",
+			cleanOK.Prefetches, ok.Prefetches)
+	}
+	// /appx/health reports the open breaker.
+	h := l.health()
+	if h["status"] != "degraded" {
+		t.Fatalf("health status = %v, want degraded", h["status"])
+	}
+	br, _ := h["breakers"].(map[string]any)
+	sickBr, _ := br["sick.example"].(map[string]any)
+	if sickBr == nil || sickBr["state"] != "open" {
+		t.Fatalf("health breakers = %v, want sick.example open", br)
+	}
+}
+
+// TestSigBackoffSuspendsRejectedSignature: an origin that answers
+// reconstructions with 404 does not trip the breaker (the host is healthy),
+// but the signature's consecutive-failure backoff suspends it.
+func TestSigBackoffSuspendsRejectedSignature(t *testing.T) {
+	l := newResLab(t, 3, &config.Resilience{
+		RetryAttempts:   1,
+		BreakerFailures: 3,
+		// PrefetchFailureLimit left at its default of 3.
+	})
+	l.up.mu.Lock()
+	l.up.rejectSick = true
+	l.up.mu.Unlock()
+
+	l.drive(5)
+	snap := l.p.Stats().Snapshot()
+	sick := snap.PerSig["t:sickitem#0"]
+	// Round 1 queues a full fan-out before the limit is reached, so every
+	// instance of that round executes; later rounds are suppressed at
+	// planning time and the reject count stays put.
+	if sick.PrefetchRejects != 6 {
+		t.Fatalf("prefetch rejects = %d, want one round's fan-out of 6", sick.PrefetchRejects)
+	}
+	if sick.PrefetchSuppressed == 0 {
+		t.Fatal("suspended signature still planning prefetches")
+	}
+	if st := l.p.Breakers().State("sick.example"); st != resilience.Closed {
+		t.Fatalf("breaker = %v for a host that answers; rejects must not trip it", st)
+	}
+	h := l.health()
+	if h["status"] != "degraded" {
+		t.Fatalf("health status = %v, want degraded while a signature is suspended", h["status"])
+	}
+	sus, _ := h["suspendedSignatures"].(map[string]any)
+	if _, ok := sus["t:sickitem#0"]; !ok {
+		t.Fatalf("suspendedSignatures = %v, want t:sickitem#0", sus)
+	}
+}
+
+// TestForwardRetryMasksTransientFailure: a live client GET gets one fast
+// retry before the proxy reports 502, and non-idempotent methods do not.
+func TestForwardRetryMasksTransientFailure(t *testing.T) {
+	g := sig.NewGraph("t")
+	g.Add(&sig.Signature{ID: "t:a#0", Method: "GET", URI: sig.Literal("h.example/x")})
+	cfg := config.Default(g)
+	cfg.Resilience = &config.Resilience{RetryBaseDelay: config.Duration(time.Microsecond)}
+	var calls, fails int
+	var mu sync.Mutex
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if fails > 0 {
+			fails--
+			return nil, fmt.Errorf("transient origin failure")
+		}
+		return &httpmsg.Response{Status: 200, Body: []byte("ok")}, nil
+	})
+	p := New(Options{Graph: g, Config: cfg, Upstream: up})
+	defer p.Close()
+	pt := &proxyTransport{p: p, user: "retry-user"}
+
+	fails = 1
+	resp, err := pt.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example", Path: "/x"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("GET after transient failure: %v status=%d", err, resp.Status)
+	}
+	if calls != 2 || p.Stats().Retries() != 1 {
+		t.Fatalf("calls = %d retries = %d, want 2 and 1", calls, p.Stats().Retries())
+	}
+
+	// Non-idempotent requests must not be replayed: one failed attempt → 502.
+	mu.Lock()
+	calls, fails = 0, 1
+	mu.Unlock()
+	resp, err = pt.RoundTrip(&httpmsg.Request{Method: "POST", Host: "h.example", Path: "/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 {
+		t.Fatalf("POST status = %d, want 502 without retry", resp.Status)
+	}
+	if calls != 1 || p.Stats().Retries() != 1 {
+		t.Fatalf("POST calls = %d retries = %d, want 1 attempt and no new retry", calls, p.Stats().Retries())
+	}
+}

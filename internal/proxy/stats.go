@@ -25,6 +25,9 @@ type sigStats struct {
 	// verification phase disables signatures showing either.
 	prefetchErrors  int
 	prefetchRejects int
+	// prefetchSuppressed counts prefetches the resilience layer declined to
+	// issue (open circuit breaker or suspended signature backoff).
+	prefetchSuppressed int
 	// usedEntries counts distinct prefetched responses served at least
 	// once (the numerator of the paper's "ratio of data actually used").
 	usedEntries int
@@ -41,6 +44,8 @@ type Stats struct {
 	// SavedLatency accumulates the estimated latency hidden from clients by
 	// cache hits (the hit signature's average origin response time).
 	savedLatency time.Duration
+	// retries counts origin attempts beyond the first, proxy-wide.
+	retries int
 }
 
 // NewStats returns empty statistics.
@@ -101,6 +106,27 @@ func (s *Stats) CountPrefetchReject(sigID string) {
 	s.sig(sigID).prefetchRejects++
 }
 
+// CountPrefetchSuppressed records a prefetch the resilience layer skipped.
+func (s *Stats) CountPrefetchSuppressed(sigID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sig(sigID).prefetchSuppressed++
+}
+
+// CountRetry records one origin retry attempt.
+func (s *Stats) CountRetry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retries++
+}
+
+// Retries reports the proxy-wide origin retry count.
+func (s *Stats) Retries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
+
 // CountHit records a client request served from the prefetch cache.
 // firstUse marks the first time this particular cached entry is served.
 func (s *Stats) CountHit(sigID string, bytes int64, saved time.Duration, firstUse bool) {
@@ -144,43 +170,48 @@ func (s *Stats) Priority(sigID string) float64 {
 type Snapshot struct {
 	PerSig map[string]SigSnapshot
 
-	ForwardedBytes  int64
-	PrefetchedBytes int64
-	ServedBytes     int64
-	Hits            int
-	Misses          int
-	Prefetches      int
-	UsedEntries     int
-	SavedLatency    time.Duration
+	ForwardedBytes     int64
+	PrefetchedBytes    int64
+	ServedBytes        int64
+	Hits               int
+	Misses             int
+	Prefetches         int
+	UsedEntries        int
+	SavedLatency       time.Duration
+	Retries            int
+	PrefetchErrors     int
+	PrefetchSuppressed int
 }
 
 // SigSnapshot is one signature's counters.
 type SigSnapshot struct {
-	RespTime        time.Duration
-	Prefetches      int
-	Hits            int
-	Misses          int
-	PrefetchedBytes int64
-	ServedBytes     int64
-	PrefetchErrors  int
-	PrefetchRejects int
+	RespTime           time.Duration
+	Prefetches         int
+	Hits               int
+	Misses             int
+	PrefetchedBytes    int64
+	ServedBytes        int64
+	PrefetchErrors     int
+	PrefetchRejects    int
+	PrefetchSuppressed int
 }
 
 // Snapshot captures current counters.
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := Snapshot{PerSig: make(map[string]SigSnapshot, len(s.sigs)), ForwardedBytes: s.forwardedBytes, SavedLatency: s.savedLatency}
+	out := Snapshot{PerSig: make(map[string]SigSnapshot, len(s.sigs)), ForwardedBytes: s.forwardedBytes, SavedLatency: s.savedLatency, Retries: s.retries}
 	for id, st := range s.sigs {
 		out.PerSig[id] = SigSnapshot{
-			RespTime:        st.ewmaRespTime,
-			Prefetches:      st.prefetches,
-			Hits:            st.hits,
-			Misses:          st.misses,
-			PrefetchedBytes: st.prefetchedBytes,
-			ServedBytes:     st.servedBytes,
-			PrefetchErrors:  st.prefetchErrors,
-			PrefetchRejects: st.prefetchRejects,
+			RespTime:           st.ewmaRespTime,
+			Prefetches:         st.prefetches,
+			Hits:               st.hits,
+			Misses:             st.misses,
+			PrefetchedBytes:    st.prefetchedBytes,
+			ServedBytes:        st.servedBytes,
+			PrefetchErrors:     st.prefetchErrors,
+			PrefetchRejects:    st.prefetchRejects,
+			PrefetchSuppressed: st.prefetchSuppressed,
 		}
 		out.UsedEntries += st.usedEntries
 		out.PrefetchedBytes += st.prefetchedBytes
@@ -188,6 +219,8 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Hits += st.hits
 		out.Misses += st.misses
 		out.Prefetches += st.prefetches
+		out.PrefetchErrors += st.prefetchErrors
+		out.PrefetchSuppressed += st.prefetchSuppressed
 	}
 	return out
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -14,16 +13,20 @@ import (
 )
 
 // Upstream performs origin-side HTTP transactions on behalf of the proxy —
-// both forwarded client requests and prefetches.
+// both forwarded client requests and prefetches. The context carries the
+// caller's cancellation (a disconnected client, a per-attempt deadline from
+// the retry middleware) all the way to the origin connection.
 type Upstream interface {
-	RoundTrip(*httpmsg.Request) (*httpmsg.Response, error)
+	RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error)
 }
 
 // UpstreamFunc adapts a function to Upstream.
-type UpstreamFunc func(*httpmsg.Request) (*httpmsg.Response, error)
+type UpstreamFunc func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error)
 
 // RoundTrip implements Upstream.
-func (f UpstreamFunc) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) { return f(r) }
+func (f UpstreamFunc) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+	return f(ctx, r)
+}
 
 // NetUpstream dials origin servers over emulated WAN links: each logical
 // hostname resolves to a real listener address and is shaped by its
@@ -34,6 +37,7 @@ type NetUpstream struct {
 	mu      sync.RWMutex
 	resolve map[string]string
 	links   map[string]netem.Link
+	faults  *netem.Injector
 }
 
 // NewNetUpstream builds an upstream with the given host→address resolution
@@ -56,7 +60,9 @@ func NewNetUpstream(resolve map[string]string, links map[string]netem.Link) *Net
 		IdleConnTimeout:     30 * time.Second,
 		DisableCompression:  true,
 	}
-	u.client = &http.Client{Transport: tr, Timeout: 60 * time.Second}
+	// No whole-client timeout: per-request bounds come from the caller's
+	// context (the resilience middleware sets per-attempt deadlines).
+	u.client = &http.Client{Transport: tr}
 	return u
 }
 
@@ -68,28 +74,51 @@ func (u *NetUpstream) SetHost(host, addr string, link netem.Link) {
 	u.links[host] = link
 }
 
+// SetFaults installs (or clears, with nil) a fault injector: every dial
+// first consults the injector's connect-refusal draw for the logical host,
+// and established connections run through its per-I/O fault model.
+func (u *NetUpstream) SetFaults(in *netem.Injector) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.faults = in
+}
+
 func (u *NetUpstream) dial(ctx context.Context, network, addr string) (net.Conn, error) {
-	host := addr
-	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
-		host = addr[:i]
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		// No port (or not host:port shaped): treat the whole string as the
+		// logical host.
+		host = addr
 	}
 	u.mu.RLock()
 	real, ok := u.resolve[host]
 	link := u.links[host]
+	faults := u.faults
 	u.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("proxy: no origin registered for host %q", host)
 	}
+	if faults != nil && faults.ConnectRefused(host) {
+		return nil, fmt.Errorf("proxy: dial %s: %w", host, netem.ErrInjectedRefusal)
+	}
 	d := netem.Dialer{Link: link, Timeout: 10 * time.Second}
-	return d.DialContext(ctx, network, real)
+	c, err := d.DialContext(ctx, network, real)
+	if err != nil {
+		return nil, err
+	}
+	if faults != nil {
+		c = faults.WrapConn(c, host)
+	}
+	return c, nil
 }
 
 // RoundTrip implements Upstream.
-func (u *NetUpstream) RoundTrip(r *httpmsg.Request) (*httpmsg.Response, error) {
+func (u *NetUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 	hreq, err := r.ToHTTP()
 	if err != nil {
 		return nil, err
 	}
+	hreq = hreq.WithContext(ctx)
 	hreq.Host = r.Host
 	hresp, err := u.client.Do(hreq)
 	if err != nil {

@@ -12,6 +12,7 @@ package verify
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -104,7 +105,7 @@ func Run(o Options) (*Report, error) {
 	}
 
 	cfg := config.Default(o.Graph)
-	up := proxy.UpstreamFunc(func(r *httpmsg.Request) (*httpmsg.Response, error) {
+	up := proxy.UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 		return httpmsg.ServeViaHandler(o.Origin, r)
 	})
 	px := proxy.New(proxy.Options{Graph: o.Graph, Config: cfg, Upstream: up})
@@ -166,7 +167,7 @@ func Run(o Options) (*Report, error) {
 		// Estimate expiry from a concrete verified request.
 		if sample := px.SampleRequest(id); sample != nil {
 			exp := EstimateExpiration(func() ([]byte, error) {
-				resp, err := up.RoundTrip(sample)
+				resp, err := up.RoundTrip(context.Background(), sample)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh runs the repository's full verification gate: vet plus the test
+# suite under the race detector. CI and pre-commit hooks call this; so does
+# `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
