@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-cache
 
 build:
 	go build ./...
@@ -14,3 +14,7 @@ check:
 
 bench:
 	go run ./cmd/appx-bench
+
+# bench-cache runs the prefetch-store microbenchmarks (sharding, eviction).
+bench-cache:
+	go test ./internal/cache/ -run '^$$' -bench . -benchmem

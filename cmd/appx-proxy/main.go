@@ -67,6 +67,17 @@ type options struct {
 	prefetchBackoffBase time.Duration
 	prefetchBackoffMax  time.Duration
 
+	prefetchTimeout time.Duration
+
+	// Cache overrides; zero values defer to -config / built-in defaults,
+	// negative values disable the corresponding bound.
+	cacheMaxBytes    int64
+	cacheUserBytes   int64
+	cacheUserEntries int
+	cacheShards      int
+	cacheSweep       time.Duration
+	cacheNoShared    bool
+
 	// Fault injection (resilience drills).
 	fault     string
 	faultSeed int64
@@ -91,6 +102,14 @@ func main() {
 	flag.IntVar(&o.prefetchFailLimit, "prefetch-failure-limit", 0, "consecutive failures that suspend a prefetch signature (0 = config default)")
 	flag.DurationVar(&o.prefetchBackoffBase, "prefetch-backoff-base", 0, "initial suspension of a failing prefetch signature (0 = config default)")
 	flag.DurationVar(&o.prefetchBackoffMax, "prefetch-backoff-max", 0, "suspension cap for a failing prefetch signature (0 = config default)")
+	flag.DurationVar(&o.prefetchTimeout, "prefetch-timeout", 0, "whole-prefetch deadline, retries included (0 = config default)")
+
+	flag.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "global prefetch-store byte budget (0 = config default, <0 = unlimited)")
+	flag.Int64Var(&o.cacheUserBytes, "cache-user-bytes", 0, "per-user resident-byte cap (0 = config default, <0 = uncapped)")
+	flag.IntVar(&o.cacheUserEntries, "cache-user-entries", 0, "per-user entry cap (0 = config default, <0 = uncapped)")
+	flag.IntVar(&o.cacheShards, "cache-shards", 0, "prefetch-store lock-partition count (0 = config default)")
+	flag.DurationVar(&o.cacheSweep, "cache-sweep", 0, "background expiry-sweep period (0 = config default, <0 = disabled)")
+	flag.BoolVar(&o.cacheNoShared, "cache-no-shared", false, "disable the cross-user shared cache tier")
 
 	flag.StringVar(&o.fault, "fault", "", "comma-separated host=prob connect-refusal injection, e.g. api.wish.example=0.3")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
@@ -138,6 +157,7 @@ func run(o options) error {
 		cfg = config.Default(g)
 	}
 	applyResilienceFlags(cfg, o)
+	applyCacheFlags(cfg, o)
 
 	resolve := map[string]string{}
 	links := map[string]netem.Link{}
@@ -211,6 +231,7 @@ func applyResilienceFlags(cfg *config.Config, o options) {
 		{int64(o.prefetchFailLimit), func() { r.PrefetchFailureLimit = o.prefetchFailLimit }},
 		{int64(o.prefetchBackoffBase), func() { r.PrefetchBackoffBase = config.Duration(o.prefetchBackoffBase) }},
 		{int64(o.prefetchBackoffMax), func() { r.PrefetchBackoffMax = config.Duration(o.prefetchBackoffMax) }},
+		{int64(o.prefetchTimeout), func() { r.PrefetchTimeout = config.Duration(o.prefetchTimeout) }},
 	} {
 		if f.flag > 0 {
 			f.dst()
@@ -219,6 +240,44 @@ func applyResilienceFlags(cfg *config.Config, o options) {
 	}
 	if set || cfg.Resilience != nil {
 		cfg.Resilience = &r
+	}
+}
+
+// applyCacheFlags folds non-zero command-line overrides into the
+// configuration's cache section. Negative values pass through: the store
+// reads them as "bound disabled".
+func applyCacheFlags(cfg *config.Config, o options) {
+	c := config.Cache{}
+	if cfg.Cache != nil {
+		c = *cfg.Cache
+	}
+	set := false
+	if o.cacheMaxBytes != 0 {
+		c.MaxBytes = o.cacheMaxBytes
+		set = true
+	}
+	if o.cacheUserBytes != 0 {
+		c.PerUserBytes = o.cacheUserBytes
+		set = true
+	}
+	if o.cacheUserEntries != 0 {
+		c.MaxEntriesPerUser = o.cacheUserEntries
+		set = true
+	}
+	if o.cacheShards > 0 {
+		c.Shards = o.cacheShards
+		set = true
+	}
+	if o.cacheSweep != 0 {
+		c.SweepInterval = config.Duration(o.cacheSweep)
+		set = true
+	}
+	if o.cacheNoShared {
+		c.DisableSharedTier = true
+		set = true
+	}
+	if set || cfg.Cache != nil {
+		cfg.Cache = &c
 	}
 }
 

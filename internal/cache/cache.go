@@ -1,0 +1,623 @@
+// Package cache implements the proxy's prefetch-response store: a
+// hash-sharded, byte-budgeted, TTL-indexed cache with a cross-user shared
+// tier.
+//
+// The paper's prototype keeps prefetched responses in one map per user (§5:
+// "manages prefetched response per user separately"); this subsystem keeps
+// that per-user semantics — a *scope* is a user key — while adding what a
+// production deployment needs: per-shard locks instead of one mutex,
+// expiry-ordered eviction via a min-heap instead of an O(n) scan, LRU
+// ordering under byte pressure, a global resident-byte budget with
+// per-scope fairness caps, and eviction/hit telemetry by cause.
+//
+// The shared tier is one distinguished scope (SharedScope): responses to
+// requests that carry no per-user runtime values are stored once and served
+// to every user. Safety rests on the proxy's exact-match rule (R3) — a
+// cached response is only ever served to a byte-identical request — so the
+// shared tier changes *who pays for the origin fetch*, never *what any
+// client observes*. Inflight deduplication (TryIssue/CancelIssue) rides on
+// the same scopes, so N concurrent users wanting one shared entry trigger a
+// single origin fetch.
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appx/internal/httpmsg"
+)
+
+// SharedScope is the reserved scope for entries shared across all users.
+// The NUL prefix keeps it disjoint from any proxy user key (user keys come
+// from IPs or header values, which never contain NUL).
+const SharedScope = "\x00shared"
+
+// Options configures a Store. Zero fields take defaults.
+type Options struct {
+	// Shards is the number of independently locked shard partitions
+	// (default 32).
+	Shards int
+	// MaxBytes is the global resident-byte budget across all shards and
+	// scopes (default 256 MiB); exceeding it evicts least-recently-used
+	// entries. <0 disables the budget.
+	MaxBytes int64
+	// PerScopeBytes caps one user scope's resident bytes (default
+	// MaxBytes/64, at least 1 MiB) so a single chatty user cannot occupy
+	// the whole budget. The shared scope is exempt. <0 disables the cap.
+	PerScopeBytes int64
+	// MaxEntriesPerScope caps one user scope's entry count (default 4096).
+	// The shared scope is exempt. <0 disables the cap.
+	MaxEntriesPerScope int
+	// Now supplies time; defaults to time.Now. Injected for expiry tests.
+	Now func() time.Time
+}
+
+func (o Options) filled() Options {
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 256 << 20
+	}
+	if o.PerScopeBytes == 0 {
+		o.PerScopeBytes = o.MaxBytes / 64
+		if o.PerScopeBytes < 1<<20 {
+			o.PerScopeBytes = 1 << 20
+		}
+	}
+	if o.MaxEntriesPerScope == 0 {
+		o.MaxEntriesPerScope = 4096
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Entry is one prefetched response payload. Req is retained so an expired
+// entry can seed a refresh prefetch; SigID attributes telemetry.
+type Entry struct {
+	Resp    *httpmsg.Response
+	Req     *httpmsg.Request
+	SigID   string
+	Expires time.Time
+
+	used atomic.Bool
+}
+
+// FirstUse atomically marks the entry served and reports whether this was
+// the first time (the numerator of the paper's used-prefetch ratio).
+func (e *Entry) FirstUse() bool { return e.used.CompareAndSwap(false, true) }
+
+// entryOverhead approximates the per-entry bookkeeping cost (maps, list and
+// heap slots, struct headers) charged against the byte budget.
+const entryOverhead = 256
+
+// size approximates an entry's resident footprint: response body and
+// headers, the canonical key, and fixed overhead. The retained request is
+// a reconstruction recipe, small next to response bodies, and is not
+// charged.
+func size(key string, e *Entry) int64 {
+	n := int64(len(key)) + entryOverhead
+	if e.Resp != nil {
+		n += int64(len(e.Resp.Body))
+		for _, f := range e.Resp.Header {
+			n += int64(len(f.Key) + len(f.Value))
+		}
+	}
+	return n
+}
+
+// entry is the shard-internal wrapper: payload plus index state.
+type entry struct {
+	payload *Entry
+	scope   string
+	key     string
+	size    int64
+	lruEl   *list.Element
+	heapIdx int
+}
+
+// entryHeap is a min-heap on expiry time; heapIdx tracks positions so
+// arbitrary removal is O(log n).
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	return h[i].payload.Expires.Before(h[j].payload.Expires)
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// shard is one lock domain: a fraction of the scopes (and of the shared
+// tier's keys), with its own LRU list, expiry heap, and inflight-dedup map.
+// Hot-path counters live here too, guarded by the lock the operation
+// already holds, so telemetry adds no cross-shard synchronization.
+type shard struct {
+	mu         sync.Mutex
+	byScope    map[string]map[string]*entry // scope → canonical key → entry
+	lru        *list.List                   // front = most recently used
+	heap       entryHeap
+	scopeBytes map[string]int64
+	issued     map[string]time.Time // scope+NUL+key → dedup deadline
+
+	hits, misses, sharedHits, puts int64
+	sigs                           map[string]*SigStats
+}
+
+// sigStat returns the shard-local counters for a signature (sh.mu held).
+func (sh *shard) sigStat(id string) *SigStats {
+	st := sh.sigs[id]
+	if st == nil {
+		st = &SigStats{}
+		sh.sigs[id] = st
+	}
+	return st
+}
+
+// EvictionCounts breaks evictions down by cause.
+type EvictionCounts struct {
+	// Expired entries were past their expiration time (heap sweep or
+	// discovered at lookup).
+	Expired int64
+	// Budget entries were evicted to respect the global byte budget.
+	Budget int64
+	// ScopeBytes / ScopeEntries entries were evicted to respect one user
+	// scope's byte or entry cap.
+	ScopeBytes   int64
+	ScopeEntries int64
+	// Replaced entries were overwritten by a newer Put of the same key.
+	Replaced int64
+	// Dropped entries left with their whole scope (user eviction).
+	Dropped int64
+}
+
+// SigStats is one signature's cache telemetry. Hit ratio is hits over
+// entries stored (misses cannot be attributed to a signature: an absent
+// key names no signature).
+type SigStats struct {
+	Puts, Hits, Expired int64
+}
+
+// HitRatio returns hits per stored entry (may exceed 1: one entry can be
+// served many times).
+func (s SigStats) HitRatio() float64 {
+	if s.Puts == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Puts)
+}
+
+// Metrics is an immutable snapshot of the store's counters.
+type Metrics struct {
+	// Hits and SharedHits count fresh lookups served, overall and from the
+	// shared tier; Misses counts per-tier probes that found nothing fresh
+	// (a layered lookup probing two tiers can record two misses).
+	Hits, Misses, SharedHits int64
+	// Puts counts entries stored.
+	Puts int64
+	// ResidentBytes / Entries describe current occupancy; SharedBytes /
+	// SharedEntries the shared tier's slice of it.
+	ResidentBytes, SharedBytes int64
+	Entries, SharedEntries     int
+	Evictions                  EvictionCounts
+	// PerSig carries per-signature put/hit/expiry counts.
+	PerSig map[string]SigStats
+}
+
+// HitRatio returns hits/(hits+misses), 0 when idle.
+func (m Metrics) HitRatio() float64 {
+	if m.Hits+m.Misses == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Hits+m.Misses)
+}
+
+// SharedHitRatio returns the fraction of hits served from the shared tier.
+func (m Metrics) SharedHitRatio() float64 {
+	if m.Hits == 0 {
+		return 0
+	}
+	return float64(m.SharedHits) / float64(m.Hits)
+}
+
+// Store is the sharded prefetch store. All methods are safe for concurrent
+// use.
+type Store struct {
+	opts     Options
+	shards   []*shard
+	resident atomic.Int64
+
+	// Eviction causes are rare events; plain atomics suffice.
+	evExpired, evBudget, evScopeB, evScopeN atomic.Int64
+	evReplaced, evDropped                   atomic.Int64
+
+	sweepMu   sync.Mutex
+	sweepStop chan struct{}
+}
+
+// New builds a store.
+func New(opts Options) *Store {
+	s := &Store{opts: opts.filled()}
+	s.shards = make([]*shard, s.opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			byScope:    map[string]map[string]*entry{},
+			lru:        list.New(),
+			scopeBytes: map[string]int64{},
+			issued:     map[string]time.Time{},
+			sigs:       map[string]*SigStats{},
+		}
+	}
+	return s
+}
+
+// shardOf picks the lock domain: user scopes hash by scope, so one user's
+// entries share a shard and per-user accounting and DropScope touch one
+// lock; shared entries hash by key, spreading the hot shared tier across
+// all shards.
+func (s *Store) shardOf(scope, key string) *shard {
+	x := scope
+	if scope == SharedScope {
+		x = key
+	}
+	// FNV-1a.
+	h := uint32(2166136261)
+	for i := 0; i < len(x); i++ {
+		h ^= uint32(x[i])
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+func issueKey(scope, key string) string { return scope + "\x00" + key }
+
+// Get looks up scope/key. fresh=true means the entry is valid to serve.
+// A non-nil entry with fresh=false was expired at lookup: it has been
+// removed, and its payload is returned so the caller may use the retained
+// request to refresh (never the response — the stale invariant).
+func (s *Store) Get(scope, key string) (e *Entry, fresh bool) {
+	sh := s.shardOf(scope, key)
+	now := s.opts.Now()
+	sh.mu.Lock()
+	en := sh.byScope[scope][key]
+	if en == nil {
+		sh.misses++
+		sh.mu.Unlock()
+		return nil, false
+	}
+	if !now.Before(en.payload.Expires) {
+		s.removeLocked(sh, en)
+		sh.misses++
+		sh.sigStat(en.payload.SigID).Expired++
+		sh.mu.Unlock()
+		s.evExpired.Add(1)
+		return en.payload, false
+	}
+	sh.lru.MoveToFront(en.lruEl)
+	sh.hits++
+	if scope == SharedScope {
+		sh.sharedHits++
+	}
+	sh.sigStat(en.payload.SigID).Hits++
+	sh.mu.Unlock()
+	return en.payload, true
+}
+
+// Put stores an entry, replacing any previous one under the same key,
+// clearing the inflight-dedup record, and enforcing the scope caps and the
+// global budget.
+func (s *Store) Put(scope, key string, p *Entry) {
+	sz := size(key, p)
+	sh := s.shardOf(scope, key)
+	sh.mu.Lock()
+	if old := sh.byScope[scope][key]; old != nil {
+		s.removeLocked(sh, old)
+		s.evReplaced.Add(1)
+	}
+	en := &entry{payload: p, scope: scope, key: key, size: sz}
+	m := sh.byScope[scope]
+	if m == nil {
+		m = map[string]*entry{}
+		sh.byScope[scope] = m
+	}
+	m[key] = en
+	en.lruEl = sh.lru.PushFront(en)
+	heap.Push(&sh.heap, en)
+	sh.scopeBytes[scope] += sz
+	delete(sh.issued, issueKey(scope, key))
+	s.resident.Add(sz)
+	if scope != SharedScope {
+		// Per-scope fairness caps: evict the scope's own LRU entries, never
+		// another user's. The new entry itself is exempt so a single
+		// oversized response still caches (and ages out normally).
+		for s.opts.MaxEntriesPerScope > 0 && len(m) > s.opts.MaxEntriesPerScope {
+			v := oldestOfScopeLocked(sh, scope, en)
+			if v == nil {
+				break
+			}
+			s.removeLocked(sh, v)
+			s.evScopeN.Add(1)
+		}
+		for s.opts.PerScopeBytes > 0 && sh.scopeBytes[scope] > s.opts.PerScopeBytes {
+			v := oldestOfScopeLocked(sh, scope, en)
+			if v == nil {
+				break
+			}
+			s.removeLocked(sh, v)
+			s.evScopeB.Add(1)
+		}
+	}
+	sh.puts++
+	sh.sigStat(p.SigID).Puts++
+	sh.mu.Unlock()
+	if s.opts.MaxBytes > 0 && s.resident.Load() > s.opts.MaxBytes {
+		s.evictGlobal(sh)
+	}
+}
+
+// oldestOfScopeLocked walks the shard LRU from the cold end for the scope's
+// least recently used entry, skipping keep (sh.mu held). Other scopes'
+// entries are passed over, so a scope-cap eviction costs O(shard entries)
+// worst case — acceptable because it only runs when a scope is at its cap.
+func oldestOfScopeLocked(sh *shard, scope string, keep *entry) *entry {
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		if en := el.Value.(*entry); en.scope == scope && en != keep {
+			return en
+		}
+	}
+	return nil
+}
+
+// removeLocked unlinks an entry from all three indexes and the accounting
+// (sh.mu held).
+func (s *Store) removeLocked(sh *shard, en *entry) {
+	m := sh.byScope[en.scope]
+	delete(m, en.key)
+	if len(m) == 0 {
+		delete(sh.byScope, en.scope)
+	}
+	sh.lru.Remove(en.lruEl)
+	heap.Remove(&sh.heap, en.heapIdx)
+	sh.scopeBytes[en.scope] -= en.size
+	if sh.scopeBytes[en.scope] <= 0 {
+		delete(sh.scopeBytes, en.scope)
+	}
+	s.resident.Add(-en.size)
+}
+
+// evictGlobal enforces the global byte budget: drain the inserting shard's
+// LRU tail first (cheapest — the lock is warm and the bytes just landed
+// there), then sweep the other shards one lock at a time. Locks are never
+// nested, so no ordering deadlock is possible.
+func (s *Store) evictGlobal(pref *shard) {
+	evictOne := func(sh *shard) bool {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		el := sh.lru.Back()
+		if el == nil {
+			return false
+		}
+		s.removeLocked(sh, el.Value.(*entry))
+		s.evBudget.Add(1)
+		return true
+	}
+	for s.resident.Load() > s.opts.MaxBytes && evictOne(pref) {
+	}
+	for s.resident.Load() > s.opts.MaxBytes {
+		progress := false
+		for _, sh := range s.shards {
+			if s.resident.Load() <= s.opts.MaxBytes {
+				return
+			}
+			if evictOne(sh) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// TryIssue claims the right to prefetch scope/key: it fails when a fresh
+// entry already exists or another prefetch for the same key is inflight
+// (issued within window). On success the claim stands until Put,
+// CancelIssue, or the window elapses — singleflight across all users of a
+// shared key.
+func (s *Store) TryIssue(scope, key string, window time.Duration) bool {
+	sh := s.shardOf(scope, key)
+	now := s.opts.Now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if en := sh.byScope[scope][key]; en != nil && now.Before(en.payload.Expires) {
+		return false
+	}
+	ik := issueKey(scope, key)
+	if dl, ok := sh.issued[ik]; ok && now.Before(dl) {
+		return false
+	}
+	sh.issued[ik] = now.Add(window)
+	return true
+}
+
+// CancelIssue releases a TryIssue claim after a failed or abandoned
+// prefetch, so the next opportunity may retry immediately.
+func (s *Store) CancelIssue(scope, key string) {
+	sh := s.shardOf(scope, key)
+	sh.mu.Lock()
+	delete(sh.issued, issueKey(scope, key))
+	sh.mu.Unlock()
+}
+
+// DropScope removes every entry and inflight claim of a scope (user
+// eviction). Returns entries and bytes dropped. A user scope lives in one
+// shard; dropping SharedScope touches all of them.
+func (s *Store) DropScope(scope string) (entries int, bytes int64) {
+	targets := []*shard{s.shardOf(scope, "")}
+	if scope == SharedScope {
+		targets = s.shards
+	}
+	prefix := scope + "\x00"
+	for _, sh := range targets {
+		sh.mu.Lock()
+		m := sh.byScope[scope]
+		victims := make([]*entry, 0, len(m))
+		for _, en := range m {
+			victims = append(victims, en)
+		}
+		for _, en := range victims {
+			bytes += en.size
+			s.removeLocked(sh, en)
+		}
+		entries += len(victims)
+		for ik := range sh.issued {
+			if len(ik) > len(prefix) && ik[:len(prefix)] == prefix {
+				delete(sh.issued, ik)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.evDropped.Add(int64(entries))
+	return entries, bytes
+}
+
+// SweepExpired pops every expired entry off each shard's expiry heap —
+// O(expired · log n), no full scans — and prunes lapsed inflight claims.
+// Returns entries removed.
+func (s *Store) SweepExpired() int {
+	now := s.opts.Now()
+	removed := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for len(sh.heap) > 0 && !now.Before(sh.heap[0].payload.Expires) {
+			en := sh.heap[0]
+			s.removeLocked(sh, en)
+			removed++
+			s.evExpired.Add(1)
+			sh.sigStat(en.payload.SigID).Expired++
+		}
+		for ik, dl := range sh.issued {
+			if !now.Before(dl) {
+				delete(sh.issued, ik)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// StartSweeper runs SweepExpired every interval until Close. No-op for
+// interval <= 0 or when already running.
+func (s *Store) StartSweeper(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.sweepStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.sweepStop = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SweepExpired()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background sweeper. The store remains usable.
+func (s *Store) Close() {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		s.sweepStop = nil
+	}
+}
+
+// ResidentBytes reports current charged occupancy.
+func (s *Store) ResidentBytes() int64 { return s.resident.Load() }
+
+// ScopeStats reports one scope's current entry count and bytes.
+func (s *Store) ScopeStats(scope string) (entries int, bytes int64) {
+	targets := []*shard{s.shardOf(scope, "")}
+	if scope == SharedScope {
+		targets = s.shards
+	}
+	for _, sh := range targets {
+		sh.mu.Lock()
+		entries += len(sh.byScope[scope])
+		bytes += sh.scopeBytes[scope]
+		sh.mu.Unlock()
+	}
+	return entries, bytes
+}
+
+// Metrics snapshots the store's counters and occupancy, merging the
+// per-shard tallies.
+func (s *Store) Metrics() Metrics {
+	m := Metrics{
+		ResidentBytes: s.resident.Load(),
+		Evictions: EvictionCounts{
+			Expired:      s.evExpired.Load(),
+			Budget:       s.evBudget.Load(),
+			ScopeBytes:   s.evScopeB.Load(),
+			ScopeEntries: s.evScopeN.Load(),
+			Replaced:     s.evReplaced.Load(),
+			Dropped:      s.evDropped.Load(),
+		},
+		PerSig: map[string]SigStats{},
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		m.Hits += sh.hits
+		m.Misses += sh.misses
+		m.SharedHits += sh.sharedHits
+		m.Puts += sh.puts
+		for scope, ents := range sh.byScope {
+			m.Entries += len(ents)
+			if scope == SharedScope {
+				m.SharedEntries += len(ents)
+				m.SharedBytes += sh.scopeBytes[scope]
+			}
+		}
+		for id, st := range sh.sigs {
+			agg := m.PerSig[id]
+			agg.Puts += st.Puts
+			agg.Hits += st.Hits
+			agg.Expired += st.Expired
+			m.PerSig[id] = agg
+		}
+		sh.mu.Unlock()
+	}
+	return m
+}

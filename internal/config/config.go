@@ -162,6 +162,10 @@ type Resilience struct {
 	PrefetchBackoffBase Duration `json:"prefetch_backoff_base,omitempty"`
 	// PrefetchBackoffMax caps the suspension period (default 5m).
 	PrefetchBackoffMax Duration `json:"prefetch_backoff_max,omitempty"`
+	// PrefetchTimeout bounds one whole prefetch round trip, all retry
+	// attempts included (default 20s), so a stalled origin cannot pin a
+	// prefetch worker indefinitely.
+	PrefetchTimeout Duration `json:"prefetch_timeout,omitempty"`
 }
 
 // Filled returns a copy with defaults applied to zero fields.
@@ -193,7 +197,56 @@ func (r Resilience) Filled() Resilience {
 	if r.PrefetchBackoffMax <= 0 {
 		r.PrefetchBackoffMax = Duration(5 * time.Minute)
 	}
+	if r.PrefetchTimeout <= 0 {
+		r.PrefetchTimeout = Duration(20 * time.Second)
+	}
 	return r
+}
+
+// Cache tunes the proxy's sharded prefetch store (internal/cache). Zero
+// values mean "use the default" so a config file may set only the fields it
+// cares about.
+type Cache struct {
+	// MaxBytes is the global resident-byte budget (default 256 MiB);
+	// least-recently-used entries are evicted beyond it. <0 = unlimited.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// PerUserBytes caps one user's resident bytes (default MaxBytes/64, at
+	// least 1 MiB). <0 disables the cap.
+	PerUserBytes int64 `json:"per_user_bytes,omitempty"`
+	// MaxEntriesPerUser caps one user's entry count (default 4096). <0
+	// disables the cap.
+	MaxEntriesPerUser int `json:"max_entries_per_user,omitempty"`
+	// Shards is the store's lock-partition count (default 32).
+	Shards int `json:"shards,omitempty"`
+	// SweepInterval is the background expiry-sweep period (default 30s);
+	// <0 disables the sweeper (expired entries then go only at lookup).
+	SweepInterval Duration `json:"sweep_interval,omitempty"`
+	// DisableSharedTier turns off cross-user response sharing; every entry
+	// is then stored strictly per user, as in the paper's prototype.
+	DisableSharedTier bool `json:"disable_shared_tier,omitempty"`
+}
+
+// Filled returns a copy with defaults applied to zero fields.
+func (c Cache) Filled() Cache {
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.PerUserBytes == 0 {
+		c.PerUserBytes = c.MaxBytes / 64
+		if c.PerUserBytes < 1<<20 {
+			c.PerUserBytes = 1 << 20
+		}
+	}
+	if c.MaxEntriesPerUser == 0 {
+		c.MaxEntriesPerUser = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 32
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = Duration(30 * time.Second)
+	}
+	return c
 }
 
 // Config is the proxy's full configuration.
@@ -204,8 +257,13 @@ type Config struct {
 	// GlobalProbability scales every policy's probability (§6.3's knob);
 	// 1 when unset.
 	GlobalProbability float64 `json:"global_probability,omitempty"`
-	// DataBudgetBytes caps total prefetch response bytes; 0 = unlimited (C4).
+	// DataBudgetBytes caps prefetch response bytes per budget window;
+	// 0 = unlimited (C4, the paper's cellular-data budget).
 	DataBudgetBytes int64 `json:"data_budget_bytes,omitempty"`
+	// DataBudgetWindow is the accounting period for DataBudgetBytes
+	// (default 1h): usage resets each window, matching the per-period
+	// intent of a data budget rather than a lifetime cap.
+	DataBudgetWindow Duration `json:"data_budget_window,omitempty"`
 	// DefaultExpiration applies to policies with zero expiration_time.
 	DefaultExpiration Duration `json:"default_expiration,omitempty"`
 	// UserProbability overrides the global probability for specific users —
@@ -215,6 +273,8 @@ type Config struct {
 	UserProbability map[string]float64 `json:"user_probability,omitempty"`
 	// Resilience tunes origin-path fault handling; nil means all defaults.
 	Resilience *Resilience `json:"resilience,omitempty"`
+	// Cache tunes the sharded prefetch store; nil means all defaults.
+	Cache *Cache `json:"cache,omitempty"`
 
 	byHash map[string]*Policy
 }
@@ -225,6 +285,22 @@ func (c *Config) EffectiveResilience() Resilience {
 		return c.Resilience.Filled()
 	}
 	return Resilience{}.Filled()
+}
+
+// EffectiveCache resolves the cache knobs with defaults applied.
+func (c *Config) EffectiveCache() Cache {
+	if c.Cache != nil {
+		return c.Cache.Filled()
+	}
+	return Cache{}.Filled()
+}
+
+// BudgetWindow resolves the data-budget accounting period (1h default).
+func (c *Config) BudgetWindow() time.Duration {
+	if c.DataBudgetWindow > 0 {
+		return time.Duration(c.DataBudgetWindow)
+	}
+	return time.Hour
 }
 
 // UserScale returns the probability multiplier for a user (1 when no tier

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"appx/internal/config"
+	"appx/internal/httpmsg"
+	"appx/internal/proxy"
+	"appx/internal/sig"
+)
+
+// CacheSweepRow is one user-count point of the shared-cache sweep.
+type CacheSweepRow struct {
+	// Users is the number of emulated users driving the same catalog.
+	Users int
+	// HitRatio is the proxy-wide cache hit ratio at this user count.
+	HitRatio float64
+	// SharedHitRatio is the fraction of hits served from the cross-user
+	// shared tier.
+	SharedHitRatio float64
+	// OriginBytes counts response bytes leaving the origin with the shared
+	// tier enabled; NoShareBytes is the same workload with the tier
+	// disabled (every user prefetches their own copies).
+	OriginBytes, NoShareBytes int64
+	// SavedPct is the origin-byte saving the shared tier buys:
+	// 1 - OriginBytes/NoShareBytes.
+	SavedPct float64
+}
+
+// CacheSweep measures how the cross-user shared cache tier scales: the same
+// public catalog driven by a growing number of emulated users, once with the
+// shared tier and once without. The paper's prototype caches strictly per
+// user, so its origin traffic grows linearly with users; the shared tier
+// caches user-agnostic responses once, so its saving grows with every user
+// added.
+type CacheSweep struct {
+	Seed int64
+	Rows []CacheSweepRow
+}
+
+// DefaultCacheUserCounts are the sweep points.
+func DefaultCacheUserCounts() []int {
+	return []int{1, 2, 4, 8, 16}
+}
+
+const (
+	cacheCatalog   = 8    // assets fanned out of one feed response
+	cacheAssetSize = 2000 // bytes per asset response
+)
+
+// cacheSweepGraph builds the one-host fan-out: a feed whose ids feed asset
+// fetches. Both signatures are free of per-user wildcards, so the assets
+// are shared-tier eligible.
+func cacheSweepGraph() *sig.Graph {
+	g := sig.NewGraph("cachesweep")
+	pred := &sig.Signature{ID: "cw:feed#0", Method: "GET", URI: sig.Literal("app.example/feed")}
+	succ := &sig.Signature{ID: "cw:asset#0", Method: "GET", URI: sig.Literal("app.example/asset"),
+		Query: []sig.Field{{Key: "id", Value: sig.DepValue(pred.ID, "ids[*]")}}}
+	g.Add(pred)
+	g.Add(succ)
+	g.AddDep(sig.Dependency{PredID: pred.ID, SuccID: succ.ID, RespPath: "ids[*]",
+		Loc: sig.FieldLoc{Where: "query", Key: "id"}})
+	return g
+}
+
+// RunCacheSweep runs the sweep. Every point is fully deterministic: a frozen
+// clock, a seeded probability stream, and a single prefetch worker.
+func RunCacheSweep(seed int64, userCounts []int) (*CacheSweep, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	if len(userCounts) == 0 {
+		userCounts = DefaultCacheUserCounts()
+	}
+	out := &CacheSweep{Seed: seed}
+	for _, n := range userCounts {
+		shared, hitRatio, sharedRatio, err := runCachePoint(seed, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("cachesweep@%d users: %w", n, err)
+		}
+		solo, _, _, err := runCachePoint(seed, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("cachesweep@%d users (no share): %w", n, err)
+		}
+		saved := 0.0
+		if solo > 0 {
+			saved = 1 - float64(shared)/float64(solo)
+		}
+		out.Rows = append(out.Rows, CacheSweepRow{
+			Users:          n,
+			HitRatio:       hitRatio,
+			SharedHitRatio: sharedRatio,
+			OriginBytes:    shared,
+			NoShareBytes:   solo,
+			SavedPct:       saved,
+		})
+	}
+	return out, nil
+}
+
+// runCachePoint drives one (user count, tier on/off) configuration and
+// reports the origin bytes it cost.
+func runCachePoint(seed int64, users int, disableShared bool) (originBytes int64, hitRatio, sharedRatio float64, err error) {
+	g := cacheSweepGraph()
+	cfg := config.Default(g)
+	if disableShared {
+		cc := cfg.EffectiveCache()
+		cc.DisableSharedTier = true
+		cfg.Cache = &cc
+	}
+
+	var origin atomic.Int64
+	up := proxy.UpstreamFunc(func(_ context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		if r.Path == "/feed" {
+			ids := make([]string, cacheCatalog)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("a%d", i)
+			}
+			body, _ := json.Marshal(map[string]any{"ids": ids})
+			origin.Add(int64(len(body)))
+			return &httpmsg.Response{Status: 200,
+				Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+				Body:   body}, nil
+		}
+		body := bytes.Repeat([]byte("x"), cacheAssetSize)
+		origin.Add(int64(len(body)))
+		return &httpmsg.Response{Status: 200, Body: body}, nil
+	})
+
+	now := time.Unix(1_700_000_000, 0)
+	rnd := rand.New(rand.NewSource(seed))
+	px := proxy.New(proxy.Options{Graph: g, Config: cfg, Upstream: up, Workers: 1,
+		Now:  func() time.Time { return now },
+		Rand: rnd.Float64,
+	})
+	defer px.Close()
+
+	get := func(user, path, id string) error {
+		req := &httpmsg.Request{Method: "GET", Host: "app.example", Path: path,
+			Header: []httpmsg.Field{{Key: "X-Appx-User", Value: user}}}
+		if id != "" {
+			req.Query = []httpmsg.Field{{Key: "id", Value: id}}
+		}
+		_, err := httpmsg.ServeViaHandler(px, req)
+		return err
+	}
+
+	// The first user's live asset request teaches the exemplar; each user
+	// then opens the feed (always a live fetch — the feed is a root
+	// signature) and consumes the catalog in two halves with a drain
+	// between. With the shared tier, every user past the first consumes
+	// entirely from the first fan-out. Without it, a later user's fan-out
+	// waits on their own exemplar (taught by their first live miss), so
+	// their first half misses and their second half hits their private
+	// prefetch — per-user caching works, but refetches the catalog per
+	// user.
+	if err := get("u1", "/asset", "seed"); err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 1; i <= users; i++ {
+		u := fmt.Sprintf("u%d", i)
+		if err := get(u, "/feed", ""); err != nil {
+			return 0, 0, 0, err
+		}
+		px.Drain()
+		for j := 0; j < cacheCatalog/2; j++ {
+			if err := get(u, "/asset", fmt.Sprintf("a%d", j)); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		px.Drain()
+		for j := cacheCatalog / 2; j < cacheCatalog; j++ {
+			if err := get(u, "/asset", fmt.Sprintf("a%d", j)); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+
+	snap := px.Stats().Snapshot()
+	return origin.Load(), snap.HitRatio(), snap.SharedHitRatio(), nil
+}
+
+// Render formats the cache sweep.
+func (c *CacheSweep) Render() string {
+	rows := make([][]string, 0, len(c.Rows))
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Users),
+			fmtPct(r.HitRatio),
+			fmtPct(r.SharedHitRatio),
+			fmt.Sprintf("%.1f", float64(r.OriginBytes)/1000),
+			fmt.Sprintf("%.1f", float64(r.NoShareBytes)/1000),
+			fmtPct(r.SavedPct),
+		})
+	}
+	return fmt.Sprintf("Shared-cache sweep (seed %d): one public catalog, growing user count\n", c.Seed) +
+		table([]string{"users", "hit ratio", "shared hits", "origin KB", "no-share KB", "origin saved"}, rows)
+}

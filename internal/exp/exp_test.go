@@ -261,3 +261,38 @@ func TestFaultSweepShape(t *testing.T) {
 	}
 	t.Log("\n" + res.Render())
 }
+
+func TestCacheSweepShape(t *testing.T) {
+	res, err := RunCacheSweep(7, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	one, four, sixteen := res.Rows[0], res.Rows[1], res.Rows[2]
+	// A single user gains nothing from sharing: their catalog is fetched
+	// once either way.
+	if one.SavedPct > 0.05 {
+		t.Errorf("1 user saved %.0f%%, want ~0", one.SavedPct*100)
+	}
+	// Savings and hit ratio grow with users: each added user consumes the
+	// catalog from the shared tier instead of refetching it.
+	if !(four.SavedPct > one.SavedPct && sixteen.SavedPct > four.SavedPct) {
+		t.Errorf("origin savings not rising with users: %.2f, %.2f, %.2f",
+			one.SavedPct, four.SavedPct, sixteen.SavedPct)
+	}
+	if sixteen.SavedPct < 0.5 {
+		t.Errorf("16 users saved only %.0f%% origin bytes", sixteen.SavedPct*100)
+	}
+	if sixteen.HitRatio < four.HitRatio || sixteen.HitRatio <= 0 {
+		t.Errorf("hit ratio not rising with users: %.2f -> %.2f", four.HitRatio, sixteen.HitRatio)
+	}
+	// Every hit in this workload is a shared-tier hit.
+	for _, r := range res.Rows {
+		if r.SharedHitRatio < 0.99 {
+			t.Errorf("%d users: shared hit ratio %.2f, want ~1", r.Users, r.SharedHitRatio)
+		}
+	}
+	t.Log("\n" + res.Render())
+}

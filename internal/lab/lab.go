@@ -53,6 +53,11 @@ type Options struct {
 	DisableChaining bool
 	// RefreshExpired enables the refresh-on-expire extension.
 	RefreshExpired bool
+	// SharedTier enables the cross-user shared cache tier. Off by default:
+	// the §6 replications measure per-user data usage, and sharing (an
+	// extension beyond the paper's per-user prototype) would let one user's
+	// prefetch serve another, changing what Figure 16's metric means.
+	SharedTier bool
 }
 
 // Lab is a running evaluation environment.
@@ -96,6 +101,11 @@ func New(o Options) (*Lab, error) {
 		return nil, fmt.Errorf("lab: analyze %s: %w", o.App.Name, err)
 	}
 	cfg := config.Default(g)
+	if !o.SharedTier {
+		cc := cfg.EffectiveCache()
+		cc.DisableSharedTier = true
+		cfg.Cache = &cc
+	}
 	if o.Configure != nil {
 		o.Configure(cfg)
 	}

@@ -13,10 +13,11 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"appx/internal/cache"
 	"appx/internal/config"
 	"appx/internal/httpmsg"
 	"appx/internal/proxy/resilience"
@@ -37,8 +38,8 @@ type Options struct {
 	MaxChainDepth int
 	// MaxPendingPerSig bounds instances waiting for an exemplar (default 256).
 	MaxPendingPerSig int
-	// MaxCacheEntriesPerUser bounds each user's prefetch cache (default
-	// 4096); when full, the entry closest to expiry is evicted.
+	// MaxCacheEntriesPerUser overrides the cache config's per-user entry
+	// cap when > 0 (default: config.Cache.MaxEntriesPerUser, 4096).
 	MaxCacheEntriesPerUser int
 	// MaxUsers bounds tracked user states (default 10000); the least
 	// recently seen user is evicted when exceeded.
@@ -93,7 +94,13 @@ type Proxy struct {
 	users   map[string]*user
 	samples map[string]*httpmsg.Request
 
-	dataUsed atomic.Int64
+	// store holds prefetched responses: per-user scopes plus the cross-user
+	// shared tier; inflight prefetch dedup rides on the same scopes.
+	store    *cache.Store
+	cacheCfg config.Cache
+
+	// dataUsed accounts prefetch bytes per budget window (C4).
+	dataUsed *usageWindow
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -123,25 +130,15 @@ type pendingInstance struct {
 	depth int
 }
 
-// cacheEntry is one prefetched response.
-type cacheEntry struct {
-	resp    *httpmsg.Response
-	req     *httpmsg.Request
-	sigID   string
-	expires time.Time
-	used    bool
-}
-
-// user holds per-user learning state and cache (§2: "The proxy keeps track
-// of user contexts and manages prefetched response per user separately").
+// user holds per-user learning state (§2: "The proxy keeps track of user
+// contexts"). The prefetched responses themselves live in the shared
+// cache.Store, under this user's scope or the cross-user shared tier.
 type user struct {
 	key string
 
 	mu        sync.Mutex
 	exemplars map[string]*exemplar         // sigID → latest live example
 	pending   map[string][]pendingInstance // sigID → instances awaiting exemplar
-	cache     map[string]*cacheEntry       // canonical request key → response
-	issued    map[string]time.Time         // canonical keys recently prefetched
 	lastSeen  time.Time
 }
 
@@ -155,9 +152,6 @@ func New(opts Options) *Proxy {
 	}
 	if opts.MaxPendingPerSig == 0 {
 		opts.MaxPendingPerSig = 256
-	}
-	if opts.MaxCacheEntriesPerUser == 0 {
-		opts.MaxCacheEntriesPerUser = 4096
 	}
 	if opts.MaxUsers == 0 {
 		opts.MaxUsers = 10000
@@ -207,6 +201,19 @@ func New(opts Options) *Proxy {
 	}
 	p.fwdUp = resilience.NewRetrier(opts.Upstream, retry, p.breakers, false)
 	p.preUp = resilience.NewRetrier(opts.Upstream, retry, p.breakers, true)
+	p.cacheCfg = opts.Config.EffectiveCache()
+	if opts.MaxCacheEntriesPerUser > 0 {
+		p.cacheCfg.MaxEntriesPerUser = opts.MaxCacheEntriesPerUser
+	}
+	p.store = cache.New(cache.Options{
+		Shards:             p.cacheCfg.Shards,
+		MaxBytes:           p.cacheCfg.MaxBytes,
+		PerScopeBytes:      p.cacheCfg.PerUserBytes,
+		MaxEntriesPerScope: p.cacheCfg.MaxEntriesPerUser,
+		Now:                func() time.Time { return p.opts.Now() },
+	})
+	p.store.StartSweeper(time.Duration(p.cacheCfg.SweepInterval))
+	p.dataUsed = newUsageWindow(opts.Config.BudgetWindow())
 	p.sched = sched.New(opts.Workers, p.stats.Priority)
 	return p
 }
@@ -218,14 +225,21 @@ func (p *Proxy) Breakers() *resilience.Breakers { return p.breakers }
 // Stats exposes the proxy's counters.
 func (p *Proxy) Stats() *Stats { return p.stats }
 
-// DataUsedBytes reports total prefetch response bytes fetched so far.
-func (p *Proxy) DataUsedBytes() int64 { return p.dataUsed.Load() }
+// Cache exposes the prefetch store (operational tooling and tests).
+func (p *Proxy) Cache() *cache.Store { return p.store }
+
+// DataUsedBytes reports prefetch response bytes fetched in the current
+// budget window.
+func (p *Proxy) DataUsedBytes() int64 { return p.dataUsed.Used(p.opts.Now()) }
 
 // Drain waits for all queued prefetches to finish (testing/verification).
 func (p *Proxy) Drain() { p.sched.Drain() }
 
-// Close stops the prefetch workers.
-func (p *Proxy) Close() { p.sched.Close() }
+// Close stops the prefetch workers and the cache sweeper.
+func (p *Proxy) Close() {
+	p.sched.Close()
+	p.store.Close()
+}
 
 func (p *Proxy) user(key string) *user {
 	p.mu.Lock()
@@ -239,8 +253,6 @@ func (p *Proxy) user(key string) *user {
 			key:       key,
 			exemplars: map[string]*exemplar{},
 			pending:   map[string][]pendingInstance{},
-			cache:     map[string]*cacheEntry{},
-			issued:    map[string]time.Time{},
 		}
 		p.users[key] = u
 	}
@@ -248,7 +260,8 @@ func (p *Proxy) user(key string) *user {
 	return u
 }
 
-// evictIdleUserLocked drops the least recently seen user (p.mu held).
+// evictIdleUserLocked drops the least recently seen user and their cached
+// responses (p.mu held; the store has its own locks).
 func (p *Proxy) evictIdleUserLocked() {
 	var oldestKey string
 	var oldest time.Time
@@ -259,11 +272,13 @@ func (p *Proxy) evictIdleUserLocked() {
 	}
 	if oldestKey != "" {
 		delete(p.users, oldestKey)
+		p.store.DropScope(oldestKey)
 	}
 }
 
-// PruneUsers drops user states idle for longer than maxIdle and returns how
-// many were removed. Long-running deployments call this periodically.
+// PruneUsers drops user states idle for longer than maxIdle, with their
+// cached responses, and returns how many were removed. Long-running
+// deployments call this periodically.
 func (p *Proxy) PruneUsers(maxIdle time.Duration) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -272,6 +287,7 @@ func (p *Proxy) PruneUsers(maxIdle time.Duration) int {
 	for k, u := range p.users {
 		if u.lastSeen.Before(cutoff) {
 			delete(p.users, k)
+			p.store.DropScope(k)
 			n++
 		}
 	}
@@ -307,15 +323,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	u := p.user(userKey)
 	key := req.CanonicalKey()
 
-	if entry := p.lookup(u, key); entry != nil {
+	if entry, shared := p.lookup(u, key); entry != nil {
 		// R3: the prefetched request was byte-identical (canonical key
-		// equality), so the client receives exactly the origin's bytes.
-		u.mu.Lock()
-		firstUse := !entry.used
-		entry.used = true
-		u.mu.Unlock()
-		p.stats.CountHit(entry.sigID, int64(len(entry.resp.Body)), p.stats.RespTime(entry.sigID), firstUse)
-		entry.resp.WriteTo(w)
+		// equality), so the client receives exactly the origin's bytes —
+		// true even across users for shared-tier hits.
+		p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), shared)
+		entry.Resp.WriteTo(w)
 		return
 	}
 
@@ -361,15 +374,18 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"hits":                 snap.Hits,
+			"sharedHits":           snap.SharedHits,
 			"misses":               snap.Misses,
 			"prefetches":           snap.Prefetches,
 			"hitRatio":             snap.HitRatio(),
+			"sharedHitRatio":       snap.SharedHitRatio(),
 			"dataUsage":            snap.NormalizedDataUsage(),
 			"usedPrefetchRatio":    snap.UsedPrefetchRatio(),
 			"savedLatencyMs":       snap.SavedLatency.Milliseconds(),
 			"users":                p.UserCount(),
 			"prefetchQueue":        p.sched.QueueLen(),
 			"dataUsedBytes":        p.DataUsedBytes(),
+			"cacheResidentBytes":   p.store.ResidentBytes(),
 			"retries":              snap.Retries,
 			"prefetchErrors":       snap.PrefetchErrors,
 			"suppressedPrefetches": snap.PrefetchSuppressed,
@@ -419,6 +435,7 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 		status = "degraded"
 	}
 	snap := p.stats.Snapshot()
+	cm := p.store.Metrics()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":               status,
@@ -429,6 +446,24 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 		"suppressedPrefetches": snap.PrefetchSuppressed,
 		"prefetchQueue":        p.sched.QueueLen(),
 		"dataUsedBytes":        p.DataUsedBytes(),
+		"cache": map[string]any{
+			"residentBytes":  cm.ResidentBytes,
+			"entries":        cm.Entries,
+			"hits":           cm.Hits,
+			"misses":         cm.Misses,
+			"sharedHits":     cm.SharedHits,
+			"sharedHitRatio": cm.SharedHitRatio(),
+			"sharedEntries":  cm.SharedEntries,
+			"sharedBytes":    cm.SharedBytes,
+			"evictions": map[string]int64{
+				"expired":     cm.Evictions.Expired,
+				"budget":      cm.Evictions.Budget,
+				"userBytes":   cm.Evictions.ScopeBytes,
+				"userEntries": cm.Evictions.ScopeEntries,
+				"replaced":    cm.Evictions.Replaced,
+				"userDropped": cm.Evictions.Dropped,
+			},
+		},
 	})
 }
 
@@ -474,32 +509,65 @@ func (p *Proxy) recordSigSuccess(sigID string) {
 	delete(p.sigFail, sigID)
 }
 
-// lookup returns a fresh cached entry; expired entries are dropped
-// (invariant: no response older than its expiration time is ever served)
-// and optionally re-prefetched.
-func (p *Proxy) lookup(u *user, key string) *cacheEntry {
+// lookup probes the user's cache scope, then the cross-user shared tier,
+// for a fresh entry; shared reports which tier answered. Expired entries
+// are dropped by the store at lookup (invariant: no response older than its
+// expiration time is ever served) and optionally re-prefetched.
+func (p *Proxy) lookup(u *user, key string) (entry *cache.Entry, shared bool) {
 	if p.opts.DisablePrefetch {
-		return nil
+		return nil, false
 	}
-	u.mu.Lock()
-	entry, ok := u.cache[key]
-	if !ok {
-		u.mu.Unlock()
-		return nil
+	if e, fresh := p.store.Get(u.key, key); fresh {
+		return e, false
+	} else if e != nil {
+		p.refreshExpired(u, e)
 	}
-	if p.opts.Now().After(entry.expires) {
-		delete(u.cache, key)
-		delete(u.issued, key)
-		u.mu.Unlock()
-		if p.opts.RefreshExpired && entry.req != nil {
-			if s := p.opts.Graph.Sig(entry.sigID); s != nil {
-				p.maybePrefetch(u, s, entry.req, 0)
+	if !p.cacheCfg.DisableSharedTier {
+		if e, fresh := p.store.Get(cache.SharedScope, key); fresh {
+			return e, true
+		} else if e != nil {
+			p.refreshExpired(u, e)
+		}
+	}
+	return nil, false
+}
+
+// refreshExpired re-issues the prefetch behind an entry found expired at
+// lookup, keeping hot entries warm (Options.RefreshExpired).
+func (p *Proxy) refreshExpired(u *user, e *cache.Entry) {
+	if !p.opts.RefreshExpired || e.Req == nil {
+		return
+	}
+	if s := p.opts.Graph.Sig(e.SigID); s != nil {
+		p.maybePrefetch(u, s, e.Req, 0)
+	}
+}
+
+// perUserShareDeny lists header-name fragments that conservatively mark a
+// request as carrying per-user state (credentials, sessions, accounts).
+// Matching entries never enter the shared tier — not because serving them
+// would be unsafe (exact-match still holds), but because a credentialed
+// response is per-user data that must not outlive its user's eviction, and
+// a shared slot for it could never serve anyone else anyway.
+var perUserShareDeny = []string{"cookie", "auth", "token", "session", "secret", "credential", "account"}
+
+// sharedEligible decides whether a reconstructed request may cache once
+// for all users: the signature's patterns must be free of per-user runtime
+// wildcards, and the materialized request (which carries the exemplar's
+// extra live headers) must not smell of per-user state.
+func (p *Proxy) sharedEligible(s *sig.Signature, req *httpmsg.Request) bool {
+	if p.cacheCfg.DisableSharedTier || !s.UserAgnostic() {
+		return false
+	}
+	for _, h := range req.Header {
+		name := strings.ToLower(h.Key)
+		for _, deny := range perUserShareDeny {
+			if strings.Contains(name, deny) {
+				return false
 			}
 		}
-		return nil
 	}
-	u.mu.Unlock()
-	return entry
+	return true
 }
 
 // learn runs the Figure-6 flowchart for one completed transaction:
@@ -591,7 +659,7 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 	if prob <= 0 || (prob < 1 && p.opts.Rand() >= prob) {
 		return
 	}
-	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Load() >= budget {
+	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Used(p.opts.Now()) >= budget {
 		return
 	}
 	// Resilience gates: a suspended signature (consecutive failures) or a
@@ -603,47 +671,20 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 	}
 	expiry := p.opts.Config.Expiration(policy)
 	key := req.CanonicalKey()
-	now := p.opts.Now()
-
-	u.mu.Lock()
-	if entry, ok := u.cache[key]; ok && now.Before(entry.expires) {
-		u.mu.Unlock()
+	// Shared-eligible requests prefetch into the cross-user tier; TryIssue
+	// then singleflights the fetch across every user wanting this key.
+	scope := u.key
+	if p.sharedEligible(s, req) {
+		scope = cache.SharedScope
+	}
+	if !p.store.TryIssue(scope, key, expiry) {
 		return
 	}
-	if t, ok := u.issued[key]; ok && now.Sub(t) < expiry {
-		u.mu.Unlock()
-		return
-	}
-	u.issued[key] = now
-	u.mu.Unlock()
-
 	task := &sched.Task{SigID: s.ID, Run: func() {
-		p.runPrefetch(u, s, req, key, expiry, depth)
+		p.runPrefetch(u, s, req, key, scope, expiry, depth)
 	}}
 	if !p.sched.Submit(task) {
-		u.mu.Lock()
-		delete(u.issued, key)
-		u.mu.Unlock()
-	}
-}
-
-// evictOneLocked removes one cache entry: any expired entry if present,
-// otherwise the entry closest to expiry (u.mu held).
-func evictOneLocked(u *user, now time.Time) {
-	var victim string
-	var soonest time.Time
-	for k, e := range u.cache {
-		if now.After(e.expires) {
-			victim = k
-			break
-		}
-		if victim == "" || e.expires.Before(soonest) {
-			victim, soonest = k, e.expires
-		}
-	}
-	if victim != "" {
-		delete(u.cache, victim)
-		delete(u.issued, victim)
+		p.store.CancelIssue(scope, key)
 	}
 }
 
@@ -651,13 +692,11 @@ func evictOneLocked(u *user, now time.Time) {
 // request upstream, caches the response under the clean request's key, and
 // feeds the transaction back into learning so dependency chains prefetch
 // end-to-end (Figure 3(c)).
-func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key string, expiry time.Duration, depth int) {
-	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Load() >= budget {
+func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key, scope string, expiry time.Duration, depth int) {
+	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Used(p.opts.Now()) >= budget {
 		// Budget re-checked at execution time: instances queued before the
 		// budget ran out must not blow past it (C4).
-		u.mu.Lock()
-		delete(u.issued, key)
-		u.mu.Unlock()
+		p.store.CancelIssue(scope, key)
 		return
 	}
 	sent := req
@@ -668,12 +707,15 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 			sent.Header = append(sent.Header, httpmsg.Field{Key: h.Key, Value: h.Value})
 		}
 	}
+	// Bound the whole round trip — every retry attempt included — so a
+	// stalled origin (netem-style) cannot pin this worker past the
+	// deadline; the retry layer derives its per-attempt contexts from ours.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(p.res.PrefetchTimeout))
 	start := p.opts.Now()
-	resp, err := p.preUp.RoundTrip(context.Background(), sent)
+	resp, err := p.preUp.RoundTrip(ctx, sent)
+	cancel()
 	if err != nil {
-		u.mu.Lock()
-		delete(u.issued, key)
-		u.mu.Unlock()
+		p.store.CancelIssue(scope, key)
 		if errors.Is(err, resilience.ErrOpen) {
 			// The breaker tripped between queueing and execution; this is
 			// suppression, not a fresh origin failure.
@@ -686,17 +728,15 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	}
 	p.stats.ObserveRespTime(s.ID, p.opts.Now().Sub(start))
 	p.stats.CountPrefetch(s.ID, int64(len(resp.Body)))
-	p.dataUsed.Add(int64(len(resp.Body)))
+	p.dataUsed.Add(p.opts.Now(), int64(len(resp.Body)))
 	if resp.Status != http.StatusOK {
 		// The origin rejected our reconstruction; do not cache errors
 		// (R3: never alter app behaviour with synthetic failures). Clear the
-		// dedup window so the signature's failure backoff — not a stale
+		// dedup claim so the signature's failure backoff — not a stale
 		// issued entry — governs when reconstruction is retried.
 		p.stats.CountPrefetchReject(s.ID)
 		p.recordSigFailure(s.ID)
-		u.mu.Lock()
-		delete(u.issued, key)
-		u.mu.Unlock()
+		p.store.CancelIssue(scope, key)
 		return
 	}
 	p.recordSigSuccess(s.ID)
@@ -706,12 +746,12 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	}
 	p.samples[s.ID] = req.Clone()
 	p.mu.Unlock()
-	u.mu.Lock()
-	if len(u.cache) >= p.opts.MaxCacheEntriesPerUser {
-		evictOneLocked(u, p.opts.Now())
-	}
-	u.cache[key] = &cacheEntry{resp: resp, req: req.Clone(), sigID: s.ID, expires: p.opts.Now().Add(expiry)}
-	u.mu.Unlock()
+	p.store.Put(scope, key, &cache.Entry{
+		Resp:    resp,
+		Req:     req.Clone(),
+		SigID:   s.ID,
+		Expires: p.opts.Now().Add(expiry),
+	})
 
 	if depth < p.opts.MaxChainDepth && !p.opts.DisableChaining {
 		p.learn(u, s, req, resp, depth+1, false)

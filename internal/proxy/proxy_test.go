@@ -577,7 +577,12 @@ func TestCacheBoundEviction(t *testing.T) {
 		}
 		return &httpmsg.Response{Status: 200, Body: []byte(`{}`)}, nil
 	})
-	p := New(Options{Graph: g, Upstream: up, MaxCacheEntriesPerUser: 4})
+	// The fan-out signature has no per-user values, so it would normally be
+	// shared-eligible; disable the shared tier so entries land in the user
+	// scope and the per-user cap is what's exercised.
+	cfg := config.Default(g)
+	cfg.Cache = &config.Cache{DisableSharedTier: true}
+	p := New(Options{Graph: g, Config: cfg, Upstream: up, MaxCacheEntriesPerUser: 4})
 	defer p.Close()
 	pt := &proxyTransport{p: p, user: "9.9.9.9"}
 	// Teach the successor exemplar, then trigger the 8-way fan-out.
@@ -589,12 +594,12 @@ func TestCacheBoundEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Drain()
-	u := p.user("9.9.9.9")
-	u.mu.Lock()
-	n := len(u.cache)
-	u.mu.Unlock()
+	n, _ := p.Cache().ScopeStats("9.9.9.9")
 	if n > 4 {
 		t.Fatalf("cache grew to %d entries, bound is 4", n)
+	}
+	if ev := p.Cache().Metrics().Evictions.ScopeEntries; ev == 0 {
+		t.Fatal("no entry-cap evictions counted")
 	}
 	if snap := p.Stats().Snapshot(); snap.Prefetches < 8 {
 		t.Fatalf("prefetches = %d, want 8 (eviction, not suppression)", snap.Prefetches)

@@ -13,8 +13,11 @@ type sigStats struct {
 	samples      int
 	// prefetches / hits / misses count issued prefetch requests, cache hits
 	// served to clients, and forwarded client requests for this signature.
+	// sharedHits is the subset of hits served from the cross-user shared
+	// cache tier.
 	prefetches int
 	hits       int
+	sharedHits int
 	misses     int
 	// prefetchedBytes counts response bytes fetched ahead of time;
 	// servedBytes counts prefetched bytes actually delivered to clients.
@@ -128,12 +131,16 @@ func (s *Stats) Retries() int {
 }
 
 // CountHit records a client request served from the prefetch cache.
-// firstUse marks the first time this particular cached entry is served.
-func (s *Stats) CountHit(sigID string, bytes int64, saved time.Duration, firstUse bool) {
+// firstUse marks the first time this particular cached entry is served;
+// shared marks hits served from the cross-user tier.
+func (s *Stats) CountHit(sigID string, bytes int64, saved time.Duration, firstUse, shared bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.sig(sigID)
 	st.hits++
+	if shared {
+		st.sharedHits++
+	}
 	st.servedBytes += bytes
 	if firstUse {
 		st.usedEntries++
@@ -174,6 +181,7 @@ type Snapshot struct {
 	PrefetchedBytes    int64
 	ServedBytes        int64
 	Hits               int
+	SharedHits         int
 	Misses             int
 	Prefetches         int
 	UsedEntries        int
@@ -188,6 +196,7 @@ type SigSnapshot struct {
 	RespTime           time.Duration
 	Prefetches         int
 	Hits               int
+	SharedHits         int
 	Misses             int
 	PrefetchedBytes    int64
 	ServedBytes        int64
@@ -206,6 +215,7 @@ func (s *Stats) Snapshot() Snapshot {
 			RespTime:           st.ewmaRespTime,
 			Prefetches:         st.prefetches,
 			Hits:               st.hits,
+			SharedHits:         st.sharedHits,
 			Misses:             st.misses,
 			PrefetchedBytes:    st.prefetchedBytes,
 			ServedBytes:        st.servedBytes,
@@ -217,6 +227,7 @@ func (s *Stats) Snapshot() Snapshot {
 		out.PrefetchedBytes += st.prefetchedBytes
 		out.ServedBytes += st.servedBytes
 		out.Hits += st.hits
+		out.SharedHits += st.sharedHits
 		out.Misses += st.misses
 		out.Prefetches += st.prefetches
 		out.PrefetchErrors += st.prefetchErrors
@@ -245,6 +256,15 @@ func (s Snapshot) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// SharedHitRatio returns the fraction of cache hits served from the
+// cross-user shared tier, 0 when idle.
+func (s Snapshot) SharedHitRatio() float64 {
+	if s.Hits == 0 {
+		return 0
+	}
+	return float64(s.SharedHits) / float64(s.Hits)
 }
 
 // UsedPrefetchRatio returns the fraction of prefetched transactions the app

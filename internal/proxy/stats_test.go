@@ -24,7 +24,7 @@ func TestPriorityOrdering(t *testing.T) {
 	// (§5: linear combination of response time and hit rate).
 	s.ObserveRespTime("slow-good", 900*time.Millisecond)
 	s.CountPrefetch("slow-good", 10)
-	s.CountHit("slow-good", 10, 0, true)
+	s.CountHit("slow-good", 10, 0, true, false)
 
 	s.ObserveRespTime("fast-bad", 50*time.Millisecond)
 	for i := 0; i < 10; i++ {
@@ -45,8 +45,8 @@ func TestSnapshotAggregation(t *testing.T) {
 	s := NewStats()
 	s.CountPrefetch("a", 100)
 	s.CountPrefetch("a", 100)
-	s.CountHit("a", 100, 10*time.Millisecond, true)
-	s.CountHit("a", 100, 10*time.Millisecond, false) // repeat serve of same entry
+	s.CountHit("a", 100, 10*time.Millisecond, true, false)
+	s.CountHit("a", 100, 10*time.Millisecond, false, true) // repeat serve, from the shared tier
 	s.CountMiss("a", 300)
 	s.CountPrefetchError("b")
 	s.CountPrefetchReject("b")
@@ -57,6 +57,12 @@ func TestSnapshotAggregation(t *testing.T) {
 	}
 	if snap.UsedEntries != 1 {
 		t.Fatalf("used entries = %d, want 1 (distinct)", snap.UsedEntries)
+	}
+	if snap.SharedHits != 1 || snap.PerSig["a"].SharedHits != 1 {
+		t.Fatalf("shared hits = %d (per-sig %d), want 1", snap.SharedHits, snap.PerSig["a"].SharedHits)
+	}
+	if got := snap.SharedHitRatio(); got != 0.5 {
+		t.Fatalf("shared hit ratio = %v, want 0.5", got)
 	}
 	if snap.PrefetchedBytes != 200 || snap.ServedBytes != 200 || snap.ForwardedBytes != 300 {
 		t.Fatalf("bytes: %+v", snap)
@@ -71,10 +77,10 @@ func TestSnapshotAggregation(t *testing.T) {
 
 func TestSnapshotDerivedMetrics(t *testing.T) {
 	s := NewStats()
-	s.CountMiss("a", 1000)        // forwarded
-	s.CountPrefetch("a", 500)     // prefetched, unused
-	s.CountPrefetch("a", 500)     // prefetched...
-	s.CountHit("a", 500, 0, true) // ...and consumed
+	s.CountMiss("a", 1000)               // forwarded
+	s.CountPrefetch("a", 500)            // prefetched, unused
+	s.CountPrefetch("a", 500)            // prefetched...
+	s.CountHit("a", 500, 0, true, false) // ...and consumed
 	snap := s.Snapshot()
 	// baseline = forwarded + served = 1500; total = forwarded + prefetched = 2000.
 	if got := snap.NormalizedDataUsage(); got < 1.33 || got > 1.34 {

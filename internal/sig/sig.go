@@ -223,6 +223,50 @@ func (s *Signature) MatchesRequest(r *httpmsg.Request) bool {
 	return s.URIRegexp().MatchString(r.Host + r.Path)
 }
 
+// UserAgnostic reports whether every pattern of the signature is free of
+// run-time wildcards: each field is either a static literal or derived from
+// a predecessor *response* (a Dep part). Wild parts are the per-user
+// runtime values (cookies, device properties, learned hosts); a signature
+// without them reconstructs identically for every user whose predecessor
+// returned the same data, making its responses candidates for the proxy's
+// cross-user shared cache tier. The exemplar's extra runtime headers are
+// vetted separately by the proxy's header check.
+func (s *Signature) UserAgnostic() bool {
+	if s.URI.hasWild() {
+		return false
+	}
+	for _, f := range s.Query {
+		if f.Value.hasWild() {
+			return false
+		}
+	}
+	for _, f := range s.Header {
+		if f.Value.hasWild() {
+			return false
+		}
+	}
+	for _, f := range s.BodyForm {
+		if f.Value.hasWild() {
+			return false
+		}
+	}
+	for _, f := range s.BodyJSON {
+		if f.Value.hasWild() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Pattern) hasWild() bool {
+	for _, part := range p.Parts {
+		if part.Kind == Wild {
+			return true
+		}
+	}
+	return false
+}
+
 // FieldLoc names a position inside a request where a dependency lands.
 type FieldLoc struct {
 	// Where is one of "uri", "query", "header", "form", "json".

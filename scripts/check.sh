@@ -5,6 +5,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -13,5 +21,8 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== cache bench smoke"
+go test ./internal/cache/ -run '^$' -bench . -benchtime 1x
 
 echo "check: OK"
