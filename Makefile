@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench bench-cache
+.PHONY: build test check bench bench-cache bench-overload
 
 build:
 	go build ./...
@@ -18,3 +18,9 @@ bench:
 # bench-cache runs the prefetch-store microbenchmarks (sharding, eviction).
 bench-cache:
 	go test ./internal/cache/ -run '^$$' -bench . -benchmem
+
+# bench-overload runs the scheduler dispatch microbenchmarks and the
+# offered-load sweep (foreground latency vs prefetch shedding).
+bench-overload:
+	go test ./internal/proxy/sched/ -run '^$$' -bench . -benchmem
+	go run ./cmd/appx-bench -experiment overload

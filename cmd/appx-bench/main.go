@@ -8,7 +8,7 @@
 //	appx-bench -users 30 -duration 3m  # the full-size user study
 //
 // Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 ablation mech faultsweep cachesweep all.
+// fig17 ablation mech faultsweep cachesweep overload all.
 package main
 
 import (
@@ -148,6 +148,13 @@ func run(which string, p exp.Params) error {
 	}
 	if want("cachesweep") {
 		res, err := exp.RunCacheSweep(p.Seed, nil)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("overload") {
+		res, err := exp.RunOverload(p.Seed, nil)
 		if err != nil {
 			return err
 		}

@@ -23,18 +23,34 @@
 //
 //	appx-proxy -app wish -fault api.wish.example=0.3 -fault-seed 7
 //
-// GET /appx/health (directly, not proxied) reports breaker states and
-// suspended signatures.
+// GET /appx/health (directly, not proxied) reports breaker states,
+// suspended signatures, and the overload mode.
+//
+// The proxy protects itself under overload: -max-concurrent bounds
+// concurrently served client requests (arrivals past it wait at most
+// -admission-wait before a 503), and an AIMD governor scales speculative
+// prefetching down when the prefetch queue, client p95 (-target-p95), or
+// admission sheds signal pressure. Queued prefetches older than
+// -queue-deadline are dropped at dispatch.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the proxy stops admitting new
+// proxied requests, finishes the in-flight ones (bounded by
+// -drain-timeout), then exits cleanly. A background loop prunes user states
+// idle longer than -prune-max-idle every -prune-interval.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"appx/internal/apps"
@@ -78,6 +94,19 @@ type options struct {
 	cacheSweep       time.Duration
 	cacheNoShared    bool
 
+	// Overload overrides; zero values defer to -config / built-in defaults.
+	maxConcurrent    int
+	admissionWait    time.Duration
+	targetP95        time.Duration
+	governorInterval time.Duration
+	queueDeadline    time.Duration
+	prefetchQueue    int
+
+	// Lifecycle.
+	drainTimeout  time.Duration
+	pruneInterval time.Duration
+	pruneMaxIdle  time.Duration
+
 	// Fault injection (resilience drills).
 	fault     string
 	faultSeed int64
@@ -110,6 +139,17 @@ func main() {
 	flag.IntVar(&o.cacheShards, "cache-shards", 0, "prefetch-store lock-partition count (0 = config default)")
 	flag.DurationVar(&o.cacheSweep, "cache-sweep", 0, "background expiry-sweep period (0 = config default, <0 = disabled)")
 	flag.BoolVar(&o.cacheNoShared, "cache-no-shared", false, "disable the cross-user shared cache tier")
+
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "concurrently served client requests before admission 503s (0 = config default, <0 = unbounded)")
+	flag.DurationVar(&o.admissionWait, "admission-wait", 0, "how long an arriving request may wait for an admission slot (0 = config default)")
+	flag.DurationVar(&o.targetP95, "target-p95", 0, "client p95 latency ceiling that signals overload to the prefetch governor (0 = config default: disabled)")
+	flag.DurationVar(&o.governorInterval, "governor-interval", 0, "AIMD governor adjustment period (0 = config default)")
+	flag.DurationVar(&o.queueDeadline, "queue-deadline", 0, "queued-prefetch staleness bound; older tasks drop at dispatch (0 = config default, <0 = disabled)")
+	flag.IntVar(&o.prefetchQueue, "prefetch-queue", 0, "prefetch scheduler queue bound (0 = config default)")
+
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests to finish")
+	flag.DurationVar(&o.pruneInterval, "prune-interval", 5*time.Minute, "how often to prune idle per-user state (<=0 disables)")
+	flag.DurationVar(&o.pruneMaxIdle, "prune-max-idle", 30*time.Minute, "idle age past which per-user state is pruned")
 
 	flag.StringVar(&o.fault, "fault", "", "comma-separated host=prob connect-refusal injection, e.g. api.wish.example=0.3")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
@@ -158,6 +198,7 @@ func run(o options) error {
 	}
 	applyResilienceFlags(cfg, o)
 	applyCacheFlags(cfg, o)
+	applyOverloadFlags(cfg, o)
 
 	resolve := map[string]string{}
 	links := map[string]netem.Link{}
@@ -204,11 +245,78 @@ func run(o options) error {
 		Upstream: up,
 		Workers:  o.workers,
 	})
-	defer px.Close()
 
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		px.Close()
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "appx-proxy for %s listening on %s (%d signatures, %d prefetchable)\n",
-		a.Name, o.listen, len(g.Sigs), len(g.Prefetchable()))
-	return http.ListenAndServe(o.listen, px)
+		a.Name, ln.Addr(), len(g.Sigs), len(g.Prefetchable()))
+	return serve(context.Background(), px, ln, o)
+}
+
+// serve runs the proxy on the listener until the parent context is done or
+// a termination signal arrives, then shuts down gracefully: stop admitting
+// new proxied requests, wait (bounded by -drain-timeout) for the in-flight
+// ones, and release the proxy's background resources. Returns nil on a
+// clean signal-driven exit.
+func serve(parent context.Context, px *proxy.Proxy, ln net.Listener, o options) error {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.pruneInterval > 0 && o.pruneMaxIdle > 0 {
+		go pruneLoop(ctx, px, o.pruneInterval, o.pruneMaxIdle)
+	}
+
+	srv := &http.Server{Handler: px}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed on its own; nothing is left to drain.
+		px.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+	fmt.Fprintln(os.Stderr, "appx-proxy: termination signal; draining in-flight requests")
+
+	// Admission stops first so the drain only has to wait out requests that
+	// were already in flight when the signal arrived.
+	px.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		px.Close()
+		return serveErr
+	}
+	px.Close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "appx-proxy: drained; exiting")
+	return nil
+}
+
+// pruneLoop periodically drops per-user proxy state idle past maxIdle, so a
+// long-running proxy's memory tracks its active population rather than
+// everyone it has ever served.
+func pruneLoop(ctx context.Context, px *proxy.Proxy, every, maxIdle time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n := px.PruneUsers(maxIdle); n > 0 {
+				fmt.Fprintf(os.Stderr, "appx-proxy: pruned %d idle user states\n", n)
+			}
+		}
+	}
 }
 
 // applyResilienceFlags folds non-zero command-line overrides into the
@@ -278,6 +386,44 @@ func applyCacheFlags(cfg *config.Config, o options) {
 	}
 	if set || cfg.Cache != nil {
 		cfg.Cache = &c
+	}
+}
+
+// applyOverloadFlags folds non-zero command-line overrides into the
+// configuration's overload section. Negative values pass through where the
+// config documents them as "disable this bound".
+func applyOverloadFlags(cfg *config.Config, o options) {
+	v := config.Overload{}
+	if cfg.Overload != nil {
+		v = *cfg.Overload
+	}
+	set := false
+	if o.maxConcurrent != 0 {
+		v.MaxConcurrentRequests = o.maxConcurrent
+		set = true
+	}
+	if o.admissionWait > 0 {
+		v.AdmissionWait = config.Duration(o.admissionWait)
+		set = true
+	}
+	if o.targetP95 > 0 {
+		v.TargetP95 = config.Duration(o.targetP95)
+		set = true
+	}
+	if o.governorInterval > 0 {
+		v.GovernorInterval = config.Duration(o.governorInterval)
+		set = true
+	}
+	if o.queueDeadline != 0 {
+		v.QueueDeadline = config.Duration(o.queueDeadline)
+		set = true
+	}
+	if o.prefetchQueue > 0 {
+		v.MaxQueue = o.prefetchQueue
+		set = true
+	}
+	if set || cfg.Overload != nil {
+		cfg.Overload = &v
 	}
 }
 

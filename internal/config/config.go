@@ -203,6 +203,86 @@ func (r Resilience) Filled() Resilience {
 	return r
 }
 
+// Overload tunes the proxy's self-protection: the client-request admission
+// gate, the AIMD prefetch governor, and the prefetch queue's bounds. Zero
+// values mean "use the default" so a config file may set only the fields it
+// cares about; negative values disable the corresponding mechanism.
+type Overload struct {
+	// MaxConcurrentRequests bounds concurrently served client requests
+	// (default 256); arrivals beyond it wait at most AdmissionWait before
+	// being shed with a 503. <0 disables admission control.
+	MaxConcurrentRequests int `json:"max_concurrent_requests,omitempty"`
+	// AdmissionWait bounds how long an arriving request may wait for an
+	// admission slot (default 100ms).
+	AdmissionWait Duration `json:"admission_wait,omitempty"`
+	// TargetP95 is the client-latency ceiling that signals overload to the
+	// governor. 0 (the default) disables the latency signal — queue
+	// pressure and admission sheds still drive the governor — so the §6
+	// replications, whose absolute latencies depend on the emulation
+	// scale, are not perturbed.
+	TargetP95 Duration `json:"target_p95,omitempty"`
+	// GovernorInterval is the AIMD adjustment period (default 250ms): at
+	// most one multiplicative decrease or additive increase per interval.
+	GovernorInterval Duration `json:"governor_interval,omitempty"`
+	// GovernorMinLevel floors the governor's prefetch level (default 0.05);
+	// at the floor the proxy stops speculative prefetching entirely.
+	GovernorMinLevel float64 `json:"governor_min_level,omitempty"`
+	// GovernorIncrease is the additive step back toward full prefetching
+	// after a healthy interval (default 0.1).
+	GovernorIncrease float64 `json:"governor_increase,omitempty"`
+	// GovernorDecrease is the multiplicative factor applied on an
+	// overloaded interval (default 0.5).
+	GovernorDecrease float64 `json:"governor_decrease,omitempty"`
+	// QueueHighWater is the prefetch-queue fill fraction that signals
+	// overload (default 0.75).
+	QueueHighWater float64 `json:"queue_high_water,omitempty"`
+	// QueueDeadline is how long a queued prefetch stays eligible to run
+	// (default 10s); staler tasks are dropped at dispatch. <0 disables
+	// enqueue deadlines.
+	QueueDeadline Duration `json:"queue_deadline,omitempty"`
+	// DeepDepth is the chain depth at which a prefetch counts as deep
+	// class — the first work shed under pressure (default 1: everything
+	// spawned by a prefetched response rather than live traffic).
+	DeepDepth int `json:"deep_depth,omitempty"`
+	// MaxQueue bounds the prefetch scheduler queue (default 4096).
+	MaxQueue int `json:"max_queue,omitempty"`
+}
+
+// Filled returns a copy with defaults applied to zero fields.
+func (o Overload) Filled() Overload {
+	if o.MaxConcurrentRequests == 0 {
+		o.MaxConcurrentRequests = 256
+	}
+	if o.AdmissionWait == 0 {
+		o.AdmissionWait = Duration(100 * time.Millisecond)
+	}
+	if o.GovernorInterval <= 0 {
+		o.GovernorInterval = Duration(250 * time.Millisecond)
+	}
+	if o.GovernorMinLevel <= 0 {
+		o.GovernorMinLevel = 0.05
+	}
+	if o.GovernorIncrease <= 0 {
+		o.GovernorIncrease = 0.1
+	}
+	if o.GovernorDecrease <= 0 || o.GovernorDecrease >= 1 {
+		o.GovernorDecrease = 0.5
+	}
+	if o.QueueHighWater <= 0 || o.QueueHighWater > 1 {
+		o.QueueHighWater = 0.75
+	}
+	if o.QueueDeadline == 0 {
+		o.QueueDeadline = Duration(10 * time.Second)
+	}
+	if o.DeepDepth <= 0 {
+		o.DeepDepth = 1
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4096
+	}
+	return o
+}
+
 // Cache tunes the proxy's sharded prefetch store (internal/cache). Zero
 // values mean "use the default" so a config file may set only the fields it
 // cares about.
@@ -275,6 +355,9 @@ type Config struct {
 	Resilience *Resilience `json:"resilience,omitempty"`
 	// Cache tunes the sharded prefetch store; nil means all defaults.
 	Cache *Cache `json:"cache,omitempty"`
+	// Overload tunes admission control and the prefetch governor; nil
+	// means all defaults.
+	Overload *Overload `json:"overload,omitempty"`
 
 	byHash map[string]*Policy
 }
@@ -293,6 +376,14 @@ func (c *Config) EffectiveCache() Cache {
 		return c.Cache.Filled()
 	}
 	return Cache{}.Filled()
+}
+
+// EffectiveOverload resolves the overload knobs with defaults applied.
+func (c *Config) EffectiveOverload() Overload {
+	if c.Overload != nil {
+		return c.Overload.Filled()
+	}
+	return Overload{}.Filled()
 }
 
 // BudgetWindow resolves the data-budget accounting period (1h default).

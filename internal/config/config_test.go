@@ -168,3 +168,64 @@ func TestUnmarshalGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestOverloadDefaults(t *testing.T) {
+	c := Default(testGraph())
+	o := c.EffectiveOverload()
+	if o.MaxConcurrentRequests != 256 {
+		t.Fatalf("MaxConcurrentRequests = %d", o.MaxConcurrentRequests)
+	}
+	if time.Duration(o.AdmissionWait) != 100*time.Millisecond {
+		t.Fatalf("AdmissionWait = %v", o.AdmissionWait)
+	}
+	if time.Duration(o.TargetP95) != 0 {
+		t.Fatalf("TargetP95 = %v, want disabled by default", o.TargetP95)
+	}
+	if o.GovernorMinLevel != 0.05 || o.GovernorIncrease != 0.1 || o.GovernorDecrease != 0.5 {
+		t.Fatalf("governor defaults = %+v", o)
+	}
+	if o.QueueHighWater != 0.75 || o.DeepDepth != 1 || o.MaxQueue != 4096 {
+		t.Fatalf("queue defaults = %+v", o)
+	}
+	if time.Duration(o.QueueDeadline) != 10*time.Second {
+		t.Fatalf("QueueDeadline = %v", o.QueueDeadline)
+	}
+}
+
+func TestOverloadPartialFillAndNegatives(t *testing.T) {
+	c := Default(testGraph())
+	c.Overload = &Overload{MaxConcurrentRequests: -1, QueueDeadline: Duration(-1), MaxQueue: 64}
+	o := c.EffectiveOverload()
+	if o.MaxConcurrentRequests != -1 {
+		t.Fatalf("negative MaxConcurrentRequests not preserved: %d", o.MaxConcurrentRequests)
+	}
+	if o.QueueDeadline >= 0 {
+		t.Fatalf("negative QueueDeadline not preserved: %v", o.QueueDeadline)
+	}
+	if o.MaxQueue != 64 {
+		t.Fatalf("MaxQueue = %d", o.MaxQueue)
+	}
+	// Untouched fields still default.
+	if o.GovernorDecrease != 0.5 {
+		t.Fatalf("GovernorDecrease = %v", o.GovernorDecrease)
+	}
+}
+
+func TestOverloadRoundTrip(t *testing.T) {
+	c := Default(testGraph())
+	c.Overload = &Overload{MaxConcurrentRequests: 32, TargetP95: Duration(800 * time.Millisecond)}
+	b, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	c2, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if c2.Overload == nil || c2.Overload.MaxConcurrentRequests != 32 {
+		t.Fatalf("overload lost: %+v", c2.Overload)
+	}
+	if time.Duration(c2.EffectiveOverload().TargetP95) != 800*time.Millisecond {
+		t.Fatalf("TargetP95 = %v", c2.EffectiveOverload().TargetP95)
+	}
+}

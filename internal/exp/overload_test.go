@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadSweepShape checks the overload property the sweep guards:
+// foreground latency holds (p95 within 2× of uncontended) while speculative
+// prefetch work — not client traffic — absorbs the overload as deep-class
+// scheduler drops. Timing-shaped, so skipped under the race detector.
+func TestOverloadSweepShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-shaped experiment; race detector distorts it")
+	}
+	res, err := RunOverload(7, []float64{1, 2})
+	if err != nil {
+		t.Fatalf("RunOverload: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	base, over := res.Rows[0], res.Rows[1]
+
+	if base.Shed != 0 || base.ServerErrs != 0 {
+		t.Fatalf("1x load saw %d sheds, %d server errors; want a clean baseline", base.Shed, base.ServerErrs)
+	}
+	if base.HitRatio <= 0 {
+		t.Fatal("1x load saw no prefetch hits; the chain never warmed up")
+	}
+	if over.DeepDropped == 0 {
+		t.Fatal("2x load shed no deep prefetches; the scheduler absorbed nothing")
+	}
+	if over.ServerErrs != 0 {
+		t.Fatalf("2x load saw %d foreground server errors; overload must shed prefetches, not clients", over.ServerErrs)
+	}
+	// The latency bound has slack for scheduler jitter on loaded CI
+	// machines; the property is "same order", not "identical".
+	if limit := 2*base.P95 + 2*time.Millisecond; over.P95 > limit {
+		t.Fatalf("2x p95 = %v, want within 2x of uncontended %v (+2ms)", over.P95, base.P95)
+	}
+}

@@ -10,11 +10,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"appx/internal/cache"
@@ -101,6 +103,17 @@ type Proxy struct {
 
 	// dataUsed accounts prefetch bytes per budget window (C4).
 	dataUsed *usageWindow
+
+	// Overload-control layer: the admission gate bounds concurrent client
+	// requests, the governor scales speculative prefetching with load, and
+	// clientLat windows recent client latencies for the governor's p95
+	// signal and telemetry.
+	ovl           config.Overload
+	gate          *admitGate
+	gov           *governor
+	clientLat     *latencyRing
+	govSuppressed atomic.Int64
+	draining      atomic.Bool
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -214,7 +227,16 @@ func New(opts Options) *Proxy {
 	})
 	p.store.StartSweeper(time.Duration(p.cacheCfg.SweepInterval))
 	p.dataUsed = newUsageWindow(opts.Config.BudgetWindow())
-	p.sched = sched.New(opts.Workers, p.stats.Priority)
+	p.ovl = opts.Config.EffectiveOverload()
+	p.gate = newAdmitGate(p.ovl.MaxConcurrentRequests, time.Duration(p.ovl.AdmissionWait))
+	p.gov = newGovernor(p.ovl, func() time.Time { return p.opts.Now() })
+	p.clientLat = newLatencyRing(512)
+	p.sched = sched.NewWith(sched.Config{
+		Workers:  opts.Workers,
+		Priority: p.stats.Priority,
+		MaxQueue: p.ovl.MaxQueue,
+		Now:      func() time.Time { return p.opts.Now() },
+	})
 	return p
 }
 
@@ -234,6 +256,67 @@ func (p *Proxy) DataUsedBytes() int64 { return p.dataUsed.Used(p.opts.Now()) }
 
 // Drain waits for all queued prefetches to finish (testing/verification).
 func (p *Proxy) Drain() { p.sched.Drain() }
+
+// BeginDrain flips the proxy into lifecycle draining: new proxied requests
+// are refused with 503 while in-flight ones finish; the status endpoints
+// keep serving so orchestrators can watch the drain. Part of graceful
+// shutdown — the server stops admitting before it waits for in-flight work.
+func (p *Proxy) BeginDrain() { p.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (p *Proxy) Draining() bool { return p.draining.Load() }
+
+// OverloadMode names the proxy's current overload state: "normal",
+// "degraded", "shedding", or "draining" during graceful shutdown.
+func (p *Proxy) OverloadMode() string {
+	if p.draining.Load() {
+		return "draining"
+	}
+	return p.gov.Mode()
+}
+
+// OverloadLevel reports the governor's current prefetch level (0..1).
+func (p *Proxy) OverloadLevel() float64 { return p.gov.Level() }
+
+// AdmissionCounts reports lifetime admitted and shed client requests.
+func (p *Proxy) AdmissionCounts() (admitted, shed int64) { return p.gate.counts() }
+
+// GovernorSuppressed reports prefetches the governor declined to issue.
+func (p *Proxy) GovernorSuppressed() int64 { return p.govSuppressed.Load() }
+
+// SchedMetrics exposes the prefetch scheduler's per-class counters.
+func (p *Proxy) SchedMetrics() sched.Metrics { return p.sched.Metrics() }
+
+// ClientLatencyQuantile reports the q-quantile of recent client latencies.
+func (p *Proxy) ClientLatencyQuantile(q float64) time.Duration {
+	return p.clientLat.Quantile(q)
+}
+
+// queueFrac reports the prefetch queue's fill fraction (0..1).
+func (p *Proxy) queueFrac() float64 {
+	if c := p.sched.Cap(); c > 0 {
+		return float64(p.sched.QueueLen()) / float64(c)
+	}
+	return 0
+}
+
+// observeClient folds one client-visible latency into the window and gives
+// the governor a load sample: every served request is a sensor reading.
+func (p *Proxy) observeClient(d time.Duration) {
+	p.clientLat.Observe(d)
+	p.gov.Observe(p.queueFrac(), p.clientLat.Quantile(0.95), false)
+}
+
+// effectiveChainDepth scales the configured chain depth by the governor
+// level, so under pressure the proxy sheds the deep, most speculative end of
+// each dependency chain first.
+func (p *Proxy) effectiveChainDepth() int {
+	level := p.gov.Level()
+	if level >= 1 {
+		return p.opts.MaxChainDepth
+	}
+	return int(math.Round(level * float64(p.opts.MaxChainDepth)))
+}
 
 // Close stops the prefetch workers and the cache sweeper.
 func (p *Proxy) Close() {
@@ -311,6 +394,24 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.serveStatus(w, r)
 		return
 	}
+	// Lifecycle draining: refuse new proxied work so a graceful shutdown can
+	// wait out only the requests already in flight. Status endpoints above
+	// stay available for orchestrators watching the drain.
+	if p.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "proxy: draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Admission control: bound concurrent client work. Arrivals past the
+	// limit wait briefly for a slot and are shed with a 503 otherwise; a shed
+	// is also the strongest overload signal the prefetch governor gets.
+	if !p.gate.acquire(r.Context()) {
+		p.gov.Observe(p.queueFrac(), p.clientLat.Quantile(0.95), true)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "proxy: overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	defer p.gate.release()
 	userKey := p.opts.UserKey(r)
 	req, err := httpmsg.FromHTTP(r)
 	if err != nil {
@@ -322,6 +423,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req.DeleteHeader(userHeader)
 	u := p.user(userKey)
 	key := req.CanonicalKey()
+	start := p.opts.Now()
 
 	if entry, shared := p.lookup(u, key); entry != nil {
 		// R3: the prefetched request was byte-identical (canonical key
@@ -329,20 +431,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// true even across users for shared-tier hits.
 		p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), shared)
 		entry.Resp.WriteTo(w)
+		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
 
 	// Forward on the client's behalf: the request context propagates client
 	// disconnects, and the retry middleware gives idempotent requests one
 	// fast retry before the client sees a 502.
-	start := p.opts.Now()
 	resp, err := p.fwdUp.RoundTrip(r.Context(), req)
 	if err != nil {
 		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
 	elapsed := p.opts.Now().Sub(start)
 	resp.WriteTo(w)
+	p.observeClient(elapsed)
 
 	if p.opts.DisablePrefetch {
 		return
@@ -389,6 +493,8 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 			"retries":              snap.Retries,
 			"prefetchErrors":       snap.PrefetchErrors,
 			"suppressedPrefetches": snap.PrefetchSuppressed,
+			"overload":             p.overloadTelemetry(),
+			"sched":                p.schedTelemetry(),
 		})
 	case "/appx/health":
 		p.serveHealth(w)
@@ -430,6 +536,11 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 	}
 	p.resMu.Unlock()
 
+	// Overload mode folds into health: a draining or shedding proxy is not
+	// "ok" even when every origin is.
+	if mode := p.OverloadMode(); mode != "normal" {
+		degraded = true
+	}
 	status := "ok"
 	if degraded {
 		status = "degraded"
@@ -446,6 +557,8 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 		"suppressedPrefetches": snap.PrefetchSuppressed,
 		"prefetchQueue":        p.sched.QueueLen(),
 		"dataUsedBytes":        p.DataUsedBytes(),
+		"overload":             p.overloadTelemetry(),
+		"sched":                p.schedTelemetry(),
 		"cache": map[string]any{
 			"residentBytes":  cm.ResidentBytes,
 			"entries":        cm.Entries,
@@ -465,6 +578,45 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 			},
 		},
 	})
+}
+
+// overloadTelemetry is the admission/governor block shared by /appx/stats
+// and /appx/health.
+func (p *Proxy) overloadTelemetry() map[string]any {
+	admitted, shedded := p.gate.counts()
+	return map[string]any{
+		"mode":               p.OverloadMode(),
+		"level":              p.gov.Level(),
+		"admitted":           admitted,
+		"admissionShed":      shedded,
+		"governorSuppressed": p.govSuppressed.Load(),
+		"clientP50Ms":        p.clientLat.Quantile(0.50).Milliseconds(),
+		"clientP95Ms":        p.clientLat.Quantile(0.95).Milliseconds(),
+		"clientP99Ms":        p.clientLat.Quantile(0.99).Milliseconds(),
+	}
+}
+
+// schedTelemetry is the per-class scheduler block shared by /appx/stats and
+// /appx/health.
+func (p *Proxy) schedTelemetry() map[string]any {
+	m := p.sched.Metrics()
+	classBlock := func(c sched.ClassMetrics) map[string]any {
+		return map[string]any{
+			"submitted":      c.Submitted,
+			"ran":            c.Ran,
+			"droppedFull":    c.DroppedFull,
+			"droppedClosed":  c.DroppedClosed,
+			"droppedExpired": c.DroppedExpired,
+		}
+	}
+	return map[string]any{
+		"queue":      p.sched.QueueLen(),
+		"capacity":   p.sched.Cap(),
+		"panics":     m.Panics,
+		"foreground": classBlock(m.Foreground),
+		"shallow":    classBlock(m.Shallow),
+		"deep":       classBlock(m.Deep),
+	}
 }
 
 // sigSuspended reports whether a signature is inside its failure-backoff
@@ -538,8 +690,10 @@ func (p *Proxy) refreshExpired(u *user, e *cache.Entry) {
 	if !p.opts.RefreshExpired || e.Req == nil {
 		return
 	}
+	// A refresh renews an entry a client is demonstrably using right now, so
+	// it rides in the foreground class and survives overload shedding.
 	if s := p.opts.Graph.Sig(e.SigID); s != nil {
-		p.maybePrefetch(u, s, e.Req, 0)
+		p.maybePrefetch(u, s, e.Req, 0, sched.ClassForeground)
 	}
 }
 
@@ -648,14 +802,31 @@ func (p *Proxy) instantiate(u *user, s *sig.Signature, pred string, combo map[st
 	if !ok {
 		return
 	}
-	p.maybePrefetch(u, s, req, depth)
+	// Depth maps to shed priority: chain tails are the most speculative work
+	// the proxy does, so they go in the class that sheds first.
+	class := sched.ClassShallow
+	if depth >= p.ovl.DeepDepth {
+		class = sched.ClassDeep
+	}
+	p.maybePrefetch(u, s, req, depth, class)
 }
 
 // maybePrefetch applies policy (probability, data budget, dedup) and
-// schedules the prefetch.
-func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, depth int) {
+// overload control (governor level, class queue shares, enqueue deadline),
+// then schedules the prefetch.
+func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, depth int, class sched.Class) {
 	policy := p.opts.Config.Policy(s.Hash())
 	prob := p.opts.Config.EffectiveProbability(policy) * p.opts.Config.UserScale(u.key)
+	// The governor throttles only speculative classes; foreground refreshes
+	// keep already-hot entries warm and stay cheap even under load.
+	if class != sched.ClassForeground {
+		if p.gov.Shedding() {
+			p.govSuppressed.Add(1)
+			p.stats.CountPrefetchSuppressed(s.ID)
+			return
+		}
+		prob *= p.gov.Level()
+	}
 	if prob <= 0 || (prob < 1 && p.opts.Rand() >= prob) {
 		return
 	}
@@ -680,9 +851,29 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 	if !p.store.TryIssue(scope, key, expiry) {
 		return
 	}
-	task := &sched.Task{SigID: s.ID, Run: func() {
-		p.runPrefetch(u, s, req, key, scope, expiry, depth)
-	}}
+	task := &sched.Task{
+		SigID: s.ID,
+		Class: class,
+		Run: func() {
+			p.runPrefetch(u, s, req, key, scope, expiry, depth)
+		},
+		// Accepted-then-shed (deadline expiry at dispatch, or Close): release
+		// the dedup claim so a later, fresher instance can re-issue the fetch.
+		Abandon: func() {
+			p.store.CancelIssue(scope, key)
+		},
+		// A panicking prefetch counts as a prefetch failure: it releases its
+		// claim and feeds the signature's backoff, so a reconstruction that
+		// reliably panics suspends itself like one that reliably errors.
+		OnPanic: func(any) {
+			p.store.CancelIssue(scope, key)
+			p.stats.CountPrefetchError(s.ID)
+			p.recordSigFailure(s.ID)
+		},
+	}
+	if qd := time.Duration(p.ovl.QueueDeadline); qd > 0 {
+		task.Deadline = p.opts.Now().Add(qd)
+	}
 	if !p.sched.Submit(task) {
 		p.store.CancelIssue(scope, key)
 	}
@@ -753,7 +944,7 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		Expires: p.opts.Now().Add(expiry),
 	})
 
-	if depth < p.opts.MaxChainDepth && !p.opts.DisableChaining {
+	if depth < p.effectiveChainDepth() && !p.opts.DisableChaining {
 		p.learn(u, s, req, resp, depth+1, false)
 	}
 }

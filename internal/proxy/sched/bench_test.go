@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchPriority mimics the proxy's Stats.Priority: a map lookup plus
+// arithmetic behind a mutex. The seed scheduler called it O(queue) times per
+// dispatch under the scheduler lock; the snapshot heap calls it once per
+// submitted task.
+type benchPriority struct {
+	mu    sync.Mutex
+	prios map[string]float64
+}
+
+func (b *benchPriority) get(id string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.prios[id] + 0.5
+}
+
+func newBenchPriority(sigs int) *benchPriority {
+	p := &benchPriority{prios: make(map[string]float64, sigs)}
+	for i := 0; i < sigs; i++ {
+		p.prios[fmt.Sprintf("sig#%d", i)] = float64(i % 17)
+	}
+	return p
+}
+
+// BenchmarkDispatchDepth4096 measures dispatch throughput at the full queue
+// bound: 4096 queued tasks across 64 signatures drained by the pool. The
+// seed's per-dispatch scan was O(n·PriorityFunc) under the lock (~16.7M
+// priority calls to drain this queue); the snapshot heap computes 4096.
+func BenchmarkDispatchDepth4096(b *testing.B) {
+	const depth = 4096
+	const sigs = 64
+	pr := newBenchPriority(sigs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewWith(Config{Workers: 4, Priority: pr.get, MaxQueue: depth})
+		// Stall the pool so the whole batch queues before dispatch starts.
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(4)
+		for w := 0; w < 4; w++ {
+			s.Submit(&Task{SigID: "block", Run: func() { wg.Done(); <-release }})
+		}
+		wg.Wait()
+		for j := 0; j < depth-4; j++ {
+			s.Submit(&Task{
+				SigID: fmt.Sprintf("sig#%d", j%sigs),
+				Class: Class(j % 3),
+				Run:   func() {},
+			})
+		}
+		b.StartTimer()
+		close(release)
+		s.Drain()
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSubmit measures the enqueue path alone (bound checks, class
+// accounting) with the pool stalled.
+func BenchmarkSubmit(b *testing.B) {
+	pr := newBenchPriority(64)
+	s := NewWith(Config{Workers: 1, Priority: pr.get, MaxQueue: b.N + 2})
+	defer s.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.Submit(&Task{SigID: "block", Run: func() { close(started); <-release }})
+	<-started
+	deadline := time.Now().Add(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(&Task{SigID: "sig#1", Class: ClassShallow, Deadline: deadline, Run: func() {}})
+	}
+	b.StopTimer()
+	close(release)
+	s.Drain()
+}

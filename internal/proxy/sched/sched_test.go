@@ -56,11 +56,45 @@ func TestPriorityOrdering(t *testing.T) {
 	}
 }
 
+func TestClassOrdering(t *testing.T) {
+	// Equal priorities: dispatch must go foreground, shallow, deep.
+	s := New(1, func(string) float64 { return 1 })
+	defer s.Close()
+
+	release := make(chan struct{})
+	s.Submit(&Task{SigID: "block", Run: func() { <-release }})
+	time.Sleep(20 * time.Millisecond)
+
+	var mu sync.Mutex
+	var order []Class
+	mk := func(c Class) *Task {
+		return &Task{SigID: "x", Class: c, Run: func() { mu.Lock(); order = append(order, c); mu.Unlock() }}
+	}
+	s.Submit(mk(ClassDeep))
+	s.Submit(mk(ClassShallow))
+	s.Submit(mk(ClassForeground))
+	s.Submit(mk(ClassDeep))
+	close(release)
+	s.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Class{ClassForeground, ClassShallow, ClassDeep, ClassDeep}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestCloseRejectsSubmit(t *testing.T) {
 	s := New(2, func(string) float64 { return 0 })
 	s.Close()
 	if s.Submit(&Task{SigID: "x", Run: func() {}}) {
 		t.Fatal("Submit accepted after Close")
+	}
+	if m := s.Metrics(); m.Foreground.DroppedClosed != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1", m.Foreground.DroppedClosed)
 	}
 }
 
@@ -70,7 +104,8 @@ func TestCloseDiscardQueuedAndDrainReturns(t *testing.T) {
 	s.Submit(&Task{SigID: "block", Run: func() { <-release }})
 	time.Sleep(10 * time.Millisecond)
 	var ran atomic.Bool
-	s.Submit(&Task{SigID: "q", Run: func() { ran.Store(true) }})
+	var abandoned atomic.Bool
+	s.Submit(&Task{SigID: "q", Run: func() { ran.Store(true) }, Abandon: func() { abandoned.Store(true) }})
 	close(release)
 	s.Close()
 	done := make(chan struct{})
@@ -80,9 +115,11 @@ func TestCloseDiscardQueuedAndDrainReturns(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Drain hung after Close")
 	}
-	// The queued task may or may not have started before Close; what must
-	// hold is that Close+Drain terminate.
-	_ = ran.Load()
+	// The queued task either started before Close (ran) or was discarded
+	// (abandoned) — never both, never neither.
+	if ran.Load() == abandoned.Load() {
+		t.Fatalf("ran=%v abandoned=%v, want exactly one", ran.Load(), abandoned.Load())
+	}
 }
 
 func TestQueueBound(t *testing.T) {
@@ -99,6 +136,44 @@ func TestQueueBound(t *testing.T) {
 	}
 	if accepted > 4096 {
 		t.Fatalf("queue accepted %d tasks, bound is 4096", accepted)
+	}
+	if m := s.Metrics(); m.Foreground.DroppedFull == 0 {
+		t.Fatal("no queue-full drops counted")
+	}
+	close(release)
+	s.Drain()
+}
+
+func TestClassQueueShares(t *testing.T) {
+	// MaxQueue 8 → deep admits 4, shallow 6, foreground 8. Stall the worker
+	// so submissions only queue.
+	s := NewWith(Config{Workers: 1, MaxQueue: 8})
+	defer s.Close()
+	release := make(chan struct{})
+	s.Submit(&Task{SigID: "block", Run: func() { <-release }})
+	time.Sleep(10 * time.Millisecond)
+
+	accept := func(c Class, n int) int {
+		got := 0
+		for i := 0; i < n; i++ {
+			if s.Submit(&Task{SigID: "x", Class: c, Run: func() {}}) {
+				got++
+			}
+		}
+		return got
+	}
+	if got := accept(ClassDeep, 10); got != 4 {
+		t.Fatalf("deep accepted %d, want 4 (half of 8)", got)
+	}
+	if got := accept(ClassShallow, 10); got != 2 {
+		t.Fatalf("shallow accepted %d, want 2 (6-slot share, 4 used)", got)
+	}
+	if got := accept(ClassForeground, 10); got != 2 {
+		t.Fatalf("foreground accepted %d, want 2 (8-slot share, 6 used)", got)
+	}
+	m := s.Metrics()
+	if m.Deep.DroppedFull != 6 || m.Shallow.DroppedFull != 8 || m.Foreground.DroppedFull != 8 {
+		t.Fatalf("drop counters = %+v", m)
 	}
 	close(release)
 	s.Drain()
@@ -123,4 +198,128 @@ func TestDoubleCloseSafe(t *testing.T) {
 	s := New(2, func(string) float64 { return 0 })
 	s.Close()
 	s.Close()
+}
+
+// TestPanicRecovered is the regression test for the seed's panic-unsafety:
+// t.Run() without recover and a non-deferred pending.Done meant one
+// panicking task crashed the process and would have deadlocked Drain.
+func TestPanicRecovered(t *testing.T) {
+	s := New(2, func(string) float64 { return 0 })
+	defer s.Close()
+	var got atomic.Value
+	s.Submit(&Task{SigID: "boom", Run: func() { panic("kaboom") }, OnPanic: func(v any) { got.Store(v) }})
+
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain hung after a panicking task")
+	}
+	if v := got.Load(); v != "kaboom" {
+		t.Fatalf("OnPanic got %v, want kaboom", v)
+	}
+	if m := s.Metrics(); m.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", m.Panics)
+	}
+	// The pool must keep serving.
+	var ran atomic.Bool
+	s.Submit(&Task{SigID: "after", Run: func() { ran.Store(true) }})
+	s.Drain()
+	if !ran.Load() {
+		t.Fatal("pool dead after recovered panic")
+	}
+}
+
+func TestSubmitRejectsExpiredDeadline(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewWith(Config{Workers: 1, Now: func() time.Time { return now }})
+	defer s.Close()
+	if s.Submit(&Task{SigID: "x", Class: ClassDeep, Deadline: now.Add(-time.Second), Run: func() {}}) {
+		t.Fatal("Submit accepted an already-expired task")
+	}
+	if m := s.Metrics(); m.Deep.DroppedExpired != 1 {
+		t.Fatalf("DroppedExpired = %d, want 1", m.Deep.DroppedExpired)
+	}
+}
+
+func TestDeadlineExpiredAtDispatch(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	s := NewWith(Config{Workers: 1, Now: clock})
+	defer s.Close()
+
+	release := make(chan struct{})
+	s.Submit(&Task{SigID: "block", Run: func() { <-release }})
+	time.Sleep(10 * time.Millisecond)
+
+	var ran, abandoned atomic.Bool
+	s.Submit(&Task{
+		SigID: "stale", Class: ClassDeep, Deadline: now.Add(time.Second),
+		Run:     func() { ran.Store(true) },
+		Abandon: func() { abandoned.Store(true) },
+	})
+	mu.Lock()
+	now = now.Add(time.Minute) // task expires while queued
+	mu.Unlock()
+	close(release)
+	s.Drain()
+
+	if ran.Load() {
+		t.Fatal("expired task ran")
+	}
+	if !abandoned.Load() {
+		t.Fatal("expired task not abandoned")
+	}
+	if m := s.Metrics(); m.Deep.DroppedExpired != 1 || m.Deep.Ran != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestStressSubmitCloseDrain hammers Submit/QueueLen/Metrics concurrently
+// with Close and Drain; run under -race it is the scheduler's concurrency
+// regression test.
+func TestStressSubmitCloseDrain(t *testing.T) {
+	s := NewWith(Config{Workers: 4, MaxQueue: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cls := Class(i % 3)
+				task := &Task{SigID: "s", Class: cls, Run: func() {}, Abandon: func() {}}
+				if i%97 == 0 {
+					task.Run = func() { panic("stress") }
+				}
+				s.Submit(task)
+				if i%25 == 0 {
+					_ = s.QueueLen()
+					_ = s.Metrics()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		s.Close()
+	}()
+	wg.Wait()
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung under concurrent Submit/Close")
+	}
+	// Accounting must balance: everything accepted either ran or was shed.
+	m := s.Metrics()
+	for _, c := range []ClassMetrics{m.Foreground, m.Shallow, m.Deep} {
+		if c.Submitted != c.Ran+c.DroppedClosed+c.DroppedExpired {
+			t.Fatalf("unbalanced class accounting: %+v", c)
+		}
+	}
 }

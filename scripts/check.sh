@@ -22,7 +22,16 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The overload path (scheduler classes, admission, panic recovery) is the
+# most concurrency-heavy code in the tree; run it race-enabled a second time
+# with -count=1 so a cached first pass can never mask a fresh interleaving.
+echo "== go test -race -count=1 ./internal/proxy/..."
+go test -race -count=1 ./internal/proxy/...
+
 echo "== cache bench smoke"
 go test ./internal/cache/ -run '^$' -bench . -benchtime 1x
+
+echo "== sched bench smoke"
+go test ./internal/proxy/sched/ -run '^$' -bench . -benchtime 1x
 
 echo "check: OK"
