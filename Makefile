@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench bench-cache bench-overload
+.PHONY: build test check bench bench-cache bench-overload bench-match
 
 build:
 	go build ./...
@@ -24,3 +24,9 @@ bench-cache:
 bench-overload:
 	go test ./internal/proxy/sched/ -run '^$$' -bench . -benchmem
 	go run ./cmd/appx-bench -experiment overload
+
+# bench-match runs the signature-matching microbenchmarks (indexed vs naive
+# scan, canonical-key memoization) and the graph-size sweep.
+bench-match:
+	go test ./internal/sig/ -run '^$$' -bench . -benchmem
+	go run ./cmd/appx-bench -experiment matchsweep

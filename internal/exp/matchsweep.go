@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/sig"
+)
+
+// MatchSweepRow is one signature-count point of the match-index sweep.
+type MatchSweepRow struct {
+	// Sigs is the graph size at this point.
+	Sigs int
+	// NaiveNs and IndexedNs are the mean per-request match costs (ns) of the
+	// linear regex scan and the two-level index on the same request stream.
+	NaiveNs, IndexedNs float64
+	// Speedup is NaiveNs / IndexedNs.
+	Speedup float64
+	// ExactHits, TrieCands, and RegexEvals are per-request means over the
+	// indexed measurement window, from the graph's match telemetry.
+	ExactHits, TrieCands, RegexEvals float64
+}
+
+// MatchSweep compares the seed's O(|Sigs|·regex) signature matching with the
+// indexed hot path as the graph grows. The paper's static analysis emits one
+// signature per network call site, so production graphs reach thousands of
+// entries; this sweep shows the scan cost growing linearly while the indexed
+// cost stays near-flat.
+type MatchSweep struct {
+	Seed int64
+	Rows []MatchSweepRow
+}
+
+// DefaultMatchSigCounts are the sweep points.
+func DefaultMatchSigCounts() []int {
+	return []int{100, 1000, 10000}
+}
+
+// matchSweepGraph builds an n-signature graph with a production-like shape —
+// mostly literal URIs across a few hosts, a slice of wildcard-tail patterns,
+// and a few dynamic-host (leading wildcard) patterns — plus one request per
+// signature instantiating it.
+func matchSweepGraph(n int) (*sig.Graph, []*httpmsg.Request) {
+	g := sig.NewGraph("matchsweep")
+	reqs := make([]*httpmsg.Request, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ms%d", i)
+		switch i % 10 {
+		case 0:
+			g.Add(&sig.Signature{ID: id, Method: "GET",
+				URI: sig.Concat(sig.Literal(fmt.Sprintf("api%d.example/v1/items/", i%7)), sig.Wildcard(""))})
+			reqs = append(reqs, &httpmsg.Request{Method: "GET",
+				Host: fmt.Sprintf("api%d.example", i%7), Path: fmt.Sprintf("/v1/items/%d", i)})
+		case 1:
+			g.Add(&sig.Signature{ID: id, Method: "GET",
+				URI: sig.Concat(sig.Wildcard("host"), sig.Literal(fmt.Sprintf("/api/feed%d", i)))})
+			reqs = append(reqs, &httpmsg.Request{Method: "GET",
+				Host: "cdn.example", Path: fmt.Sprintf("/api/feed%d", i)})
+		default:
+			g.Add(&sig.Signature{ID: id, Method: "GET",
+				URI: sig.Literal(fmt.Sprintf("api%d.example/v1/res/%d", i%7, i))})
+			reqs = append(reqs, &httpmsg.Request{Method: "GET",
+				Host: fmt.Sprintf("api%d.example", i%7), Path: fmt.Sprintf("/v1/res/%d", i)})
+		}
+	}
+	return g, reqs
+}
+
+// naiveMatch reimplements the seed's matcher from the public API: scan every
+// signature's anchored regex, stable-sort by literal length descending.
+func naiveMatch(g *sig.Graph, r *httpmsg.Request) []*sig.Signature {
+	var out []*sig.Signature
+	for _, s := range g.Sigs {
+		if s.MatchesRequest(r) {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return patternLitLen(out[i].URI) > patternLitLen(out[j].URI)
+	})
+	return out
+}
+
+func patternLitLen(p sig.Pattern) int {
+	n := 0
+	for _, part := range p.Parts {
+		if part.Kind == sig.Lit {
+			n += len(part.Lit)
+		}
+	}
+	return n
+}
+
+// RunMatchSweep runs the sweep. The request stream is deterministic (seeded
+// shuffle of one instantiation per signature); the timings are measurements
+// and vary with the machine.
+func RunMatchSweep(seed int64, sigCounts []int) (*MatchSweep, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	if len(sigCounts) == 0 {
+		sigCounts = DefaultMatchSigCounts()
+	}
+	out := &MatchSweep{Seed: seed}
+	for _, n := range sigCounts {
+		row, err := runMatchPoint(seed, n)
+		if err != nil {
+			return nil, fmt.Errorf("matchsweep@%d sigs: %w", n, err)
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+func runMatchPoint(seed int64, n int) (*MatchSweepRow, error) {
+	g, reqs := matchSweepGraph(n)
+	rnd := rand.New(rand.NewSource(seed))
+	rnd.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	// Equivalence spot-check before timing: both matchers must agree.
+	for i := 0; i < len(reqs) && i < 32; i++ {
+		want := naiveMatch(g, reqs[i])
+		got := g.MatchRequest(reqs[i])
+		if len(got) != len(want) {
+			return nil, fmt.Errorf("matchers disagree on %s%s: indexed %d, naive %d",
+				reqs[i].Host, reqs[i].Path, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].ID != want[k].ID {
+				return nil, fmt.Errorf("matchers order differs on %s%s", reqs[i].Host, reqs[i].Path)
+			}
+		}
+	}
+
+	// The naive scan is O(n) per request: shrink its iteration count as n
+	// grows so the 10k point stays fast, but keep enough samples to average.
+	naiveIters := 200000 / n
+	if naiveIters < 20 {
+		naiveIters = 20
+	}
+	indexedIters := 50 * naiveIters
+
+	start := time.Now()
+	for i := 0; i < naiveIters; i++ {
+		naiveMatch(g, reqs[i%len(reqs)])
+	}
+	naiveNs := float64(time.Since(start).Nanoseconds()) / float64(naiveIters)
+
+	before := g.MatchTelemetry()
+	start = time.Now()
+	for i := 0; i < indexedIters; i++ {
+		g.MatchRequest(reqs[i%len(reqs)])
+	}
+	indexedNs := float64(time.Since(start).Nanoseconds()) / float64(indexedIters)
+	after := g.MatchTelemetry()
+
+	lookups := float64(after.Lookups - before.Lookups)
+	return &MatchSweepRow{
+		Sigs:       n,
+		NaiveNs:    naiveNs,
+		IndexedNs:  indexedNs,
+		Speedup:    naiveNs / indexedNs,
+		ExactHits:  float64(after.ExactHits-before.ExactHits) / lookups,
+		TrieCands:  float64(after.TrieCandidates-before.TrieCandidates) / lookups,
+		RegexEvals: float64(after.RegexEvals-before.RegexEvals) / lookups,
+	}, nil
+}
+
+// Render formats the match sweep.
+func (m *MatchSweep) Render() string {
+	rows := make([][]string, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Sigs),
+			fmt.Sprintf("%.0f", r.NaiveNs),
+			fmt.Sprintf("%.0f", r.IndexedNs),
+			fmt.Sprintf("%.1fx", r.Speedup),
+			fmt.Sprintf("%.2f", r.ExactHits),
+			fmt.Sprintf("%.2f", r.TrieCands),
+			fmt.Sprintf("%.2f", r.RegexEvals),
+		})
+	}
+	return fmt.Sprintf("Match-index sweep (seed %d): per-request signature matching cost vs graph size\n", m.Seed) +
+		table([]string{"sigs", "naive ns/op", "indexed ns/op", "speedup", "exact hits/req", "trie cands/req", "regex evals/req"}, rows)
+}

@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 
 	"appx/internal/jsonpath"
 )
@@ -72,11 +73,18 @@ type Request struct {
 	BodyForm []Field
 	BodyJSON any // encoding/json generic value shape
 	BodyRaw  []byte
+
+	// ckey memoizes CanonicalKey. The Set*/Delete* mutators clear it; code
+	// that assigns the exported fields directly on a request that has
+	// already been keyed must Clone first (Clone drops the cache).
+	ckey string
 }
 
-// Clone deep-copies the request.
+// Clone deep-copies the request (without the canonical-key cache, so the
+// clone may be freely mutated through direct field writes).
 func (r *Request) Clone() *Request {
 	c := *r
+	c.ckey = ""
 	c.Query = append([]Field(nil), r.Query...)
 	c.Header = append([]Field(nil), r.Header...)
 	c.BodyForm = append([]Field(nil), r.BodyForm...)
@@ -136,6 +144,7 @@ func (r *Request) GetHeader(key string) (string, bool) {
 
 // SetHeader replaces all values of key with one value, appending when absent.
 func (r *Request) SetHeader(key, value string) {
+	r.ckey = ""
 	out := r.Header[:0]
 	found := false
 	for _, f := range r.Header {
@@ -156,6 +165,7 @@ func (r *Request) SetHeader(key, value string) {
 
 // DeleteHeader removes every header named key (case-insensitive).
 func (r *Request) DeleteHeader(key string) {
+	r.ckey = ""
 	out := r.Header[:0]
 	for _, f := range r.Header {
 		if !strings.EqualFold(f.Key, key) {
@@ -177,6 +187,7 @@ func (r *Request) GetQuery(key string) (string, bool) {
 
 // SetQuery replaces the first query value for key, appending when absent.
 func (r *Request) SetQuery(key, value string) {
+	r.ckey = ""
 	for i, f := range r.Query {
 		if f.Key == key {
 			r.Query[i].Value = value
@@ -199,6 +210,7 @@ func (r *Request) GetForm(key string) (string, bool) {
 // SetForm replaces the first form field for key, appending when absent, and
 // marks the body as form-encoded.
 func (r *Request) SetForm(key, value string) {
+	r.ckey = ""
 	r.BodyKind = BodyForm
 	for i, f := range r.BodyForm {
 		if f.Key == key {
@@ -211,6 +223,7 @@ func (r *Request) SetForm(key, value string) {
 
 // DeleteForm removes all form fields named key.
 func (r *Request) DeleteForm(key string) {
+	r.ckey = ""
 	out := r.BodyForm[:0]
 	for _, f := range r.BodyForm {
 		if f.Key != key {
@@ -237,32 +250,70 @@ var hopByHop = map[string]bool{
 	"upgrade":           true,
 }
 
+// keyScratch pools CanonicalKey's working state: the canonical byte stream
+// fed to the hash and the sort buffer for query/header/form fields. The
+// proxy keys every request (twice per prefetched transaction: planning and
+// lookup), so this scratch — not the digest — dominated allocations.
+type keyScratch struct {
+	buf    []byte
+	fields []Field
+}
+
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// write appends one canonical component: the string, then a 0 separator.
+func (ks *keyScratch) write(parts ...string) {
+	for _, p := range parts {
+		ks.buf = append(ks.buf, p...)
+		ks.buf = append(ks.buf, 0)
+	}
+}
+
+// sorted copies fields into the reusable scratch slice, ordered by key then
+// value (stable: insertion sort preserves input order of exact duplicates,
+// which hash identically anyway).
+func (ks *keyScratch) sorted(fields []Field) []Field {
+	out := ks.fields[:0]
+	for _, f := range fields {
+		out = append(out, f)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && fieldLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	ks.fields = out
+	return out
+}
+
+func fieldLess(a, b Field) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Value < b.Value
+}
+
 // CanonicalKey returns a deterministic digest of the request covering method,
 // host, path, query string, application headers, and body. Two requests with
 // equal keys are "identical" in the sense of §4.5 — only then may the proxy
-// serve a prefetched response.
+// serve a prefetched response. The result is memoized on the request; the
+// Set*/Delete* mutators invalidate it. Memoized requests must not be keyed
+// and mutated concurrently from different goroutines (Clone first).
 func (r *Request) CanonicalKey() string {
-	h := sha256.New()
-	w := func(parts ...string) {
-		for _, p := range parts {
-			io.WriteString(h, p)
-			h.Write([]byte{0})
-		}
+	if r.ckey != "" {
+		return r.ckey
 	}
-	w("m", strings.ToUpper(r.Method), "h", strings.ToLower(r.Host), "p", r.Path)
+	ks := keyScratchPool.Get().(*keyScratch)
+	ks.buf = ks.buf[:0]
+	// ToUpper/ToLower return their argument unchanged (no allocation) in
+	// the common already-normalized case.
+	ks.write("m", strings.ToUpper(r.Method), "h", strings.ToLower(r.Host), "p", r.Path)
 
-	q := append([]Field(nil), r.Query...)
-	sort.SliceStable(q, func(i, j int) bool {
-		if q[i].Key != q[j].Key {
-			return q[i].Key < q[j].Key
-		}
-		return q[i].Value < q[j].Value
-	})
-	for _, f := range q {
-		w("q", f.Key, f.Value)
+	for _, f := range ks.sorted(r.Query) {
+		ks.write("q", f.Key, f.Value)
 	}
 
-	var hdr []Field
+	hdr := ks.fields[len(ks.fields):]
 	for _, f := range r.Header {
 		k := strings.ToLower(f.Key)
 		if hopByHop[k] {
@@ -270,44 +321,44 @@ func (r *Request) CanonicalKey() string {
 		}
 		hdr = append(hdr, Field{Key: k, Value: f.Value})
 	}
-	sort.SliceStable(hdr, func(i, j int) bool {
-		if hdr[i].Key != hdr[j].Key {
-			return hdr[i].Key < hdr[j].Key
+	for i := 1; i < len(hdr); i++ {
+		for j := i; j > 0 && fieldLess(hdr[j], hdr[j-1]); j-- {
+			hdr[j], hdr[j-1] = hdr[j-1], hdr[j]
 		}
-		return hdr[i].Value < hdr[j].Value
-	})
+	}
 	for _, f := range hdr {
-		w("H", f.Key, f.Value)
+		ks.write("H", f.Key, f.Value)
 	}
 
 	switch r.BodyKind {
 	case BodyForm:
-		bf := append([]Field(nil), r.BodyForm...)
-		sort.SliceStable(bf, func(i, j int) bool {
-			if bf[i].Key != bf[j].Key {
-				return bf[i].Key < bf[j].Key
-			}
-			return bf[i].Value < bf[j].Value
-		})
-		for _, f := range bf {
-			w("b", f.Key, f.Value)
+		for _, f := range ks.sorted(r.BodyForm) {
+			ks.write("b", f.Key, f.Value)
 		}
 	case BodyJSON:
-		w("j", canonicalJSON(r.BodyJSON))
+		ks.buf = append(ks.buf, 'j', 0)
+		ks.buf = appendCanonicalJSON(ks.buf, r.BodyJSON)
+		ks.buf = append(ks.buf, 0)
 	case BodyRaw:
-		w("r", string(r.BodyRaw))
+		ks.buf = append(ks.buf, 'r', 0)
+		ks.buf = append(ks.buf, r.BodyRaw...)
+		ks.buf = append(ks.buf, 0)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(ks.buf)
+	keyScratchPool.Put(ks)
+	r.ckey = hex.EncodeToString(sum[:])
+	return r.ckey
 }
 
 // canonicalJSON renders a generic JSON value with sorted object keys.
 func canonicalJSON(v any) string {
-	var b strings.Builder
-	writeCanonicalJSON(&b, v)
-	return b.String()
+	return string(appendCanonicalJSON(nil, v))
 }
 
-func writeCanonicalJSON(b *strings.Builder, v any) {
+// appendCanonicalJSON appends the canonical rendering to buf and returns it,
+// so CanonicalKey can stream JSON bodies into its pooled buffer without an
+// intermediate builder allocation.
+func appendCanonicalJSON(buf []byte, v any) []byte {
 	switch x := v.(type) {
 	case map[string]any:
 		keys := make([]string, 0, len(x))
@@ -315,29 +366,29 @@ func writeCanonicalJSON(b *strings.Builder, v any) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		b.WriteByte('{')
+		buf = append(buf, '{')
 		for i, k := range keys {
 			if i > 0 {
-				b.WriteByte(',')
+				buf = append(buf, ',')
 			}
 			kb, _ := json.Marshal(k)
-			b.Write(kb)
-			b.WriteByte(':')
-			writeCanonicalJSON(b, x[k])
+			buf = append(buf, kb...)
+			buf = append(buf, ':')
+			buf = appendCanonicalJSON(buf, x[k])
 		}
-		b.WriteByte('}')
+		return append(buf, '}')
 	case []any:
-		b.WriteByte('[')
+		buf = append(buf, '[')
 		for i, e := range x {
 			if i > 0 {
-				b.WriteByte(',')
+				buf = append(buf, ',')
 			}
-			writeCanonicalJSON(b, e)
+			buf = appendCanonicalJSON(buf, e)
 		}
-		b.WriteByte(']')
+		return append(buf, ']')
 	default:
 		eb, _ := json.Marshal(x)
-		b.Write(eb)
+		return append(buf, eb...)
 	}
 }
 

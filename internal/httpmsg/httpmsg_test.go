@@ -330,3 +330,57 @@ func TestServeViaHandlerDefaultsOK(t *testing.T) {
 		t.Fatalf("resp = %+v, %v", resp, err)
 	}
 }
+
+func TestCanonicalKeyMemoized(t *testing.T) {
+	r := sampleRequest()
+	k1 := r.CanonicalKey()
+	if r.ckey == "" {
+		t.Fatal("key not memoized")
+	}
+	if k2 := r.CanonicalKey(); k2 != k1 {
+		t.Fatalf("memoized key differs: %q vs %q", k2, k1)
+	}
+	// The memo must equal a fresh computation on an identical request.
+	if fresh := sampleRequest().CanonicalKey(); fresh != k1 {
+		t.Fatal("memoized key differs from fresh computation")
+	}
+}
+
+func TestCanonicalKeyMemoInvalidatedByMutators(t *testing.T) {
+	muts := []struct {
+		name string
+		f    func(*Request)
+	}{
+		{"SetQuery", func(r *Request) { r.SetQuery("v", "3") }},
+		{"SetHeader", func(r *Request) { r.SetHeader("Cookie", "ffff") }},
+		{"DeleteHeader", func(r *Request) { r.DeleteHeader("Cookie") }},
+		{"SetForm", func(r *Request) { r.SetForm("cid", "zzzz") }},
+		{"DeleteForm", func(r *Request) { r.DeleteForm("cid") }},
+	}
+	for _, m := range muts {
+		r := sampleRequest()
+		before := r.CanonicalKey()
+		m.f(r)
+		if after := r.CanonicalKey(); after == before {
+			t.Errorf("%s: stale memoized key survived the mutation", m.name)
+		}
+	}
+}
+
+func TestCloneDropsKeyMemo(t *testing.T) {
+	r := sampleRequest()
+	base := r.CanonicalKey()
+	c := r.Clone()
+	if c.ckey != "" {
+		t.Fatal("Clone carried the key memo")
+	}
+	// Mutating the clone via direct field assignment (allowed on a fresh
+	// clone) must not be able to resurrect the parent's key.
+	c.Path = "/other"
+	if c.CanonicalKey() == base {
+		t.Fatal("clone key identical after mutation")
+	}
+	if r.CanonicalKey() != base {
+		t.Fatal("parent key changed by clone mutation")
+	}
+}

@@ -47,7 +47,7 @@ type exemplar struct {
 // It returns nil when the request does not actually instantiate the
 // signature's URI pattern.
 func learnExemplar(s *sig.Signature, req *httpmsg.Request) *exemplar {
-	uriWilds, ok := captureWilds(s.URI, req.Host+req.Path)
+	uriWilds, ok := captureURIWilds(s, req.Host+req.Path)
 	if !ok {
 		return nil
 	}
@@ -76,9 +76,35 @@ func learnExemplar(s *sig.Signature, req *httpmsg.Request) *exemplar {
 	return ex
 }
 
+// captureURIWilds is captureWilds for the signature's URI pattern, going
+// through the signature's precompiled matcher instead of recompiling the
+// regex on every live transaction.
+func captureURIWilds(s *sig.Signature, value string) ([]string, bool) {
+	if !s.URI.HasUnknown() {
+		// Fully literal: the match is string equality, no regex at all.
+		if s.URI.String() == value {
+			return nil, true
+		}
+		return nil, false
+	}
+	m := s.URIRegexp().FindStringSubmatch(value)
+	if m == nil {
+		return nil, false
+	}
+	return m[1:], true
+}
+
 // captureWilds matches value against the pattern and returns the text
-// captured by each non-literal part, in order.
+// captured by each non-literal part, in order. Fully-literal patterns are
+// compared as strings — the regex path is reserved for patterns that
+// actually capture something.
 func captureWilds(p sig.Pattern, value string) ([]string, bool) {
+	if !p.HasUnknown() {
+		if p.String() == value {
+			return nil, true
+		}
+		return nil, false
+	}
 	re, err := p.Regexp()
 	if err != nil {
 		return nil, false

@@ -471,12 +471,22 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/", "/healthz":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Prefetchable serves from the graph's cached adjacency index — a
+		// map read, not a Deps rescan, so health probes stay O(1).
 		fmt.Fprintf(w, "appx proxy: %d signatures, %d prefetchable\n",
 			len(p.opts.Graph.Sigs), len(p.opts.Graph.Prefetchable()))
 	case "/appx/stats":
 		snap := p.stats.Snapshot()
+		mt := p.opts.Graph.MatchTelemetry()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
+			"matchIndex": map[string]any{
+				"lookups":        mt.Lookups,
+				"exactHits":      mt.ExactHits,
+				"trieCandidates": mt.TrieCandidates,
+				"regexEvals":     mt.RegexEvals,
+				"regexMatches":   mt.RegexMatches,
+			},
 			"hits":                 snap.Hits,
 			"sharedHits":           snap.SharedHits,
 			"misses":               snap.Misses,
@@ -691,9 +701,11 @@ func (p *Proxy) refreshExpired(u *user, e *cache.Entry) {
 		return
 	}
 	// A refresh renews an entry a client is demonstrably using right now, so
-	// it rides in the foreground class and survives overload shedding.
+	// it rides in the foreground class and survives overload shedding. The
+	// entry (and its request) may be shared across users hitting the same
+	// key; Clone so the canonical-key memoization stays goroutine-local.
 	if s := p.opts.Graph.Sig(e.SigID); s != nil {
-		p.maybePrefetch(u, s, e.Req, 0, sched.ClassForeground)
+		p.maybePrefetch(u, s, e.Req.Clone(), 0, sched.ClassForeground)
 	}
 }
 

@@ -340,12 +340,21 @@ func TestExpiryPreventsStaleServing(t *testing.T) {
 	if mid.Hits <= before.Hits {
 		t.Fatal("expected hit within expiry window")
 	}
-	// Advance the clock past expiry: the same interaction must miss.
+	// Advance the clock past expiry: the detail request must miss its
+	// (now stale) prefetched entry. Assert on the detail signature, not the
+	// proxy-wide hit counter — the live detail response legitimately fires
+	// fresh image prefetches that can race the interaction's own image
+	// requests and produce non-stale hits.
 	now = now.Add(time.Hour)
+	detailSig := "wish:WishDetail.open#0"
 	l.call("WishMain.onSelectItem", "6")
 	after := l.proxy.Stats().Snapshot()
-	if after.Hits != mid.Hits {
-		t.Fatalf("stale entry served after expiry: hits %d -> %d", mid.Hits, after.Hits)
+	if after.PerSig[detailSig].Hits != mid.PerSig[detailSig].Hits {
+		t.Fatalf("stale detail entry served after expiry: hits %d -> %d",
+			mid.PerSig[detailSig].Hits, after.PerSig[detailSig].Hits)
+	}
+	if after.PerSig[detailSig].Misses <= mid.PerSig[detailSig].Misses {
+		t.Fatal("expired detail request did not miss")
 	}
 }
 
@@ -786,5 +795,52 @@ func TestStatusSurface(t *testing.T) {
 	rec, _ = get("/nope")
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown endpoint = %d", rec.Code)
+	}
+}
+
+// Steady state: a literal-URI client request repeated after warm-up must be
+// answered entirely by the exact match level — zero regex evaluations.
+func TestSteadyStateLiteralZeroRegex(t *testing.T) {
+	l := newLab(t, apps.Wish(), nil)
+	l.call("WishMain.launch")
+	l.proxy.Drain()
+	before := l.graph.MatchTelemetry()
+	l.call("WishMain.launch")
+	l.proxy.Drain()
+	after := l.graph.MatchTelemetry()
+	if after.Lookups <= before.Lookups {
+		t.Fatal("second launch performed no signature lookups")
+	}
+	if d := after.RegexEvals - before.RegexEvals; d != 0 {
+		t.Fatalf("steady-state literal requests cost %d regex evaluations, want 0", d)
+	}
+	if after.ExactHits <= before.ExactHits {
+		t.Fatal("literal feed request did not hit the exact match level")
+	}
+}
+
+// /appx/stats exposes the match-index telemetry counters.
+func TestStatsMatchIndexTelemetry(t *testing.T) {
+	l := newLab(t, apps.Wish(), nil)
+	l.call("WishMain.launch")
+	l.proxy.Drain()
+	req := httptest.NewRequest("GET", "/appx/stats", nil)
+	rec := httptest.NewRecorder()
+	l.proxy.ServeHTTP(rec, req)
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	mi, ok := stats["matchIndex"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing matchIndex: %v", stats)
+	}
+	for _, k := range []string{"lookups", "exactHits", "trieCandidates", "regexEvals", "regexMatches"} {
+		if _, ok := mi[k]; !ok {
+			t.Errorf("matchIndex missing %q: %v", k, mi)
+		}
+	}
+	if mi["lookups"].(float64) <= 0 {
+		t.Fatalf("matchIndex lookups = %v, want > 0", mi["lookups"])
 	}
 }

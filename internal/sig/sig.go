@@ -20,6 +20,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"appx/internal/httpmsg"
 )
@@ -175,8 +177,9 @@ type Signature struct {
 	// the positions successors may depend on.
 	RespFields []string `json:"respFields,omitempty"`
 
-	// compiled URI matcher cache
-	uriRe *regexp.Regexp
+	// compiled URI matcher cache, initialized exactly once (URIRegexp).
+	uriOnce sync.Once
+	uriRe   *regexp.Regexp
 }
 
 // Hash returns a short stable digest of the signature's request shape, used
@@ -199,16 +202,20 @@ func (s *Signature) Hash() string {
 	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
-// URIRegexp returns the compiled anchored URI matcher, caching it.
+// URIRegexp returns the compiled anchored URI matcher, caching it. The
+// compile runs under sync.Once: request goroutines share signatures, and the
+// old check-then-write cache raced when two of them matched the same cold
+// signature concurrently. Index builds compile every pattern up front, so
+// steady-state matching never takes the Once's slow path.
 func (s *Signature) URIRegexp() *regexp.Regexp {
-	if s.uriRe == nil {
+	s.uriOnce.Do(func() {
 		re, err := s.URI.Regexp()
 		if err != nil {
 			// Signatures are machine-generated; a bad pattern is a bug.
 			panic(fmt.Sprintf("sig: signature %s has invalid URI pattern: %v", s.ID, err))
 		}
 		s.uriRe = re
-	}
+	})
 	return s.uriRe
 }
 
@@ -294,11 +301,36 @@ type Graph struct {
 	Deps []Dependency `json:"deps"`
 
 	byID map[string]*Signature
+	// sigPos maps an ID to its position in Sigs, so replace-by-ID swaps via
+	// the map instead of rescanning the slice.
+	sigPos map[string]int
+	// depSet backs AddDep's dedup with O(1) membership instead of an
+	// O(|Deps|) scan per insert.
+	depSet map[Dependency]bool
+
+	// Lazily built, atomically published lookup indexes (index.go). Add
+	// invalidates midx, AddDep invalidates adj, reindex invalidates both.
+	idxMu sync.Mutex
+	midx  atomic.Pointer[matchIndex]
+	adj   atomic.Pointer[adjIndex]
+
+	// Match-index telemetry (MatchTelemetry); lives here so counters
+	// survive index rebuilds.
+	matchLookups      atomic.Int64
+	matchExactHits    atomic.Int64
+	matchTrieCands    atomic.Int64
+	matchRegexEvals   atomic.Int64
+	matchRegexMatches atomic.Int64
 }
 
 // NewGraph builds an empty graph for an app.
 func NewGraph(app string) *Graph {
-	return &Graph{App: app, byID: make(map[string]*Signature)}
+	return &Graph{
+		App:    app,
+		byID:   make(map[string]*Signature),
+		sigPos: make(map[string]int),
+		depSet: make(map[Dependency]bool),
+	}
 }
 
 // Add inserts a signature, replacing any previous one with the same ID.
@@ -306,17 +338,14 @@ func (g *Graph) Add(s *Signature) {
 	if g.byID == nil {
 		g.reindex()
 	}
-	if _, exists := g.byID[s.ID]; exists {
-		for i, old := range g.Sigs {
-			if old.ID == s.ID {
-				g.Sigs[i] = s
-				break
-			}
-		}
+	if pos, exists := g.sigPos[s.ID]; exists {
+		g.Sigs[pos] = s
 	} else {
+		g.sigPos[s.ID] = len(g.Sigs)
 		g.Sigs = append(g.Sigs, s)
 	}
 	g.byID[s.ID] = s
+	g.midx.Store(nil)
 }
 
 // Sig resolves a signature by ID; nil when absent.
@@ -329,75 +358,62 @@ func (g *Graph) Sig(id string) *Signature {
 
 func (g *Graph) reindex() {
 	g.byID = make(map[string]*Signature, len(g.Sigs))
-	for _, s := range g.Sigs {
+	g.sigPos = make(map[string]int, len(g.Sigs))
+	for i, s := range g.Sigs {
 		g.byID[s.ID] = s
+		g.sigPos[s.ID] = i
 	}
+	g.depSet = make(map[Dependency]bool, len(g.Deps))
+	for _, d := range g.Deps {
+		g.depSet[d] = true
+	}
+	g.midx.Store(nil)
+	g.adj.Store(nil)
 }
 
 // AddDep appends a dependency edge (deduplicating exact repeats).
 func (g *Graph) AddDep(d Dependency) {
-	for _, e := range g.Deps {
-		if e == d {
-			return
-		}
+	if g.depSet == nil {
+		g.reindex()
 	}
+	if g.depSet[d] {
+		return
+	}
+	g.depSet[d] = true
 	g.Deps = append(g.Deps, d)
+	g.adj.Store(nil)
 }
 
 // Predecessors returns the IDs of signatures that id depends on, in
-// deterministic order.
+// deterministic order. The returned slice is shared with the graph's
+// adjacency index: treat it as read-only.
 func (g *Graph) Predecessors(id string) []string {
-	set := map[string]bool{}
-	for _, d := range g.Deps {
-		if d.SuccID == id {
-			set[d.PredID] = true
-		}
-	}
-	return sortedKeys(set)
+	return g.adjIndex().pred[id]
 }
 
-// Successors returns the IDs of signatures depending on id.
+// Successors returns the IDs of signatures depending on id. The returned
+// slice is shared with the adjacency index: treat it as read-only.
 func (g *Graph) Successors(id string) []string {
-	set := map[string]bool{}
-	for _, d := range g.Deps {
-		if d.PredID == id {
-			set[d.SuccID] = true
-		}
-	}
-	return sortedKeys(set)
+	return g.adjIndex().succ[id]
 }
 
-// DepsInto returns the dependency edges landing in succ.
+// DepsInto returns the dependency edges landing in succ, in Deps order.
+// Shared with the adjacency index: treat it as read-only.
 func (g *Graph) DepsInto(succ string) []Dependency {
-	var out []Dependency
-	for _, d := range g.Deps {
-		if d.SuccID == succ {
-			out = append(out, d)
-		}
-	}
-	return out
+	return g.adjIndex().depsInto[succ]
 }
 
-// DepsFrom returns the dependency edges leaving pred.
+// DepsFrom returns the dependency edges leaving pred, in Deps order.
+// Shared with the adjacency index: treat it as read-only.
 func (g *Graph) DepsFrom(pred string) []Dependency {
-	var out []Dependency
-	for _, d := range g.Deps {
-		if d.PredID == pred {
-			out = append(out, d)
-		}
-	}
-	return out
+	return g.adjIndex().depsFrom[pred]
 }
 
 // Prefetchable returns the IDs of successor signatures — those with at least
 // one incoming dependency (the paper's "prefetchable signature is a
-// successor"). Sorted.
+// successor"). Sorted, cached in the adjacency index: treat as read-only.
 func (g *Graph) Prefetchable() []string {
-	set := map[string]bool{}
-	for _, d := range g.Deps {
-		set[d.SuccID] = true
-	}
-	return sortedKeys(set)
+	return g.adjIndex().prefetchable
 }
 
 // MaxChainLen returns the length (in edges + 1, i.e. number of transactions)
@@ -478,19 +494,13 @@ func (g *Graph) Chain() []string {
 	return best
 }
 
-// MatchRequest finds the signatures whose URI pattern matches a live request,
-// most-specific (longest literal prefix) first.
-func (g *Graph) MatchRequest(r *httpmsg.Request) []*Signature {
-	var out []*Signature
-	for _, s := range g.Sigs {
-		if s.MatchesRequest(r) {
-			out = append(out, s)
-		}
-	}
+// stableSortByLiteralLen orders signatures most-specific-first (longest
+// total literal length), preserving input order among equals — the reference
+// ordering MatchRequest's index reproduces via precomputed keys.
+func stableSortByLiteralLen(out []*Signature) {
 	sort.SliceStable(out, func(i, j int) bool {
 		return literalLen(out[i].URI) > literalLen(out[j].URI)
 	})
-	return out
 }
 
 func literalLen(p Pattern) int {

@@ -34,4 +34,7 @@ go test ./internal/cache/ -run '^$' -bench . -benchtime 1x
 echo "== sched bench smoke"
 go test ./internal/proxy/sched/ -run '^$' -bench . -benchtime 1x
 
+echo "== match bench smoke"
+go test ./internal/sig/ -run '^$' -bench BenchmarkMatchRequest -benchtime 1x
+
 echo "check: OK"
