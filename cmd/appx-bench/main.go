@@ -9,6 +9,12 @@
 //
 // Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
 // fig17 ablation mech faultsweep cachesweep overload matchsweep all.
+//
+// With -admin it is an operator client instead: it fetches the typed
+// /appx/v1/{stats,health,spans} views from a running appx-proxy and renders
+// a one-page summary:
+//
+//	appx-bench -admin http://127.0.0.1:8080 -admin-spans 20
 package main
 
 import (
@@ -31,8 +37,19 @@ func main() {
 		think    = flag.Float64("think-speed", 10, "extra think-time compression")
 		events   = flag.Int("fuzz-events", 400, "fuzzing events for Table 3")
 		seed     = flag.Int64("seed", 42, "random seed")
+
+		admin      = flag.String("admin", "", "base URL of a running appx-proxy; render its /appx/v1 admin views instead of running experiments")
+		adminSpans = flag.Int("admin-spans", 10, "recent spans to fetch in -admin mode")
 	)
 	flag.Parse()
+
+	if *admin != "" {
+		if err := runAdmin(*admin, *adminSpans, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "appx-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := exp.Params{
 		Scale:         *scale,

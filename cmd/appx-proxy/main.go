@@ -23,8 +23,13 @@
 //
 //	appx-proxy -app wish -fault api.wish.example=0.3 -fault-seed 7
 //
-// GET /appx/health (directly, not proxied) reports breaker states,
-// suspended signatures, and the overload mode.
+// The admin API is versioned under /appx/v1 (served directly, not
+// proxied): /appx/v1/health reports breaker states, suspended signatures,
+// and the overload mode; /appx/v1/stats adds cache and request-lifecycle
+// telemetry; /appx/v1/spans returns the most recent per-request spans
+// (-span-buffer bounds the ring); /appx/v1/metrics is the same registry in
+// Prometheus text format. The pre-versioning /appx/health and /appx/stats
+// paths 307-redirect to their v1 successors with a Deprecation header.
 //
 // The proxy protects itself under overload: -max-concurrent bounds
 // concurrently served client requests (arrivals past it wait at most
@@ -72,6 +77,8 @@ type options struct {
 	doVerify bool
 	scale    float64
 	workers  int
+
+	spanBuffer int
 
 	// Resilience overrides; zero values defer to -config / built-in defaults.
 	retryAttempts       int
@@ -122,6 +129,7 @@ func main() {
 	flag.BoolVar(&o.doVerify, "verify", false, "run Phase 2 verification before serving")
 	flag.Float64Var(&o.scale, "scale", 1, "emulated time scale for in-process origins")
 	flag.IntVar(&o.workers, "workers", 8, "prefetch worker pool size")
+	flag.IntVar(&o.spanBuffer, "span-buffer", 0, "recent request spans kept for /appx/v1/spans (0 = default 1024)")
 
 	flag.IntVar(&o.retryAttempts, "retry-attempts", 0, "total tries per idempotent origin request, including the first (0 = config default)")
 	flag.DurationVar(&o.retryBase, "retry-base", 0, "base delay of the jittered exponential retry backoff (0 = config default)")
@@ -240,10 +248,11 @@ func run(o options) error {
 	}
 
 	px := proxy.New(proxy.Options{
-		Graph:    g,
-		Config:   cfg,
-		Upstream: up,
-		Workers:  o.workers,
+		Graph:      g,
+		Config:     cfg,
+		Upstream:   up,
+		Workers:    o.workers,
+		SpanBuffer: o.spanBuffer,
 	})
 
 	ln, err := net.Listen("tcp", o.listen)

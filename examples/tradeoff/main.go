@@ -55,7 +55,7 @@ func main() {
 		}
 		l.Proxy.Drain()
 		usage := l.Proxy.Stats().Snapshot().NormalizedDataUsage()
-		fmt.Printf("%10.0f%%  %14v  %9.2fx\n", prob*100, metrics.Median(mains).Round(time.Millisecond), usage)
+		fmt.Printf("%10.0f%%  %14v  %9.2fx\n", prob*100, metrics.NewDigest(mains).Median().Round(time.Millisecond), usage)
 		l.Close()
 	}
 }

@@ -84,6 +84,10 @@ type Entry struct {
 	Req     *httpmsg.Request
 	SigID   string
 	Expires time.Time
+	// Refreshed marks an entry produced by a foreground refresh of an
+	// expired entry (kept warm for a demonstrated client) rather than a
+	// speculative prefetch — telemetry distinguishes the two hit kinds.
+	Refreshed bool
 
 	used atomic.Bool
 }

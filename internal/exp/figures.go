@@ -63,8 +63,8 @@ func runMicro(p Params, title string, measure microMeasure) (*Micro, error) {
 				nets = append(nets, l.Unscale(net))
 			}
 			l.Close()
-			total := metrics.Mean(totals)
-			net := metrics.Mean(nets)
+			total := metrics.NewDigest(totals).Mean()
+			net := metrics.NewDigest(nets).Mean()
 			if prefetch {
 				row.AppxTotal, row.AppxNetwork, row.AppxProcessing = total, net, total-net
 			} else {
@@ -173,10 +173,10 @@ func RunFig15(p Params, rtts []time.Duration) (*RTTSweep, error) {
 				return nil, fmt.Errorf("fig15: %s appx@%v: %w", a.Name, rtt, err)
 			}
 			out.Runs[a.Name][rtt] = [2]*studyRun{orig, appx}
-			op90 := metrics.Percentile(orig.MainLatencies, 0.9)
-			ap90 := metrics.Percentile(appx.MainLatencies, 0.9)
-			omed := metrics.Median(orig.MainLatencies)
-			amed := metrics.Median(appx.MainLatencies)
+			od := metrics.NewDigest(orig.MainLatencies)
+			ad := metrics.NewDigest(appx.MainLatencies)
+			op90, omed := od.Quantile(0.9), od.Median()
+			ap90, amed := ad.Quantile(0.9), ad.Median()
 			out.Rows = append(out.Rows, RTTSweepRow{
 				App: a.APK.Manifest.Label, RTT: rtt,
 				OrigP90: op90, AppxP90: ap90,
@@ -242,14 +242,15 @@ func RunFig16(p Params, sweep *RTTSweep, rtts []time.Duration) (*CDFResult, erro
 				continue
 			}
 			orig, appx := pair[0], pair[1]
-			om := metrics.Median(orig.MainLatencies)
-			am := metrics.Median(appx.MainLatencies)
+			od := metrics.NewDigest(orig.MainLatencies)
+			ad := metrics.NewDigest(appx.MainLatencies)
+			om, am := od.Median(), ad.Median()
 			out.Rows = append(out.Rows, CDFRow{
 				App: a.APK.Manifest.Label, RTT: rtt,
 				OrigMedian: om, AppxMedian: am,
 				MedianReduction:   metrics.Reduction(om, am),
-				OrigCDF:           metrics.CDF(orig.MainLatencies, 10),
-				AppxCDF:           metrics.CDF(appx.MainLatencies, 10),
+				OrigCDF:           od.CDF(10),
+				AppxCDF:           ad.CDF(10),
 				DataUsage:         appx.DataUsage,
 				UsedPrefetchRatio: appx.UsedPrefetchRatio,
 			})
@@ -328,7 +329,7 @@ func RunFig17(p Params, probs []float64) (*Tradeoff, error) {
 		}
 		out.Rows = append(out.Rows, TradeoffRow{
 			Probability: prob,
-			Median:      metrics.Median(run.MainLatencies),
+			Median:      metrics.NewDigest(run.MainLatencies).Median(),
 			DataUsage:   run.DataUsage,
 		})
 	}

@@ -79,7 +79,7 @@ func RunMechAblation(p Params) (*MechAblation, error) {
 		l.Close()
 		out.Rows = append(out.Rows, MechRow{
 			Variant:   v.name,
-			StoreOpen: metrics.Mean(totals),
+			StoreOpen: metrics.NewDigest(totals).Mean(),
 			HitRatio:  snap.HitRatio(),
 		})
 	}

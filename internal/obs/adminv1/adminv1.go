@@ -1,0 +1,176 @@
+// Package adminv1 defines the typed response schema of the proxy's
+// versioned admin API (/appx/v1/*). The proxy encodes these structs; tools
+// (appx-bench's admin mode) and tests decode into them — no side of the
+// contract builds map[string]any by hand, so a field rename is a compile
+// error instead of a silently-missing JSON key.
+//
+// Schema evolution rule: fields may be added to a v1 struct (decoders
+// ignore unknown keys) but never removed or retyped; incompatible changes
+// get a new version prefix.
+package adminv1
+
+import "time"
+
+// The versioned endpoint paths, shared by server and clients.
+const (
+	PathHealth  = "/appx/v1/health"
+	PathStats   = "/appx/v1/stats"
+	PathSpans   = "/appx/v1/spans"
+	PathMetrics = "/appx/v1/metrics" // Prometheus text, not JSON
+
+	// The pre-versioning endpoints, kept as deprecated redirecting aliases.
+	LegacyPathHealth = "/appx/health"
+	LegacyPathStats  = "/appx/stats"
+)
+
+// MatchIndex mirrors the signature match-index telemetry.
+type MatchIndex struct {
+	Lookups        int64 `json:"lookups"`
+	ExactHits      int64 `json:"exactHits"`
+	TrieCandidates int64 `json:"trieCandidates"`
+	RegexEvals     int64 `json:"regexEvals"`
+	RegexMatches   int64 `json:"regexMatches"`
+}
+
+// Overload is the admission-gate/governor block shared by stats and health.
+type Overload struct {
+	Mode               string  `json:"mode"`
+	Level              float64 `json:"level"`
+	Admitted           int64   `json:"admitted"`
+	AdmissionShed      int64   `json:"admissionShed"`
+	GovernorSuppressed int64   `json:"governorSuppressed"`
+	ClientP50Ms        int64   `json:"clientP50Ms"`
+	ClientP95Ms        int64   `json:"clientP95Ms"`
+	ClientP99Ms        int64   `json:"clientP99Ms"`
+}
+
+// SchedClass is one priority class's scheduler counters.
+type SchedClass struct {
+	Submitted      int64 `json:"submitted"`
+	Ran            int64 `json:"ran"`
+	DroppedFull    int64 `json:"droppedFull"`
+	DroppedClosed  int64 `json:"droppedClosed"`
+	DroppedExpired int64 `json:"droppedExpired"`
+}
+
+// Sched is the prefetch scheduler block shared by stats and health.
+type Sched struct {
+	Queue      int        `json:"queue"`
+	Capacity   int        `json:"capacity"`
+	Panics     int64      `json:"panics"`
+	Foreground SchedClass `json:"foreground"`
+	Shallow    SchedClass `json:"shallow"`
+	Deep       SchedClass `json:"deep"`
+}
+
+// CacheEvictions breaks evicted entries down by cause.
+type CacheEvictions struct {
+	Expired     int64 `json:"expired"`
+	Budget      int64 `json:"budget"`
+	UserBytes   int64 `json:"userBytes"`
+	UserEntries int64 `json:"userEntries"`
+	Replaced    int64 `json:"replaced"`
+	UserDropped int64 `json:"userDropped"`
+}
+
+// Cache is the prefetch-store block of the health response.
+type Cache struct {
+	ResidentBytes  int64          `json:"residentBytes"`
+	Entries        int            `json:"entries"`
+	Hits           int64          `json:"hits"`
+	Misses         int64          `json:"misses"`
+	SharedHits     int64          `json:"sharedHits"`
+	SharedHitRatio float64        `json:"sharedHitRatio"`
+	SharedEntries  int            `json:"sharedEntries"`
+	SharedBytes    int64          `json:"sharedBytes"`
+	Evictions      CacheEvictions `json:"evictions"`
+}
+
+// Breaker is one origin host's circuit-breaker state.
+type Breaker struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	OpenForMs           int64  `json:"openForMs"`
+}
+
+// SuspendedSignature is one signature inside its prefetch-failure backoff
+// window.
+type SuspendedSignature struct {
+	ConsecutiveFailures int   `json:"consecutiveFailures"`
+	ResumeInMs          int64 `json:"resumeInMs"`
+}
+
+// OutcomeStats summarizes one terminal outcome's request population.
+type OutcomeStats struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// Requests is the span-derived request-lifecycle block of the stats
+// response: per-outcome counts and wall-time quantiles, plus per-stage p95.
+type Requests struct {
+	Total      uint64                  `json:"total"`
+	Outcomes   map[string]OutcomeStats `json:"outcomes"`
+	StageP95Ms map[string]float64      `json:"stageP95Ms"`
+}
+
+// StatsResponse is the body of GET /appx/v1/stats.
+type StatsResponse struct {
+	MatchIndex           MatchIndex `json:"matchIndex"`
+	Hits                 int        `json:"hits"`
+	SharedHits           int        `json:"sharedHits"`
+	Misses               int        `json:"misses"`
+	Prefetches           int        `json:"prefetches"`
+	HitRatio             float64    `json:"hitRatio"`
+	SharedHitRatio       float64    `json:"sharedHitRatio"`
+	DataUsage            float64    `json:"dataUsage"`
+	UsedPrefetchRatio    float64    `json:"usedPrefetchRatio"`
+	SavedLatencyMs       int64      `json:"savedLatencyMs"`
+	Users                int        `json:"users"`
+	PrefetchQueue        int        `json:"prefetchQueue"`
+	DataUsedBytes        int64      `json:"dataUsedBytes"`
+	CacheResidentBytes   int64      `json:"cacheResidentBytes"`
+	Retries              int        `json:"retries"`
+	PrefetchErrors       int        `json:"prefetchErrors"`
+	SuppressedPrefetches int        `json:"suppressedPrefetches"`
+	Overload             Overload   `json:"overload"`
+	Sched                Sched      `json:"sched"`
+	Requests             Requests   `json:"requests"`
+}
+
+// HealthResponse is the body of GET /appx/v1/health.
+type HealthResponse struct {
+	Status               string                        `json:"status"`
+	Breakers             map[string]Breaker            `json:"breakers"`
+	SuspendedSignatures  map[string]SuspendedSignature `json:"suspendedSignatures"`
+	Retries              int                           `json:"retries"`
+	PrefetchErrors       int                           `json:"prefetchErrors"`
+	SuppressedPrefetches int                           `json:"suppressedPrefetches"`
+	PrefetchQueue        int                           `json:"prefetchQueue"`
+	DataUsedBytes        int64                         `json:"dataUsedBytes"`
+	Overload             Overload                      `json:"overload"`
+	Sched                Sched                         `json:"sched"`
+	Cache                Cache                         `json:"cache"`
+}
+
+// Span is one finished request-lifecycle span.
+type Span struct {
+	ID      uint64             `json:"id"`
+	Start   time.Time          `json:"start"`
+	WallMs  float64            `json:"wallMs"`
+	Outcome string             `json:"outcome"`
+	SigID   string             `json:"sigId,omitempty"`
+	User    string             `json:"user,omitempty"`
+	StageMs map[string]float64 `json:"stageMs,omitempty"`
+}
+
+// SpansResponse is the body of GET /appx/v1/spans: the lifetime span count
+// and up to `n` (query parameter, default 64) most recent spans, newest
+// first.
+type SpansResponse struct {
+	Total uint64 `json:"total"`
+	Spans []Span `json:"spans"`
+}

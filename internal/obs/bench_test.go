@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve is the hot-path cost of one latency
+// observation. scripts/check.sh smoke-runs it; the ≤2 allocs/op acceptance
+// bound is enforced by TestHistogramObserveAllocs below.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%200) * time.Millisecond)
+	}
+}
+
+// BenchmarkSpanRecord is the full per-request span cost: start, four stage
+// boundaries, outcome, finish (pool round trip + ring copy + histograms).
+func BenchmarkSpanRecord(b *testing.B) {
+	rec := NewSpanRecorder(NewRegistry(), 1024, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.Start()
+		sp.EndStage(StageAdmission)
+		sp.EndStage(StageCache)
+		sp.EndStage(StageOrigin)
+		sp.EndStage(StageWrite)
+		sp.SetOutcome(OutcomeOrigin)
+		sp.SetSig("bench:sig#0")
+		sp.Finish()
+	}
+}
+
+// The acceptance bound from ISSUE 5: span recording and histogram
+// observation on the request hot path must cost ≤2 allocs/op. Steady state
+// is 0 for both; the bound leaves room for pool warm-up.
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(7 * time.Millisecond)
+	})
+	if allocs > 2 {
+		t.Fatalf("Histogram.Observe = %.1f allocs/op, want <= 2", allocs)
+	}
+}
+
+func TestSpanRecordAllocs(t *testing.T) {
+	rec := NewSpanRecorder(NewRegistry(), 1024, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := rec.Start()
+		sp.EndStage(StageAdmission)
+		sp.EndStage(StageCache)
+		sp.EndStage(StageOrigin)
+		sp.EndStage(StageWrite)
+		sp.SetOutcome(OutcomeOrigin)
+		sp.SetSig("bench:sig#0")
+		sp.Finish()
+	})
+	if allocs > 2 {
+		t.Fatalf("span record = %.1f allocs/op, want <= 2", allocs)
+	}
+}

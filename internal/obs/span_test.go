@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	reg := NewRegistry()
+	rec := NewSpanRecorder(reg, 16, clk.Now)
+
+	sp := rec.Start()
+	clk.Advance(2 * time.Millisecond)
+	sp.EndStage(StageAdmission)
+	clk.Advance(3 * time.Millisecond)
+	sp.EndStage(StageCache)
+	clk.Advance(40 * time.Millisecond)
+	sp.EndStage(StageOrigin)
+	sp.SetOutcome(OutcomeOrigin)
+	sp.SetSig("sig-1")
+	sp.SetUser("u-1")
+	clk.Advance(time.Millisecond) // unattributed tail
+	sp.Finish()
+
+	if rec.Total() != 1 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	if rec.OutcomeCount(OutcomeOrigin) != 1 {
+		t.Fatal("outcome counter not incremented")
+	}
+	spans := rec.Recent(10)
+	if len(spans) != 1 {
+		t.Fatalf("recent = %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Outcome != OutcomeOrigin || s.SigID != "sig-1" || s.User != "u-1" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Wall != 46*time.Millisecond {
+		t.Fatalf("wall = %v, want 46ms", s.Wall)
+	}
+	if s.Stages[StageAdmission] != 2*time.Millisecond ||
+		s.Stages[StageCache] != 3*time.Millisecond ||
+		s.Stages[StageOrigin] != 40*time.Millisecond {
+		t.Fatalf("stages = %v", s.Stages)
+	}
+	if sum := s.StageSum(); sum != 45*time.Millisecond || sum > s.Wall {
+		t.Fatalf("stage sum = %v, wall = %v", sum, s.Wall)
+	}
+	// The wall histogram saw the request.
+	if got := rec.WallQuantile(OutcomeOrigin, 0.5); got <= 0 {
+		t.Fatalf("wall p50 = %v", got)
+	}
+}
+
+func TestSpanSkipStage(t *testing.T) {
+	clk := newFakeClock()
+	rec := NewSpanRecorder(NewRegistry(), 16, clk.Now)
+	sp := rec.Start()
+	clk.Advance(10 * time.Millisecond)
+	sp.SkipStage() // 10ms deliberately unattributed
+	clk.Advance(5 * time.Millisecond)
+	sp.EndStage(StageWrite)
+	sp.SetOutcome(OutcomePrefetchHit)
+	sp.Finish()
+	s := rec.Recent(1)[0]
+	if s.Stages[StageWrite] != 5*time.Millisecond {
+		t.Fatalf("write stage = %v", s.Stages[StageWrite])
+	}
+	if s.Wall != 15*time.Millisecond {
+		t.Fatalf("wall = %v", s.Wall)
+	}
+}
+
+func TestSpanRingWraparound(t *testing.T) {
+	clk := newFakeClock()
+	rec := NewSpanRecorder(NewRegistry(), 16, clk.Now)
+	for i := 0; i < 40; i++ {
+		sp := rec.Start()
+		clk.Advance(time.Millisecond)
+		sp.SetOutcome(OutcomeOrigin)
+		sp.Finish()
+	}
+	if rec.Total() != 40 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	spans := rec.Recent(100)
+	if len(spans) != 16 {
+		t.Fatalf("ring kept %d spans, want capacity 16", len(spans))
+	}
+	// Newest first, contiguous IDs 40..25.
+	for i, s := range spans {
+		if want := uint64(40 - i); s.ID != want {
+			t.Fatalf("spans[%d].ID = %d, want %d", i, s.ID, want)
+		}
+	}
+}
+
+// A nil recorder (observability disabled) must make every span call a
+// no-op rather than a panic.
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *SpanRecorder
+	sp := rec.Start()
+	sp.EndStage(StageCache)
+	sp.SkipStage()
+	sp.SetOutcome(OutcomeShed)
+	sp.SetSig("x")
+	sp.SetUser("y")
+	sp.Finish()
+	if rec.Total() != 0 || rec.Recent(5) != nil || rec.OutcomeCount(OutcomeShed) != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	if rec.WallQuantile(OutcomeShed, 0.5) != 0 || rec.StageHistogram(StageCache) != nil {
+		t.Fatal("nil recorder accessors not zero")
+	}
+}
+
+// Race-gated: spans recorded concurrently with ring reads and scrapes.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewSpanRecorder(reg, 64, nil)
+	var wg sync.WaitGroup
+	const perWorker = 500
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := rec.Start()
+				sp.EndStage(StageParse)
+				sp.EndStage(StageCache)
+				sp.SetOutcome(Outcome(1 + (i % int(NumOutcomes-1))))
+				sp.Finish()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = rec.Recent(32)
+			_ = rec.Total()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if rec.Total() != 4*perWorker {
+		t.Fatalf("total = %d, want %d", rec.Total(), 4*perWorker)
+	}
+	var sum int64
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		sum += rec.OutcomeCount(o)
+	}
+	if sum != 4*perWorker {
+		t.Fatalf("outcome counters sum = %d, want %d", sum, 4*perWorker)
+	}
+}

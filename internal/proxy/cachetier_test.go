@@ -20,6 +20,7 @@ import (
 	"appx/internal/config"
 	"appx/internal/httpmsg"
 	"appx/internal/netem"
+	"appx/internal/obs/adminv1"
 	"appx/internal/sig"
 )
 
@@ -166,7 +167,7 @@ func TestHealthReportsCacheTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	get := func(path string) map[string]any {
+	get := func(path string, into any) {
 		t.Helper()
 		req := httptest.NewRequest("GET", path, nil)
 		rec := httptest.NewRecorder()
@@ -174,37 +175,31 @@ func TestHealthReportsCacheTelemetry(t *testing.T) {
 		if rec.Code != 200 {
 			t.Fatalf("%s = %d", path, rec.Code)
 		}
-		var out map[string]any
-		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
 			t.Fatalf("%s not JSON: %v", path, err)
 		}
-		return out
 	}
 
-	health := get("/appx/health")
-	c, ok := health["cache"].(map[string]any)
-	if !ok {
-		t.Fatalf("health has no cache section: %v", health)
+	var health adminv1.HealthResponse
+	get(adminv1.PathHealth, &health)
+	c := health.Cache
+	if c.ResidentBytes <= 0 {
+		t.Fatalf("cache residentBytes = %d", c.ResidentBytes)
 	}
-	if c["residentBytes"].(float64) <= 0 {
-		t.Fatalf("cache residentBytes = %v", c["residentBytes"])
+	if c.SharedEntries <= 0 || c.SharedBytes <= 0 {
+		t.Fatalf("shared tier not visible: entries=%d bytes=%d", c.SharedEntries, c.SharedBytes)
 	}
-	if c["sharedEntries"].(float64) <= 0 || c["sharedBytes"].(float64) <= 0 {
-		t.Fatalf("shared tier not visible: entries=%v bytes=%v", c["sharedEntries"], c["sharedBytes"])
-	}
-	if c["sharedHits"].(float64) < 1 || c["sharedHitRatio"].(float64) <= 0 {
-		t.Fatalf("shared hits not reported: hits=%v ratio=%v", c["sharedHits"], c["sharedHitRatio"])
-	}
-	if _, ok := c["evictions"].(map[string]any); !ok {
-		t.Fatalf("no evictions breakdown: %v", c)
+	if c.SharedHits < 1 || c.SharedHitRatio <= 0 {
+		t.Fatalf("shared hits not reported: hits=%d ratio=%v", c.SharedHits, c.SharedHitRatio)
 	}
 
-	stats := get("/appx/stats")
-	if stats["cacheResidentBytes"].(float64) <= 0 {
-		t.Fatalf("stats cacheResidentBytes = %v", stats["cacheResidentBytes"])
+	var stats adminv1.StatsResponse
+	get(adminv1.PathStats, &stats)
+	if stats.CacheResidentBytes <= 0 {
+		t.Fatalf("stats cacheResidentBytes = %d", stats.CacheResidentBytes)
 	}
-	if _, ok := stats["sharedHitRatio"]; !ok {
-		t.Fatal("stats has no sharedHitRatio")
+	if stats.SharedHitRatio <= 0 {
+		t.Fatalf("stats sharedHitRatio = %v, want > 0", stats.SharedHitRatio)
 	}
 }
 

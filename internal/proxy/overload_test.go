@@ -12,6 +12,7 @@ import (
 
 	"appx/internal/config"
 	"appx/internal/httpmsg"
+	"appx/internal/obs/adminv1"
 	"appx/internal/sig"
 )
 
@@ -111,20 +112,19 @@ func TestDrainingRefusesNewWork(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	p.ServeHTTP(rec, httptest.NewRequest("GET", "/appx/health", nil))
+	p.ServeHTTP(rec, httptest.NewRequest("GET", adminv1.PathHealth, nil))
 	if rec.Code != 200 {
-		t.Fatalf("/appx/health during drain = %d, want 200", rec.Code)
+		t.Fatalf("%s during drain = %d, want 200", adminv1.PathHealth, rec.Code)
 	}
-	var health map[string]any
+	var health adminv1.HealthResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
 		t.Fatalf("health not JSON: %v", err)
 	}
-	if health["status"] != "degraded" {
-		t.Fatalf("health status during drain = %v, want degraded", health["status"])
+	if health.Status != "degraded" {
+		t.Fatalf("health status during drain = %v, want degraded", health.Status)
 	}
-	ovl, _ := health["overload"].(map[string]any)
-	if ovl["mode"] != "draining" {
-		t.Fatalf("overload mode during drain = %v, want draining", ovl["mode"])
+	if health.Overload.Mode != "draining" {
+		t.Fatalf("overload mode during drain = %v, want draining", health.Overload.Mode)
 	}
 }
 
@@ -271,40 +271,30 @@ func TestStatsExposeOverloadAndSched(t *testing.T) {
 	p := New(Options{Graph: g, Config: config.Default(g), Upstream: up})
 	t.Cleanup(p.Close)
 
-	for _, path := range []string{"/appx/stats", "/appx/health"} {
+	fetch := func(path string, into any) {
+		t.Helper()
 		rec := httptest.NewRecorder()
 		p.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != 200 {
 			t.Fatalf("%s = %d, want 200", path, rec.Code)
 		}
-		var out map[string]any
-		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
 			t.Fatalf("%s not JSON: %v", path, err)
 		}
-		ovl, ok := out["overload"].(map[string]any)
-		if !ok {
-			t.Fatalf("%s missing overload block: %v", path, out)
+	}
+	check := func(path string, ovl adminv1.Overload, sch adminv1.Sched) {
+		t.Helper()
+		if ovl.Mode != "normal" || ovl.Level != 1.0 {
+			t.Fatalf("%s overload block = %+v, want normal/1", path, ovl)
 		}
-		if ovl["mode"] != "normal" || ovl["level"] != 1.0 {
-			t.Fatalf("%s overload block = %v, want normal/1", path, ovl)
-		}
-		sch, ok := out["sched"].(map[string]any)
-		if !ok {
-			t.Fatalf("%s missing sched block: %v", path, out)
-		}
-		if sch["capacity"] != 4096.0 {
-			t.Fatalf("%s sched capacity = %v, want 4096", path, sch["capacity"])
-		}
-		for _, class := range []string{"foreground", "shallow", "deep"} {
-			cb, ok := sch[class].(map[string]any)
-			if !ok {
-				t.Fatalf("%s sched missing %s class block", path, class)
-			}
-			for _, k := range []string{"submitted", "ran", "droppedFull", "droppedClosed", "droppedExpired"} {
-				if _, ok := cb[k]; !ok {
-					t.Fatalf("%s sched %s block missing %q", path, class, k)
-				}
-			}
+		if sch.Capacity != 4096 {
+			t.Fatalf("%s sched capacity = %d, want 4096", path, sch.Capacity)
 		}
 	}
+	var stats adminv1.StatsResponse
+	fetch(adminv1.PathStats, &stats)
+	check(adminv1.PathStats, stats.Overload, stats.Sched)
+	var health adminv1.HealthResponse
+	fetch(adminv1.PathHealth, &health)
+	check(adminv1.PathHealth, health.Overload, health.Sched)
 }

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,8 @@ import (
 	"appx/internal/cache"
 	"appx/internal/config"
 	"appx/internal/httpmsg"
+	"appx/internal/obs"
+	"appx/internal/obs/adminv1"
 	"appx/internal/proxy/resilience"
 	"appx/internal/proxy/sched"
 	"appx/internal/sig"
@@ -64,6 +67,9 @@ type Options struct {
 	// UserKey extracts the per-user state key from a request; defaults to
 	// the client IP (§5: "the prototype distinguishes users by IP address").
 	UserKey func(*http.Request) string
+	// SpanBuffer sizes the recent-spans ring served by /appx/v1/spans
+	// (default 1024, minimum 16).
+	SpanBuffer int
 }
 
 // userHeader carries an explicit per-user tag from emulated devices; the
@@ -77,6 +83,12 @@ type Proxy struct {
 	opts  Options
 	stats *Stats
 	sched *sched.Scheduler
+
+	// Observability: one registry is the single exposition point
+	// (/appx/v1/metrics); the span recorder attributes each request's wall
+	// time to lifecycle stages and a terminal outcome.
+	reg   *obs.Registry
+	spans *obs.SpanRecorder
 
 	// Origin-path resilience: per-host circuit breakers shared by both
 	// retrying upstreams. fwdUp serves live client requests (retries, but
@@ -190,12 +202,15 @@ func New(opts Options) *Proxy {
 	if opts.Config == nil {
 		opts.Config = config.Default(opts.Graph)
 	}
+	reg := obs.NewRegistry()
 	p := &Proxy{
 		opts:    opts,
-		stats:   NewStats(),
+		reg:     reg,
+		stats:   NewStatsOn(reg),
 		users:   map[string]*user{},
 		sigFail: map[string]*sigBackoff{},
 	}
+	p.spans = obs.NewSpanRecorder(reg, opts.SpanBuffer, func() time.Time { return p.opts.Now() })
 	p.res = opts.Config.EffectiveResilience()
 	// Now/Rand are read through p.opts so tests that rebind them after New
 	// (the established idiom here) also steer the resilience layer.
@@ -237,7 +252,51 @@ func New(opts Options) *Proxy {
 		MaxQueue: p.ovl.MaxQueue,
 		Now:      func() time.Time { return p.opts.Now() },
 	})
+	p.registerBridges(reg)
 	return p
+}
+
+// registerBridges pulls subsystem-owned counters and gauges — admission
+// gate, governor, scheduler classes, cache tier, breakers — onto the
+// registry at scrape time, so /appx/v1/metrics exposes one coherent surface
+// without those subsystems importing obs or paying write-path costs.
+func (p *Proxy) registerBridges(reg *obs.Registry) {
+	reg.CounterFunc("appx_admission_admitted_total", "Client requests admitted past the gate.",
+		func() int64 { a, _ := p.gate.counts(); return a })
+	reg.CounterFunc("appx_admission_shed_total", "Client requests shed by the admission gate.",
+		func() int64 { _, s := p.gate.counts(); return s })
+	reg.CounterFunc("appx_governor_suppressed_total", "Prefetches the governor declined to issue.",
+		p.govSuppressed.Load)
+	reg.GaugeFunc("appx_governor_level", "AIMD prefetch level (0..1).", p.gov.Level)
+	reg.GaugeFunc("appx_prefetch_queue_depth", "Queued prefetch tasks.",
+		func() float64 { return float64(p.sched.QueueLen()) })
+	reg.GaugeFunc("appx_users", "Tracked per-user learning states.",
+		func() float64 { return float64(p.UserCount()) })
+	reg.GaugeFunc("appx_cache_resident_bytes", "Bytes resident in the prefetch store.",
+		func() float64 { return float64(p.store.ResidentBytes()) })
+	reg.GaugeFunc("appx_breakers_open", "Origin hosts whose circuit breaker is not closed.",
+		func() float64 {
+			n := 0
+			for _, b := range p.breakers.Snapshot() {
+				if b.State != resilience.Closed {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for _, c := range []sched.Class{sched.ClassForeground, sched.ClassShallow, sched.ClassDeep} {
+		c := c
+		reg.CounterFunc(`appx_sched_submitted_total{class="`+c.String()+`"}`,
+			"Prefetch tasks accepted into the queue by class.",
+			func() int64 { return p.sched.Metrics().ByClass(c).Submitted })
+		reg.CounterFunc(`appx_sched_ran_total{class="`+c.String()+`"}`,
+			"Prefetch tasks dispatched to a worker by class.",
+			func() int64 { return p.sched.Metrics().ByClass(c).Ran })
+	}
+	reg.CounterFunc(`appx_cache_evictions_total{cause="expired"}`, "Cache evictions by cause.",
+		func() int64 { return p.store.Metrics().Evictions.Expired })
+	reg.CounterFunc(`appx_cache_evictions_total{cause="budget"}`, "Cache evictions by cause.",
+		func() int64 { return p.store.Metrics().Evictions.Budget })
 }
 
 // Breakers exposes the per-host circuit breaker set (operational tooling
@@ -246,6 +305,17 @@ func (p *Proxy) Breakers() *resilience.Breakers { return p.breakers }
 
 // Stats exposes the proxy's counters.
 func (p *Proxy) Stats() *Stats { return p.stats }
+
+// Registry exposes the proxy's metrics registry (the /appx/v1/metrics
+// source; tests and embedders may register extra series).
+func (p *Proxy) Registry() *obs.Registry { return p.reg }
+
+// RecentSpans returns up to n of the most recently finished request spans,
+// newest first.
+func (p *Proxy) RecentSpans(n int) []obs.SpanSnapshot { return p.spans.Recent(n) }
+
+// SpanTotal reports the lifetime count of finished request spans.
+func (p *Proxy) SpanTotal() uint64 { return p.spans.Total() }
 
 // Cache exposes the prefetch store (operational tooling and tests).
 func (p *Proxy) Cache() *cache.Store { return p.store }
@@ -389,15 +459,22 @@ func (p *Proxy) UserCount() int {
 // transaction into dynamic learning).
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Origin-form requests (no absolute URI) address the proxy itself
-	// rather than an upstream: serve the small operational surface.
+	// rather than an upstream: serve the small operational surface. No span:
+	// admin traffic is not part of the accelerated request population.
 	if r.URL.Host == "" {
 		p.serveStatus(w, r)
 		return
 	}
+	// Every proxied request gets exactly one span; the deferred Finish seals
+	// it on every return path below (pooled — drop all references after).
+	sp := p.spans.Start()
+	defer sp.Finish()
 	// Lifecycle draining: refuse new proxied work so a graceful shutdown can
 	// wait out only the requests already in flight. Status endpoints above
 	// stay available for orchestrators watching the drain.
 	if p.draining.Load() {
+		sp.EndStage(obs.StageAdmission)
+		sp.SetOutcome(obs.OutcomeShed)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "proxy: draining", http.StatusServiceUnavailable)
 		return
@@ -406,15 +483,21 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// limit wait briefly for a slot and are shed with a 503 otherwise; a shed
 	// is also the strongest overload signal the prefetch governor gets.
 	if !p.gate.acquire(r.Context()) {
+		sp.EndStage(obs.StageAdmission)
+		sp.SetOutcome(obs.OutcomeShed)
 		p.gov.Observe(p.queueFrac(), p.clientLat.Quantile(0.95), true)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "proxy: overloaded", http.StatusServiceUnavailable)
 		return
 	}
 	defer p.gate.release()
+	sp.EndStage(obs.StageAdmission)
 	userKey := p.opts.UserKey(r)
+	sp.SetUser(userKey)
 	req, err := httpmsg.FromHTTP(r)
 	if err != nil {
+		sp.EndStage(obs.StageParse)
+		sp.SetOutcome(obs.OutcomeError)
 		http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -423,29 +506,44 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req.DeleteHeader(userHeader)
 	u := p.user(userKey)
 	key := req.CanonicalKey()
+	sp.EndStage(obs.StageParse)
 	start := p.opts.Now()
 
 	if entry, shared := p.lookup(u, key); entry != nil {
+		sp.EndStage(obs.StageCache)
+		sp.SetSig(entry.SigID)
 		// R3: the prefetched request was byte-identical (canonical key
 		// equality), so the client receives exactly the origin's bytes —
 		// true even across users for shared-tier hits.
 		p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), shared)
 		entry.Resp.WriteTo(w)
+		sp.EndStage(obs.StageWrite)
+		if entry.Refreshed {
+			sp.SetOutcome(obs.OutcomeRefreshHit)
+		} else {
+			sp.SetOutcome(obs.OutcomePrefetchHit)
+		}
 		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
+	sp.EndStage(obs.StageCache)
 
 	// Forward on the client's behalf: the request context propagates client
 	// disconnects, and the retry middleware gives idempotent requests one
 	// fast retry before the client sees a 502.
 	resp, err := p.fwdUp.RoundTrip(r.Context(), req)
 	if err != nil {
+		sp.EndStage(obs.StageOrigin)
+		sp.SetOutcome(obs.OutcomeError)
 		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
 		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
+	sp.EndStage(obs.StageOrigin)
 	elapsed := p.opts.Now().Sub(start)
 	resp.WriteTo(w)
+	sp.EndStage(obs.StageWrite)
+	sp.SetOutcome(obs.OutcomeOrigin)
 	p.observeClient(elapsed)
 
 	if p.opts.DisablePrefetch {
@@ -455,6 +553,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if len(matched) == 0 {
 		return
 	}
+	sp.SetSig(matched[0].ID)
 	p.stats.ObserveRespTime(matched[0].ID, elapsed)
 	p.stats.CountMiss(matched[0].ID, int64(len(resp.Body)))
 	// Ambiguous URI patterns (fully dynamic URLs look identical) mean one
@@ -463,10 +562,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for _, s := range matched {
 		p.learn(u, s, req, resp, 0, true)
 	}
+	sp.EndStage(obs.StageLearn)
 }
 
-// serveStatus answers direct (non-proxied) requests with health and
-// statistics — the operational surface of the proxy process.
+// serveStatus answers direct (non-proxied) requests with the versioned
+// admin API (/appx/v1/*) — the operational surface of the proxy process.
+// The pre-versioning paths survive as deprecated redirecting aliases.
 func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/", "/healthz":
@@ -475,71 +576,105 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 		// map read, not a Deps rescan, so health probes stay O(1).
 		fmt.Fprintf(w, "appx proxy: %d signatures, %d prefetchable\n",
 			len(p.opts.Graph.Sigs), len(p.opts.Graph.Prefetchable()))
-	case "/appx/stats":
-		snap := p.stats.Snapshot()
-		mt := p.opts.Graph.MatchTelemetry()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"matchIndex": map[string]any{
-				"lookups":        mt.Lookups,
-				"exactHits":      mt.ExactHits,
-				"trieCandidates": mt.TrieCandidates,
-				"regexEvals":     mt.RegexEvals,
-				"regexMatches":   mt.RegexMatches,
-			},
-			"hits":                 snap.Hits,
-			"sharedHits":           snap.SharedHits,
-			"misses":               snap.Misses,
-			"prefetches":           snap.Prefetches,
-			"hitRatio":             snap.HitRatio(),
-			"sharedHitRatio":       snap.SharedHitRatio(),
-			"dataUsage":            snap.NormalizedDataUsage(),
-			"usedPrefetchRatio":    snap.UsedPrefetchRatio(),
-			"savedLatencyMs":       snap.SavedLatency.Milliseconds(),
-			"users":                p.UserCount(),
-			"prefetchQueue":        p.sched.QueueLen(),
-			"dataUsedBytes":        p.DataUsedBytes(),
-			"cacheResidentBytes":   p.store.ResidentBytes(),
-			"retries":              snap.Retries,
-			"prefetchErrors":       snap.PrefetchErrors,
-			"suppressedPrefetches": snap.PrefetchSuppressed,
-			"overload":             p.overloadTelemetry(),
-			"sched":                p.schedTelemetry(),
-		})
-	case "/appx/health":
-		p.serveHealth(w)
+	case adminv1.PathStats:
+		writeJSON(w, p.statsV1())
+	case adminv1.PathHealth:
+		writeJSON(w, p.healthV1())
+	case adminv1.PathSpans:
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, p.spansV1(n))
+	case adminv1.PathMetrics:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.reg.WritePrometheus(w)
+	case adminv1.LegacyPathStats:
+		redirectDeprecated(w, r, adminv1.PathStats)
+	case adminv1.LegacyPathHealth:
+		redirectDeprecated(w, r, adminv1.PathHealth)
 	default:
 		http.Error(w, "appx proxy: unknown endpoint (this is a forward proxy; configure it as such)", http.StatusNotFound)
 	}
 }
 
-// serveHealth reports the resilience layer's view of the origin fleet:
-// per-host breaker states, suspended prefetch signatures, and the retry and
-// suppression counters. "degraded" means some origin work is currently
-// being shed.
-func (p *Proxy) serveHealth(w http.ResponseWriter) {
+// redirectDeprecated 307-redirects a pre-versioning admin path to its
+// /appx/v1 successor. 307 keeps the method; the Deprecation header (RFC
+// 9745) and successor-version Link tell clients what to migrate to.
+func redirectDeprecated(w http.ResponseWriter, r *http.Request, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+	http.Redirect(w, r, successor, http.StatusTemporaryRedirect)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// statsV1 assembles the typed /appx/v1/stats body.
+func (p *Proxy) statsV1() adminv1.StatsResponse {
+	snap := p.stats.Snapshot()
+	mt := p.opts.Graph.MatchTelemetry()
+	return adminv1.StatsResponse{
+		MatchIndex: adminv1.MatchIndex{
+			Lookups:        mt.Lookups,
+			ExactHits:      mt.ExactHits,
+			TrieCandidates: mt.TrieCandidates,
+			RegexEvals:     mt.RegexEvals,
+			RegexMatches:   mt.RegexMatches,
+		},
+		Hits:                 snap.Hits,
+		SharedHits:           snap.SharedHits,
+		Misses:               snap.Misses,
+		Prefetches:           snap.Prefetches,
+		HitRatio:             snap.HitRatio(),
+		SharedHitRatio:       snap.SharedHitRatio(),
+		DataUsage:            snap.NormalizedDataUsage(),
+		UsedPrefetchRatio:    snap.UsedPrefetchRatio(),
+		SavedLatencyMs:       snap.SavedLatency.Milliseconds(),
+		Users:                p.UserCount(),
+		PrefetchQueue:        p.sched.QueueLen(),
+		DataUsedBytes:        p.DataUsedBytes(),
+		CacheResidentBytes:   p.store.ResidentBytes(),
+		Retries:              snap.Retries,
+		PrefetchErrors:       snap.PrefetchErrors,
+		SuppressedPrefetches: snap.PrefetchSuppressed,
+		Overload:             p.overloadV1(),
+		Sched:                p.schedV1(),
+		Requests:             p.requestsV1(),
+	}
+}
+
+// healthV1 assembles the typed /appx/v1/health body: the resilience layer's
+// view of the origin fleet — per-host breaker states, suspended prefetch
+// signatures, retry and suppression counters. "degraded" means some work is
+// currently being shed.
+func (p *Proxy) healthV1() adminv1.HealthResponse {
 	now := p.opts.Now()
 	degraded := false
 
-	breakers := map[string]any{}
+	breakers := map[string]adminv1.Breaker{}
 	for host, b := range p.breakers.Snapshot() {
-		breakers[host] = map[string]any{
-			"state":               b.State.String(),
-			"consecutiveFailures": b.ConsecutiveFailures,
-			"openForMs":           b.OpenFor.Milliseconds(),
+		breakers[host] = adminv1.Breaker{
+			State:               b.State.String(),
+			ConsecutiveFailures: b.ConsecutiveFailures,
+			OpenForMs:           b.OpenFor.Milliseconds(),
 		}
 		if b.State != resilience.Closed {
 			degraded = true
 		}
 	}
 
-	suspended := map[string]any{}
+	suspended := map[string]adminv1.SuspendedSignature{}
 	p.resMu.Lock()
 	for id, b := range p.sigFail {
 		if now.Before(b.until) {
-			suspended[id] = map[string]any{
-				"consecutiveFailures": b.consecutive,
-				"resumeInMs":          b.until.Sub(now).Milliseconds(),
+			suspended[id] = adminv1.SuspendedSignature{
+				ConsecutiveFailures: b.consecutive,
+				ResumeInMs:          b.until.Sub(now).Milliseconds(),
 			}
 			degraded = true
 		}
@@ -557,76 +692,128 @@ func (p *Proxy) serveHealth(w http.ResponseWriter) {
 	}
 	snap := p.stats.Snapshot()
 	cm := p.store.Metrics()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":               status,
-		"breakers":             breakers,
-		"suspendedSignatures":  suspended,
-		"retries":              snap.Retries,
-		"prefetchErrors":       snap.PrefetchErrors,
-		"suppressedPrefetches": snap.PrefetchSuppressed,
-		"prefetchQueue":        p.sched.QueueLen(),
-		"dataUsedBytes":        p.DataUsedBytes(),
-		"overload":             p.overloadTelemetry(),
-		"sched":                p.schedTelemetry(),
-		"cache": map[string]any{
-			"residentBytes":  cm.ResidentBytes,
-			"entries":        cm.Entries,
-			"hits":           cm.Hits,
-			"misses":         cm.Misses,
-			"sharedHits":     cm.SharedHits,
-			"sharedHitRatio": cm.SharedHitRatio(),
-			"sharedEntries":  cm.SharedEntries,
-			"sharedBytes":    cm.SharedBytes,
-			"evictions": map[string]int64{
-				"expired":     cm.Evictions.Expired,
-				"budget":      cm.Evictions.Budget,
-				"userBytes":   cm.Evictions.ScopeBytes,
-				"userEntries": cm.Evictions.ScopeEntries,
-				"replaced":    cm.Evictions.Replaced,
-				"userDropped": cm.Evictions.Dropped,
+	return adminv1.HealthResponse{
+		Status:               status,
+		Breakers:             breakers,
+		SuspendedSignatures:  suspended,
+		Retries:              snap.Retries,
+		PrefetchErrors:       snap.PrefetchErrors,
+		SuppressedPrefetches: snap.PrefetchSuppressed,
+		PrefetchQueue:        p.sched.QueueLen(),
+		DataUsedBytes:        p.DataUsedBytes(),
+		Overload:             p.overloadV1(),
+		Sched:                p.schedV1(),
+		Cache: adminv1.Cache{
+			ResidentBytes:  cm.ResidentBytes,
+			Entries:        cm.Entries,
+			Hits:           cm.Hits,
+			Misses:         cm.Misses,
+			SharedHits:     cm.SharedHits,
+			SharedHitRatio: cm.SharedHitRatio(),
+			SharedEntries:  cm.SharedEntries,
+			SharedBytes:    cm.SharedBytes,
+			Evictions: adminv1.CacheEvictions{
+				Expired:     cm.Evictions.Expired,
+				Budget:      cm.Evictions.Budget,
+				UserBytes:   cm.Evictions.ScopeBytes,
+				UserEntries: cm.Evictions.ScopeEntries,
+				Replaced:    cm.Evictions.Replaced,
+				UserDropped: cm.Evictions.Dropped,
 			},
 		},
-	})
-}
-
-// overloadTelemetry is the admission/governor block shared by /appx/stats
-// and /appx/health.
-func (p *Proxy) overloadTelemetry() map[string]any {
-	admitted, shedded := p.gate.counts()
-	return map[string]any{
-		"mode":               p.OverloadMode(),
-		"level":              p.gov.Level(),
-		"admitted":           admitted,
-		"admissionShed":      shedded,
-		"governorSuppressed": p.govSuppressed.Load(),
-		"clientP50Ms":        p.clientLat.Quantile(0.50).Milliseconds(),
-		"clientP95Ms":        p.clientLat.Quantile(0.95).Milliseconds(),
-		"clientP99Ms":        p.clientLat.Quantile(0.99).Milliseconds(),
 	}
 }
 
-// schedTelemetry is the per-class scheduler block shared by /appx/stats and
-// /appx/health.
-func (p *Proxy) schedTelemetry() map[string]any {
+// spansV1 assembles the typed /appx/v1/spans body from the recorder's ring.
+func (p *Proxy) spansV1(n int) adminv1.SpansResponse {
+	recent := p.spans.Recent(n)
+	out := adminv1.SpansResponse{Total: p.spans.Total(), Spans: make([]adminv1.Span, 0, len(recent))}
+	for _, s := range recent {
+		sp := adminv1.Span{
+			ID:      s.ID,
+			Start:   s.Start,
+			WallMs:  float64(s.Wall) / float64(time.Millisecond),
+			Outcome: s.Outcome.String(),
+			SigID:   s.SigID,
+			User:    s.User,
+		}
+		for st, d := range s.Stages {
+			if d > 0 {
+				if sp.StageMs == nil {
+					sp.StageMs = map[string]float64{}
+				}
+				sp.StageMs[obs.Stage(st).String()] = float64(d) / float64(time.Millisecond)
+			}
+		}
+		out.Spans = append(out.Spans, sp)
+	}
+	return out
+}
+
+// overloadV1 is the admission/governor block shared by stats and health.
+func (p *Proxy) overloadV1() adminv1.Overload {
+	admitted, shedded := p.gate.counts()
+	return adminv1.Overload{
+		Mode:               p.OverloadMode(),
+		Level:              p.gov.Level(),
+		Admitted:           admitted,
+		AdmissionShed:      shedded,
+		GovernorSuppressed: p.govSuppressed.Load(),
+		ClientP50Ms:        p.clientLat.Quantile(0.50).Milliseconds(),
+		ClientP95Ms:        p.clientLat.Quantile(0.95).Milliseconds(),
+		ClientP99Ms:        p.clientLat.Quantile(0.99).Milliseconds(),
+	}
+}
+
+// schedV1 is the per-class scheduler block shared by stats and health.
+func (p *Proxy) schedV1() adminv1.Sched {
 	m := p.sched.Metrics()
-	classBlock := func(c sched.ClassMetrics) map[string]any {
-		return map[string]any{
-			"submitted":      c.Submitted,
-			"ran":            c.Ran,
-			"droppedFull":    c.DroppedFull,
-			"droppedClosed":  c.DroppedClosed,
-			"droppedExpired": c.DroppedExpired,
+	classBlock := func(c sched.ClassMetrics) adminv1.SchedClass {
+		return adminv1.SchedClass{
+			Submitted:      c.Submitted,
+			Ran:            c.Ran,
+			DroppedFull:    c.DroppedFull,
+			DroppedClosed:  c.DroppedClosed,
+			DroppedExpired: c.DroppedExpired,
 		}
 	}
-	return map[string]any{
-		"queue":      p.sched.QueueLen(),
-		"capacity":   p.sched.Cap(),
-		"panics":     m.Panics,
-		"foreground": classBlock(m.Foreground),
-		"shallow":    classBlock(m.Shallow),
-		"deep":       classBlock(m.Deep),
+	return adminv1.Sched{
+		Queue:      p.sched.QueueLen(),
+		Capacity:   p.sched.Cap(),
+		Panics:     m.Panics,
+		Foreground: classBlock(m.Foreground),
+		Shallow:    classBlock(m.Shallow),
+		Deep:       classBlock(m.Deep),
 	}
+}
+
+// requestsV1 is the span-derived request-lifecycle block of /appx/v1/stats.
+func (p *Proxy) requestsV1() adminv1.Requests {
+	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := adminv1.Requests{
+		Total:      p.spans.Total(),
+		Outcomes:   map[string]adminv1.OutcomeStats{},
+		StageP95Ms: map[string]float64{},
+	}
+	for o := obs.Outcome(0); o < obs.NumOutcomes; o++ {
+		n := p.spans.OutcomeCount(o)
+		if n == 0 {
+			continue
+		}
+		out.Outcomes[o.String()] = adminv1.OutcomeStats{
+			Count: n,
+			P50Ms: toMs(p.spans.WallQuantile(o, 0.50)),
+			P90Ms: toMs(p.spans.WallQuantile(o, 0.90)),
+			P95Ms: toMs(p.spans.WallQuantile(o, 0.95)),
+			P99Ms: toMs(p.spans.WallQuantile(o, 0.99)),
+		}
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if h := p.spans.StageHistogram(st); h != nil && h.Count() > 0 {
+			out.StageP95Ms[st.String()] = toMs(h.Quantile(0.95))
+		}
+	}
+	return out
 }
 
 // sigSuspended reports whether a signature is inside its failure-backoff
@@ -867,7 +1054,7 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 		SigID: s.ID,
 		Class: class,
 		Run: func() {
-			p.runPrefetch(u, s, req, key, scope, expiry, depth)
+			p.runPrefetch(u, s, req, key, scope, expiry, depth, class)
 		},
 		// Accepted-then-shed (deadline expiry at dispatch, or Close): release
 		// the dedup claim so a later, fresher instance can re-issue the fetch.
@@ -895,7 +1082,7 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 // request upstream, caches the response under the clean request's key, and
 // feeds the transaction back into learning so dependency chains prefetch
 // end-to-end (Figure 3(c)).
-func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key, scope string, expiry time.Duration, depth int) {
+func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key, scope string, expiry time.Duration, depth int, class sched.Class) {
 	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Used(p.opts.Now()) >= budget {
 		// Budget re-checked at execution time: instances queued before the
 		// budget ran out must not blow past it (C4).
@@ -954,6 +1141,9 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		Req:     req.Clone(),
 		SigID:   s.ID,
 		Expires: p.opts.Now().Add(expiry),
+		// Foreground-class prefetches are refreshes of entries clients are
+		// demonstrably using; hits on them report as refresh-hit.
+		Refreshed: class == sched.ClassForeground,
 	})
 
 	if depth < p.effectiveChainDepth() && !p.opts.DisableChaining {

@@ -15,6 +15,7 @@ import (
 	"appx/internal/config"
 	"appx/internal/httpmsg"
 	"appx/internal/interp"
+	"appx/internal/obs/adminv1"
 	"appx/internal/sig"
 	"appx/internal/static"
 )
@@ -781,16 +782,71 @@ func TestStatusSurface(t *testing.T) {
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "signatures") {
 		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
 	}
-	rec, _ = get("/appx/stats")
+	rec, _ = get(adminv1.PathStats)
 	if rec.Code != 200 {
 		t.Fatalf("stats = %d", rec.Code)
 	}
-	var stats map[string]any
+	var stats adminv1.StatsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatalf("stats not JSON: %v", err)
 	}
-	if stats["prefetches"].(float64) <= 0 {
-		t.Fatalf("stats prefetches = %v", stats["prefetches"])
+	if stats.Prefetches <= 0 {
+		t.Fatalf("stats prefetches = %d", stats.Prefetches)
+	}
+	// The span-derived request block covers the proxied traffic: every
+	// request that flowed through ServeHTTP finished exactly one span.
+	if stats.Requests.Total == 0 || len(stats.Requests.Outcomes) == 0 {
+		t.Fatalf("stats requests block empty: %+v", stats.Requests)
+	}
+	// The pre-versioning paths survive as deprecated redirects to /appx/v1.
+	for legacy, successor := range map[string]string{
+		"/appx/stats":  adminv1.PathStats,
+		"/appx/health": adminv1.PathHealth,
+	} {
+		rec, _ = get(legacy)
+		if rec.Code != http.StatusTemporaryRedirect {
+			t.Fatalf("%s = %d, want 307", legacy, rec.Code)
+		}
+		if got := rec.Header().Get("Location"); got != successor {
+			t.Fatalf("%s Location = %q, want %q", legacy, got, successor)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Fatalf("%s missing Deprecation header", legacy)
+		}
+		if link := rec.Header().Get("Link"); !strings.Contains(link, `rel="successor-version"`) {
+			t.Fatalf("%s Link = %q, want successor-version relation", legacy, link)
+		}
+	}
+	// /appx/v1/metrics serves the Prometheus text exposition.
+	rec, _ = get(adminv1.PathMetrics)
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics = %d %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE appx_requests_total counter",
+		"# TYPE appx_request_duration_seconds histogram",
+		`appx_sched_submitted_total{class="foreground"}`,
+		"appx_cache_hits_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics exposition missing %q", want)
+		}
+	}
+	// /appx/v1/spans returns the recent span ring, newest first.
+	rec, _ = get(adminv1.PathSpans + "?n=8")
+	if rec.Code != 200 {
+		t.Fatalf("spans = %d", rec.Code)
+	}
+	var spans adminv1.SpansResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+	if spans.Total == 0 || len(spans.Spans) == 0 {
+		t.Fatalf("spans empty: total=%d n=%d", spans.Total, len(spans.Spans))
+	}
+	if spans.Spans[0].Outcome == "" || spans.Spans[0].WallMs < 0 {
+		t.Fatalf("span malformed: %+v", spans.Spans[0])
 	}
 	rec, _ = get("/nope")
 	if rec.Code != http.StatusNotFound {
@@ -824,23 +880,14 @@ func TestStatsMatchIndexTelemetry(t *testing.T) {
 	l := newLab(t, apps.Wish(), nil)
 	l.call("WishMain.launch")
 	l.proxy.Drain()
-	req := httptest.NewRequest("GET", "/appx/stats", nil)
+	req := httptest.NewRequest("GET", adminv1.PathStats, nil)
 	rec := httptest.NewRecorder()
 	l.proxy.ServeHTTP(rec, req)
-	var stats map[string]any
+	var stats adminv1.StatsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatalf("stats not JSON: %v", err)
 	}
-	mi, ok := stats["matchIndex"].(map[string]any)
-	if !ok {
-		t.Fatalf("stats missing matchIndex: %v", stats)
-	}
-	for _, k := range []string{"lookups", "exactHits", "trieCandidates", "regexEvals", "regexMatches"} {
-		if _, ok := mi[k]; !ok {
-			t.Errorf("matchIndex missing %q: %v", k, mi)
-		}
-	}
-	if mi["lookups"].(float64) <= 0 {
-		t.Fatalf("matchIndex lookups = %v, want > 0", mi["lookups"])
+	if stats.MatchIndex.Lookups <= 0 {
+		t.Fatalf("matchIndex lookups = %d, want > 0", stats.MatchIndex.Lookups)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"appx/internal/config"
 	"appx/internal/httpmsg"
 	"appx/internal/netem"
+	"appx/internal/obs/adminv1"
 	"appx/internal/proxy/resilience"
 	"appx/internal/sig"
 )
@@ -152,17 +153,17 @@ func (l *resLab) drive(n int) {
 	}
 }
 
-func (l *resLab) health() map[string]any {
+func (l *resLab) health() adminv1.HealthResponse {
 	l.t.Helper()
-	req := httptest.NewRequest("GET", "/appx/health", nil)
+	req := httptest.NewRequest("GET", adminv1.PathHealth, nil)
 	rec := httptest.NewRecorder()
 	l.p.ServeHTTP(rec, req)
 	if rec.Code != 200 {
-		l.t.Fatalf("/appx/health = %d", rec.Code)
+		l.t.Fatalf("%s = %d", adminv1.PathHealth, rec.Code)
 	}
-	var out map[string]any
+	var out adminv1.HealthResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
-		l.t.Fatalf("/appx/health not JSON: %v", err)
+		l.t.Fatalf("%s not JSON: %v", adminv1.PathHealth, err)
 	}
 	return out
 }
@@ -268,15 +269,13 @@ func TestFaultSweepDegradesGracefully(t *testing.T) {
 		t.Fatalf("healthy host prefetches changed under fault: clean=%d faulted=%d",
 			cleanOK.Prefetches, ok.Prefetches)
 	}
-	// /appx/health reports the open breaker.
+	// /appx/v1/health reports the open breaker.
 	h := l.health()
-	if h["status"] != "degraded" {
-		t.Fatalf("health status = %v, want degraded", h["status"])
+	if h.Status != "degraded" {
+		t.Fatalf("health status = %v, want degraded", h.Status)
 	}
-	br, _ := h["breakers"].(map[string]any)
-	sickBr, _ := br["sick.example"].(map[string]any)
-	if sickBr == nil || sickBr["state"] != "open" {
-		t.Fatalf("health breakers = %v, want sick.example open", br)
+	if sickBr, ok := h.Breakers["sick.example"]; !ok || sickBr.State != "open" {
+		t.Fatalf("health breakers = %v, want sick.example open", h.Breakers)
 	}
 }
 
@@ -309,12 +308,11 @@ func TestSigBackoffSuspendsRejectedSignature(t *testing.T) {
 		t.Fatalf("breaker = %v for a host that answers; rejects must not trip it", st)
 	}
 	h := l.health()
-	if h["status"] != "degraded" {
-		t.Fatalf("health status = %v, want degraded while a signature is suspended", h["status"])
+	if h.Status != "degraded" {
+		t.Fatalf("health status = %v, want degraded while a signature is suspended", h.Status)
 	}
-	sus, _ := h["suspendedSignatures"].(map[string]any)
-	if _, ok := sus["t:sickitem#0"]; !ok {
-		t.Fatalf("suspendedSignatures = %v, want t:sickitem#0", sus)
+	if _, ok := h.SuspendedSignatures["t:sickitem#0"]; !ok {
+		t.Fatalf("suspendedSignatures = %v, want t:sickitem#0", h.SuspendedSignatures)
 	}
 }
 

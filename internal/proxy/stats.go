@@ -3,6 +3,8 @@ package proxy
 import (
 	"sync"
 	"time"
+
+	"appx/internal/obs"
 )
 
 // sigStats aggregates per-signature measurements used for prefetch
@@ -36,25 +38,52 @@ type sigStats struct {
 	usedEntries int
 }
 
-// Stats tracks proxy-wide counters, safe for concurrent use.
+// Stats tracks proxy-wide counters, safe for concurrent use. The proxy-wide
+// tallies live as obs.Counter registry series; the per-signature map (EWMA
+// response times, priority inputs) keeps its mutex — it is read rarely and
+// keyed dynamically.
 type Stats struct {
 	mu   sync.Mutex
 	sigs map[string]*sigStats
 
-	// ForwardedBytes counts origin response bytes fetched on behalf of live
+	// forwardedBytes counts origin response bytes fetched on behalf of live
 	// client requests (the baseline data usage).
-	forwardedBytes int64
-	// SavedLatency accumulates the estimated latency hidden from clients by
-	// cache hits (the hit signature's average origin response time).
-	savedLatency time.Duration
+	forwardedBytes *obs.Counter
+	// savedLatencyNs accumulates the estimated latency hidden from clients
+	// by cache hits (the hit signature's average origin response time).
+	savedLatencyNs *obs.Counter
 	// retries counts origin attempts beyond the first, proxy-wide.
-	retries int
+	retries *obs.Counter
 }
 
-// NewStats returns empty statistics.
-func NewStats() *Stats {
-	return &Stats{sigs: make(map[string]*sigStats)}
+// NewStatsOn returns empty statistics registering their proxy-wide tallies
+// (and scrape-time aggregate views of the per-signature map) on reg.
+func NewStatsOn(reg *obs.Registry) *Stats {
+	s := &Stats{
+		sigs:           make(map[string]*sigStats),
+		forwardedBytes: reg.Counter("appx_forwarded_bytes_total", "Origin response bytes forwarded to clients."),
+		savedLatencyNs: reg.Counter("appx_saved_latency_nanoseconds_total", "Estimated client latency hidden by cache hits."),
+		retries:        reg.Counter("appx_origin_retries_total", "Origin attempts beyond the first."),
+	}
+	agg := func(read func(Snapshot) int64) func() int64 {
+		return func() int64 { return read(s.Snapshot()) }
+	}
+	reg.CounterFunc("appx_cache_hits_total", "Client requests served from the prefetch store.",
+		agg(func(sn Snapshot) int64 { return int64(sn.Hits) }))
+	reg.CounterFunc("appx_cache_misses_total", "Client requests forwarded to the origin.",
+		agg(func(sn Snapshot) int64 { return int64(sn.Misses) }))
+	reg.CounterFunc("appx_prefetches_total", "Prefetch requests completed.",
+		agg(func(sn Snapshot) int64 { return int64(sn.Prefetches) }))
+	reg.CounterFunc("appx_prefetch_errors_total", "Prefetch transport failures.",
+		agg(func(sn Snapshot) int64 { return int64(sn.PrefetchErrors) }))
+	reg.CounterFunc("appx_prefetch_suppressed_total", "Prefetches declined by resilience or overload gates.",
+		agg(func(sn Snapshot) int64 { return int64(sn.PrefetchSuppressed) }))
+	return s
 }
+
+// NewStats returns empty statistics on a private registry (tests and
+// standalone use; the proxy shares one registry across subsystems).
+func NewStats() *Stats { return NewStatsOn(obs.NewRegistry()) }
 
 func (s *Stats) sig(id string) *sigStats {
 	st, ok := s.sigs[id]
@@ -117,18 +146,10 @@ func (s *Stats) CountPrefetchSuppressed(sigID string) {
 }
 
 // CountRetry records one origin retry attempt.
-func (s *Stats) CountRetry() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.retries++
-}
+func (s *Stats) CountRetry() { s.retries.Inc() }
 
 // Retries reports the proxy-wide origin retry count.
-func (s *Stats) Retries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.retries
-}
+func (s *Stats) Retries() int { return int(s.retries.Value()) }
 
 // CountHit records a client request served from the prefetch cache.
 // firstUse marks the first time this particular cached entry is served;
@@ -145,7 +166,7 @@ func (s *Stats) CountHit(sigID string, bytes int64, saved time.Duration, firstUs
 	if firstUse {
 		st.usedEntries++
 	}
-	s.savedLatency += saved
+	s.savedLatencyNs.Add(int64(saved))
 }
 
 // CountMiss records a client request forwarded to the origin.
@@ -154,7 +175,7 @@ func (s *Stats) CountMiss(sigID string, bytes int64) {
 	defer s.mu.Unlock()
 	st := s.sig(sigID)
 	st.misses++
-	s.forwardedBytes += bytes
+	s.forwardedBytes.Add(bytes)
 }
 
 // Priority computes the §5 scheduling priority: a linear combination of the
@@ -209,7 +230,12 @@ type SigSnapshot struct {
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := Snapshot{PerSig: make(map[string]SigSnapshot, len(s.sigs)), ForwardedBytes: s.forwardedBytes, SavedLatency: s.savedLatency, Retries: s.retries}
+	out := Snapshot{
+		PerSig:         make(map[string]SigSnapshot, len(s.sigs)),
+		ForwardedBytes: s.forwardedBytes.Value(),
+		SavedLatency:   time.Duration(s.savedLatencyNs.Value()),
+		Retries:        int(s.retries.Value()),
+	}
 	for id, st := range s.sigs {
 		out.PerSig[id] = SigSnapshot{
 			RespTime:           st.ewmaRespTime,

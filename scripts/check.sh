@@ -37,4 +37,12 @@ go test ./internal/proxy/sched/ -run '^$' -bench . -benchtime 1x
 echo "== match bench smoke"
 go test ./internal/sig/ -run '^$' -bench BenchmarkMatchRequest -benchtime 1x
 
+# The observability hot path sits inside every request; the alloc tests
+# (TestSpanRecordAllocs, TestHistogramObserveAllocs) fail if span record or
+# histogram observe ever exceeds 2 allocs/op, and the registry's
+# scrape-while-observing test runs race-enabled above.
+echo "== obs bench smoke + alloc gate"
+go test ./internal/obs/ -run 'Allocs' -bench 'BenchmarkSpanRecord|BenchmarkHistogramObserve' -benchtime 1x
+go test -race -count=1 ./internal/obs/ -run TestRegistryConcurrentObserveAndScrape
+
 echo "check: OK"
