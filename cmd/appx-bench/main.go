@@ -8,7 +8,8 @@
 //	appx-bench -users 30 -duration 3m  # the full-size user study
 //
 // Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 ablation mech faultsweep cachesweep overload matchsweep all.
+// fig17 ablation mech faultsweep cachesweep overload matchsweep warmstart
+// all.
 //
 // With -admin it is an operator client instead: it fetches the typed
 // /appx/v1/{stats,health,spans} views from a running appx-proxy and renders
@@ -179,6 +180,13 @@ func run(which string, p exp.Params) error {
 	}
 	if want("matchsweep") {
 		res, err := exp.RunMatchSweep(p.Seed, nil)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("warmstart") {
+		res, err := exp.RunWarmStart(p.Seed)
 		if err != nil {
 			return err
 		}

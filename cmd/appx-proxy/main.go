@@ -55,6 +55,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -114,6 +115,10 @@ type options struct {
 	pruneInterval time.Duration
 	pruneMaxIdle  time.Duration
 
+	// Persistence.
+	stateDir         string
+	snapshotInterval time.Duration
+
 	// Fault injection (resilience drills).
 	fault     string
 	faultSeed int64
@@ -158,6 +163,9 @@ func main() {
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests to finish")
 	flag.DurationVar(&o.pruneInterval, "prune-interval", 5*time.Minute, "how often to prune idle per-user state (<=0 disables)")
 	flag.DurationVar(&o.pruneMaxIdle, "prune-max-idle", 30*time.Minute, "idle age past which per-user state is pruned")
+
+	flag.StringVar(&o.stateDir, "state-dir", "", "directory for crash-safe persistence (disk cache tier + state snapshots); empty disables")
+	flag.DurationVar(&o.snapshotInterval, "snapshot-interval", time.Minute, "periodic state-snapshot cadence when -state-dir is set (<=0 disables the loop; drain still snapshots)")
 
 	flag.StringVar(&o.fault, "fault", "", "comma-separated host=prob connect-refusal injection, e.g. api.wish.example=0.3")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
@@ -248,12 +256,25 @@ func run(o options) error {
 	}
 
 	px := proxy.New(proxy.Options{
-		Graph:      g,
-		Config:     cfg,
-		Upstream:   up,
-		Workers:    o.workers,
-		SpanBuffer: o.spanBuffer,
+		Graph:            g,
+		Config:           cfg,
+		Upstream:         up,
+		Workers:          o.workers,
+		SpanBuffer:       o.spanBuffer,
+		StateDir:         o.stateDir,
+		SnapshotInterval: o.snapshotInterval,
 	})
+	if o.stateDir != "" {
+		switch outcome := px.RestoreOutcome(); outcome {
+		case proxy.RestoreWarm:
+			fmt.Fprintf(os.Stderr, "appx-proxy: warm restart: restored state from %s (%d users)\n",
+				o.stateDir, px.UserCount())
+		case proxy.RestoreFailed:
+			fmt.Fprintf(os.Stderr, "appx-proxy: restore failed (%s); starting cold\n", px.RestoreDetail())
+		default:
+			fmt.Fprintf(os.Stderr, "appx-proxy: no usable snapshot in %s; starting cold\n", o.stateDir)
+		}
+	}
 
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
@@ -274,18 +295,37 @@ func serve(parent context.Context, px *proxy.Proxy, ln net.Listener, o options) 
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Background loops are tracked so shutdown can prove they stopped: the
+	// drain below waits for this group before releasing the proxy, so no
+	// prune tick can race Store.Close and nothing leaks past serve's return.
+	var bg sync.WaitGroup
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	defer bgCancel()
 	if o.pruneInterval > 0 && o.pruneMaxIdle > 0 {
-		go pruneLoop(ctx, px, o.pruneInterval, o.pruneMaxIdle)
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			pruneLoop(bgCtx, px, o.pruneInterval, o.pruneMaxIdle)
+		}()
 	}
 
 	srv := &http.Server{Handler: px}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// closeAll tears down in dependency order: stop the background loops
+	// that poke the proxy, then the proxy itself (scheduler → store →
+	// persistence tier).
+	closeAll := func() {
+		bgCancel()
+		bg.Wait()
+		px.Close()
+	}
+
 	select {
 	case err := <-errc:
 		// The listener failed on its own; nothing is left to drain.
-		px.Close()
+		closeAll()
 		return err
 	case <-ctx.Done():
 	}
@@ -293,16 +333,17 @@ func serve(parent context.Context, px *proxy.Proxy, ln net.Listener, o options) 
 	fmt.Fprintln(os.Stderr, "appx-proxy: termination signal; draining in-flight requests")
 
 	// Admission stops first so the drain only has to wait out requests that
-	// were already in flight when the signal arrived.
+	// were already in flight when the signal arrived. With -state-dir set,
+	// BeginDrain also writes the final state snapshot.
 	px.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
 	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
-		px.Close()
+		closeAll()
 		return serveErr
 	}
-	px.Close()
+	closeAll()
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}

@@ -7,6 +7,9 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -95,4 +98,68 @@ func TestGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after drain")
 	}
+}
+
+// TestShutdownLeavesNoGoroutines: a full serve lifecycle — prune loop,
+// cache sweeper, prefetch workers, snapshot loop, disk-tier spill worker —
+// must stop every goroutine it started by the time serve returns. The old
+// code returned without waiting for the prune loop; this pins the fix.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	up := proxy.UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		return &httpmsg.Response{Status: 200, Body: []byte("ok")}, nil
+	})
+	baseline := runtime.NumGoroutine()
+
+	g := sig.NewGraph("t")
+	px := proxy.New(proxy.Options{
+		Graph: g, Config: config.Default(g), Upstream: up,
+		StateDir:         t.TempDir(),
+		SnapshotInterval: 10 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- serve(ctx, px, ln, options{
+			drainTimeout:  5 * time.Second,
+			pruneInterval: 5 * time.Millisecond,
+			pruneMaxIdle:  time.Minute,
+		})
+	}()
+
+	proxyURL := &url.URL{Scheme: "http", Host: ln.Addr().String()}
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)}}
+	if resp, err := client.Get("http://app.example/x"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	client.CloseIdleConnections()
+	// Let the prune and snapshot loops demonstrably tick before shutdown.
+	time.Sleep(30 * time.Millisecond)
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return")
+	}
+
+	// Idle HTTP transport goroutines unwind asynchronously; poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var sb strings.Builder
+	pprof.Lookup("goroutine").WriteTo(&sb, 1)
+	t.Fatalf("goroutines leaked after shutdown: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), sb.String())
 }

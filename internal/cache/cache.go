@@ -53,6 +53,20 @@ type Options struct {
 	MaxEntriesPerScope int
 	// Now supplies time; defaults to time.Now. Injected for expiry tests.
 	Now func() time.Time
+	// Tier, when non-nil, is a lower storage level (a disk tier): Put
+	// spills entries into it write-behind, Get probes it on a miss and
+	// promotes what it finds, and DropScope propagates scope removal.
+	Tier Tier
+}
+
+// Tier is a lower storage level below the in-memory store. Implementations
+// must be safe for concurrent use and must never block the caller for long:
+// Spill is fire-and-forget, Load is a synchronous read bounded by one file
+// read, Drop is a synchronous scope removal.
+type Tier interface {
+	Spill(scope, key string, e *Entry)
+	Load(scope, key string) (*Entry, bool)
+	Drop(scope string)
 }
 
 func (o Options) filled() Options {
@@ -306,6 +320,24 @@ func (s *Store) Get(scope, key string) (e *Entry, fresh bool) {
 	sh.mu.Lock()
 	en := sh.byScope[scope][key]
 	if en == nil {
+		sh.mu.Unlock()
+		// Read-through: a memory miss probes the lower tier (outside the
+		// shard lock — tier loads touch the disk). A fresh tier entry is
+		// promoted into memory without re-spilling it back down.
+		if t := s.opts.Tier; t != nil {
+			if p, ok := t.Load(scope, key); ok && p != nil && now.Before(p.Expires) {
+				s.put(scope, key, p, false)
+				sh.mu.Lock()
+				sh.hits++
+				if scope == SharedScope {
+					sh.sharedHits++
+				}
+				sh.sigStat(p.SigID).Hits++
+				sh.mu.Unlock()
+				return p, true
+			}
+		}
+		sh.mu.Lock()
 		sh.misses++
 		sh.mu.Unlock()
 		return nil, false
@@ -330,8 +362,15 @@ func (s *Store) Get(scope, key string) (e *Entry, fresh bool) {
 
 // Put stores an entry, replacing any previous one under the same key,
 // clearing the inflight-dedup record, and enforcing the scope caps and the
-// global budget.
+// global budget. When a lower tier is configured the entry is also spilled
+// to it write-behind.
 func (s *Store) Put(scope, key string, p *Entry) {
+	s.put(scope, key, p, true)
+}
+
+// put is Put's body; spill=false is the tier-promotion path, which must not
+// echo the entry back down to the tier it just came from.
+func (s *Store) put(scope, key string, p *Entry, spill bool) {
 	sz := size(key, p)
 	sh := s.shardOf(scope, key)
 	sh.mu.Lock()
@@ -375,6 +414,11 @@ func (s *Store) Put(scope, key string, p *Entry) {
 	sh.puts++
 	sh.sigStat(p.SigID).Puts++
 	sh.mu.Unlock()
+	if spill {
+		if t := s.opts.Tier; t != nil {
+			t.Spill(scope, key, p)
+		}
+	}
 	if s.opts.MaxBytes > 0 && s.resident.Load() > s.opts.MaxBytes {
 		s.evictGlobal(sh)
 	}
@@ -503,6 +547,12 @@ func (s *Store) DropScope(scope string) (entries int, bytes int64) {
 		sh.mu.Unlock()
 	}
 	s.evDropped.Add(int64(entries))
+	// The lower tier must not keep a dropped scope's entries alive (user
+	// eviction is a privacy boundary); propagate after the shard locks are
+	// released — tier drops touch the disk.
+	if t := s.opts.Tier; t != nil {
+		t.Drop(scope)
+	}
 	return entries, bytes
 }
 

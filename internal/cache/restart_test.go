@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"appx/internal/httpmsg"
+)
+
+// TestSweeperRestartCycles: StartSweeper and Close must compose in any
+// order, repeatedly — a warm-restarting embedder stops and restarts the
+// sweeper across config reloads, and each cycle must leave exactly zero or
+// one sweeper goroutine, never two.
+func TestSweeperRestartCycles(t *testing.T) {
+	s := New(Options{})
+	for cycle := 0; cycle < 5; cycle++ {
+		s.StartSweeper(time.Millisecond)
+		// Re-entrant start must be a no-op, not a second goroutine.
+		s.StartSweeper(time.Millisecond)
+		s.Put("u", fmt.Sprintf("k%d", cycle), &Entry{
+			Resp:    &httpmsg.Response{Status: 200, Body: []byte("x")},
+			Expires: time.Now().Add(time.Hour),
+		})
+		time.Sleep(3 * time.Millisecond) // let at least one sweep tick run
+		s.Close()
+		// Close must be idempotent.
+		s.Close()
+	}
+	// The store survives every cycle and still serves.
+	if _, fresh := s.Get("u", "k4"); !fresh {
+		t.Fatal("store unusable after sweeper restart cycles")
+	}
+}
+
+// TestDropScopeRacesSweep: concurrent DropScope, SweepExpired, Put, and Get
+// over overlapping scopes must be free of races and leave consistent
+// accounting. Run under -race (scripts/check.sh does).
+func TestDropScopeRacesSweep(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	s := New(Options{Now: clock, Shards: 4})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scopes := []string{"alice", "bob", SharedScope}
+
+	// Writers: half the entries already expired, so sweeps have work.
+	for _, scope := range scopes {
+		scope := scope
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				exp := clock().Add(time.Hour)
+				if i%2 == 0 {
+					exp = clock().Add(-time.Second)
+				}
+				s.Put(scope, fmt.Sprintf("k%d", i%64), &Entry{
+					Resp:    &httpmsg.Response{Status: 200, Body: []byte("payload")},
+					Expires: exp,
+				})
+			}
+		}()
+	}
+	// Sweeper hammering expiry heaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.SweepExpired()
+			}
+		}
+	}()
+	// Scope dropper racing the sweeps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.DropScope(scopes[i%len(scopes)])
+			}
+		}
+	}()
+	// Readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Get(scopes[i%len(scopes)], fmt.Sprintf("k%d", i%64))
+			}
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: accounting must be internally consistent.
+	for _, scope := range scopes {
+		s.DropScope(scope)
+	}
+	if rb := s.ResidentBytes(); rb != 0 {
+		t.Fatalf("resident bytes after dropping every scope = %d, want 0", rb)
+	}
+	if m := s.Metrics(); m.Entries != 0 {
+		t.Fatalf("entries after dropping every scope = %d, want 0", m.Entries)
+	}
+}
+
+// TestSweeperRunsAfterRestart: a restarted sweeper actually sweeps — the
+// stop channel from the first run must not wedge the second.
+func TestSweeperRunsAfterRestart(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	s := New(Options{Now: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}})
+	s.StartSweeper(time.Millisecond)
+	s.Close()
+	s.StartSweeper(time.Millisecond)
+	defer s.Close()
+
+	s.Put("u", "k", &Entry{
+		Resp:    &httpmsg.Response{Status: 200, Body: []byte("x")},
+		Expires: now.Add(time.Minute),
+	})
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Metrics().Entries == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("restarted sweeper never swept the expired entry")
+}

@@ -1,0 +1,32 @@
+package exp
+
+import "testing"
+
+// TestWarmStartRecovery pins the issue's acceptance criterion in experiment
+// form: a warm restart recovers ≥80% of the pre-kill steady-state hit ratio
+// in its first batch, and a corrupt snapshot degrades to the cold curve with
+// a counted failure — never an error.
+func TestWarmStartRecovery(t *testing.T) {
+	res, err := RunWarmStart(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyState == 0 {
+		t.Fatal("training never reached a steady state")
+	}
+	if res.RecoveredPct < 0.8 {
+		t.Fatalf("warm restart recovered %.2f of steady state, want >= 0.80", res.RecoveredPct)
+	}
+	if res.WarmOutcome != "restored" || res.CorruptOutcome != "failed" || res.ColdOutcome != "cold" {
+		t.Fatalf("restore outcomes warm=%q corrupt=%q cold=%q",
+			res.WarmOutcome, res.CorruptOutcome, res.ColdOutcome)
+	}
+	for i, r := range res.Rows {
+		if r.Corrupt > r.Warm+1e-9 {
+			t.Fatalf("batch %d: corrupt restart (%.2f) outperformed warm (%.2f)", i+1, r.Corrupt, r.Warm)
+		}
+	}
+	if first := res.Rows[0]; first.Cold >= first.Warm {
+		t.Fatalf("first batch: cold (%.2f) not below warm (%.2f) — restart recovered nothing", first.Cold, first.Warm)
+	}
+}

@@ -1,0 +1,140 @@
+package fuzz
+
+// Go-native fuzz targets for the persistence decoders. The snapshot and
+// disk-tier entry files are the only inputs the proxy reads back from disk
+// after a crash, so they are exactly the bytes an adversarial filesystem (or
+// a torn write) gets to choose. The decoders must never panic and must
+// report every rejection as a typed, recoverable DecodeError.
+//
+// Run with: go test ./internal/fuzz -fuzz FuzzSnapshotDecode
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/persist"
+)
+
+// seedSnapshot builds a small but fully populated snapshot envelope.
+func seedSnapshot(t testing.TB) []byte {
+	t.Helper()
+	st := &persist.State{
+		SavedAt:          time.Unix(1_700_000_000, 0),
+		GraphFingerprint: "deadbeefcafef00d",
+		Users: []persist.UserState{{
+			Key:      "10.0.0.1",
+			LastSeen: time.Unix(1_700_000_000, 0),
+			Exemplars: map[string]persist.ExemplarState{
+				"app:item#0": {
+					URIWilds:   []string{"id"},
+					FieldWilds: map[string][]string{"query": {"id"}},
+					Present:    map[string]bool{"query:id": true},
+					Headers:    []httpmsg.Field{{Key: "Accept", Value: "application/json"}},
+				},
+			},
+		}},
+		Samples: map[string]*httpmsg.Request{
+			"app:item#0": {Method: "GET", Host: "h.example", Path: "/item"},
+		},
+		Breakers:   map[string]persist.BreakerState{"h.example": {State: "open", ConsecutiveFailures: 3, OpenForMs: 1500}},
+		SigBackoff: map[string]persist.BackoffState{"app:item#0": {Consecutive: 2, RemainingMs: 900}},
+	}
+	data, err := persist.EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// seedEntry builds a valid disk-tier entry envelope.
+func seedEntry(t testing.TB) []byte {
+	t.Helper()
+	rec := &persist.EntryRecord{
+		Scope:   "__shared__",
+		Key:     "GET h.example/item?id=1",
+		SigID:   "app:item#0",
+		Expires: time.Unix(1_700_003_600, 0),
+		Resp:    &httpmsg.Response{Status: 200, Body: []byte(`{"item":"payload"}`)},
+	}
+	data, err := persist.EncodeEntry(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// mutations returns systematic corruptions of a valid envelope: the torn and
+// bit-flipped shapes the fault injector produces, as fuzz corpus seeds.
+func mutations(data []byte) [][]byte {
+	out := [][]byte{
+		nil,
+		{},
+		data[:1],
+		data[:len(data)/2],
+		data[:len(data)-1],
+		append(append([]byte{}, data...), 0xFF),
+	}
+	for _, off := range []int{0, 7, 9, 15, 25, len(data) - 1} {
+		if off < 0 || off >= len(data) {
+			continue
+		}
+		m := append([]byte{}, data...)
+		m[off] ^= 0x40
+		out = append(out, m)
+	}
+	return out
+}
+
+// FuzzSnapshotDecode: DecodeSnapshot on arbitrary bytes either returns a
+// valid state or a typed DecodeError — never a panic, never an untyped
+// error.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := seedSnapshot(f)
+	f.Add(valid)
+	for _, m := range mutations(valid) {
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := persist.DecodeSnapshot(data)
+		switch {
+		case err == nil:
+			if st == nil {
+				t.Fatal("nil state with nil error")
+			}
+		case !persist.IsCorrupt(err):
+			var de *persist.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error is not a *persist.DecodeError: %T %v", err, err)
+			}
+		}
+	})
+}
+
+// FuzzEntryDecode: same contract for the disk-tier entry decoder, which
+// additionally must never return a record the tier would nil-deref on (a nil
+// response).
+func FuzzEntryDecode(f *testing.F) {
+	valid := seedEntry(f)
+	f.Add(valid)
+	for _, m := range mutations(valid) {
+		f.Add(m)
+	}
+	// An entry that json-decodes but carries no response must be rejected.
+	f.Add(persist.Encode(persist.MagicEntry, []byte(`{"scope":"s","key":"k"}`)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := persist.DecodeEntry(data)
+		switch {
+		case err == nil:
+			if rec == nil || rec.Resp == nil {
+				t.Fatalf("decoder accepted an unusable record: %+v", rec)
+			}
+		case !persist.IsCorrupt(err):
+			var de *persist.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error is not a *persist.DecodeError: %T %v", err, err)
+			}
+		}
+	})
+}

@@ -197,25 +197,30 @@ type chunk struct {
 }
 
 // delayQueue delivers chunks no earlier than their readyAt instants, in
-// order.
+// order. Waiting readers are woken through channels rather than a sync.Cond:
+// the signal channel's one-token buffer means a push that lands between a
+// reader releasing the lock and entering its select leaves the token behind,
+// so the wakeup cannot be lost.
 type delayQueue struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
+	signal chan struct{} // capacity 1: "queue state changed" hint
+	closed chan struct{} // closed once err is set
 	chunks []chunk
 	err    error
 }
 
 func newDelayQueue() *delayQueue {
-	q := &delayQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	return &delayQueue{signal: make(chan struct{}, 1), closed: make(chan struct{})}
 }
 
 func (q *delayQueue) push(c chunk) {
 	q.mu.Lock()
 	q.chunks = append(q.chunks, c)
 	q.mu.Unlock()
-	q.cond.Broadcast()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
 }
 
 func (q *delayQueue) closeWith(err error) {
@@ -223,11 +228,14 @@ func (q *delayQueue) closeWith(err error) {
 		err = errors.New("netem: stream closed")
 	}
 	q.mu.Lock()
-	if q.err == nil {
+	first := q.err == nil
+	if first {
 		q.err = err
 	}
 	q.mu.Unlock()
-	q.cond.Broadcast()
+	if first {
+		close(q.closed)
+	}
 }
 
 func (q *delayQueue) read(p []byte, done <-chan struct{}) (int, error) {
@@ -265,19 +273,12 @@ func (q *delayQueue) read(p []byte, done <-chan struct{}) (int, error) {
 		if q.err != nil {
 			return 0, q.err
 		}
-		// Wait for data; wake periodically so `done` is honoured.
-		waitCh := make(chan struct{})
-		go func() {
-			q.cond.L.Lock()
-			q.cond.Wait()
-			q.cond.L.Unlock()
-			close(waitCh)
-		}()
+		// Wait for a push or close; a stale token just re-runs the loop.
 		q.mu.Unlock()
 		select {
-		case <-waitCh:
+		case <-q.signal:
+		case <-q.closed:
 		case <-done:
-			q.cond.Broadcast() // release the helper goroutine
 			q.mu.Lock()
 			return 0, net.ErrClosed
 		}

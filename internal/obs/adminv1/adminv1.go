@@ -117,6 +117,29 @@ type Requests struct {
 	StageP95Ms map[string]float64      `json:"stageP95Ms"`
 }
 
+// Persist is the crash-safe-persistence block of the stats response:
+// snapshot freshness, the boot-time restore outcome, and disk-tier
+// traffic. SnapshotAgeMs is -1 while no snapshot has been written.
+type Persist struct {
+	Enabled          bool   `json:"enabled"`
+	RestoreOutcome   string `json:"restoreOutcome"`
+	RestoreSource    string `json:"restoreSource,omitempty"`
+	RestoreDetail    string `json:"restoreDetail,omitempty"`
+	RestoreFailures  int64  `json:"restoreFailures"`
+	Snapshots        int64  `json:"snapshots"`
+	SnapshotFailures int64  `json:"snapshotFailures"`
+	SnapshotAgeMs    int64  `json:"snapshotAgeMs"`
+	DiskEntries      int    `json:"diskEntries"`
+	DiskBytes        int64  `json:"diskBytes"`
+	DiskHits         int64  `json:"diskHits"`
+	DiskLoads        int64  `json:"diskLoads"`
+	DiskLoadErrors   int64  `json:"diskLoadErrors"`
+	DiskSpilled      int64  `json:"diskSpilled"`
+	DiskSpillDropped int64  `json:"diskSpillDropped"`
+	DiskSpillErrors  int64  `json:"diskSpillErrors"`
+	DiskEvictions    int64  `json:"diskEvictions"`
+}
+
 // StatsResponse is the body of GET /appx/v1/stats.
 type StatsResponse struct {
 	MatchIndex           MatchIndex `json:"matchIndex"`
@@ -139,6 +162,7 @@ type StatsResponse struct {
 	Overload             Overload   `json:"overload"`
 	Sched                Sched      `json:"sched"`
 	Requests             Requests   `json:"requests"`
+	Persist              Persist    `json:"persist"`
 }
 
 // HealthResponse is the body of GET /appx/v1/health.

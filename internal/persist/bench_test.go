@@ -1,0 +1,80 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkTierSpill measures the synchronous cost of handing an entry to
+// the write-behind queue plus the worker's amortized write (Flush per N so
+// the disk work is inside the measured window, as a deployment would pay
+// it).
+func BenchmarkTierSpill(b *testing.B) {
+	tier, err := NewTier(b.TempDir(), TierOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tier.Close()
+	e := testEntry(`{"product":{"id":123,"name":"bench"}}`, time.Now().Add(time.Hour))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tier.Spill("user", fmt.Sprintf("key-%d", i%512), e)
+	}
+	tier.Flush()
+}
+
+// BenchmarkTierLoad measures one read-through probe: stat + read + decode +
+// checksum verify.
+func BenchmarkTierLoad(b *testing.B) {
+	tier, err := NewTier(b.TempDir(), TierOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tier.Close()
+	e := testEntry(`{"product":{"id":123,"name":"bench"}}`, time.Now().Add(time.Hour))
+	for i := 0; i < 512; i++ {
+		tier.Spill("user", fmt.Sprintf("key-%d", i), e)
+	}
+	tier.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tier.Load("user", fmt.Sprintf("key-%d", i%512)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkSnapshotSave measures a full snapshot write (encode + checksum +
+// atomic rename ladder) for a mid-sized state.
+func BenchmarkSnapshotSave(b *testing.B) {
+	m, err := NewManager(b.TempDir(), ManagerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := testState()
+	for i := 0; i < 100; i++ {
+		st.Users = append(st.Users, st.Users[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Save(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvelopeDecode isolates the codec: header validation plus
+// SHA-256 over the payload.
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	data, err := EncodeSnapshot(testState())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(MagicSnapshot, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

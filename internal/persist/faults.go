@@ -1,0 +1,84 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Faults is a deterministic disk-fault injector in the mold of
+// internal/netem's network injector: seeded draws decide, per write,
+// whether the bytes land intact, land torn (truncated mid-payload, as a
+// power loss after rename would leave them), land silently corrupted (a
+// flipped byte, as a failing disk would leave them), or fail outright with
+// an ENOSPC-style error.
+//
+// Torn and corrupt writes report success to the writer — the damage is
+// only discoverable at read time, which is exactly the property the
+// recovery ladder must survive.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// TornWriteProb truncates the written payload at a random point and
+	// reports success.
+	TornWriteProb float64
+	// CorruptProb flips one byte of the written payload and reports
+	// success.
+	CorruptProb float64
+	// WriteErrProb fails the write with ErrNoSpace before any bytes land.
+	WriteErrProb float64
+
+	// Counters (read with Stats) record what was actually injected.
+	torn, corrupted, failed int64
+}
+
+// ErrNoSpace is the injected "device full" failure.
+var ErrNoSpace = fmt.Errorf("persist: injected write failure: no space left on device")
+
+// NewFaults builds an injector with the given seed. Probabilities are set
+// directly on the returned struct before use.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	Torn, Corrupted, Failed int64
+}
+
+// Stats returns the injected-fault counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultStats{Torn: f.torn, Corrupted: f.corrupted, Failed: f.failed}
+}
+
+// perturb applies at most one fault to a pending write. It returns the
+// (possibly damaged) bytes to write, or an error when the write must fail.
+// The input slice is never modified; corruption copies first.
+func (f *Faults) perturb(data []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch draw := f.rng.Float64(); {
+	case draw < f.WriteErrProb:
+		f.failed++
+		return nil, ErrNoSpace
+	case draw < f.WriteErrProb+f.TornWriteProb:
+		f.torn++
+		if len(data) == 0 {
+			return data, nil
+		}
+		return data[:f.rng.Intn(len(data))], nil
+	case draw < f.WriteErrProb+f.TornWriteProb+f.CorruptProb:
+		f.corrupted++
+		if len(data) == 0 {
+			return data, nil
+		}
+		out := append([]byte(nil), data...)
+		out[f.rng.Intn(len(out))] ^= 0xff
+		return out, nil
+	default:
+		return data, nil
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"appx/internal/httpmsg"
 	"appx/internal/obs"
 	"appx/internal/obs/adminv1"
+	"appx/internal/persist"
 	"appx/internal/proxy/resilience"
 	"appx/internal/proxy/sched"
 	"appx/internal/sig"
@@ -70,6 +71,17 @@ type Options struct {
 	// SpanBuffer sizes the recent-spans ring served by /appx/v1/spans
 	// (default 1024, minimum 16).
 	SpanBuffer int
+
+	// StateDir enables crash-safe persistence: a disk cache tier under
+	// <StateDir>/cache plus snapshot/restore of learned soft state in
+	// <StateDir>/snapshot.appx. Empty disables persistence.
+	StateDir string
+	// SnapshotInterval is the periodic-snapshot cadence (0 disables the
+	// loop; BeginDrain still writes a final snapshot).
+	SnapshotInterval time.Duration
+	// PersistFaults optionally injects disk faults into persistence writes
+	// (hostile-recovery tests and drills).
+	PersistFaults *persist.Faults
 }
 
 // userHeader carries an explicit per-user tag from emulated devices; the
@@ -126,6 +138,11 @@ type Proxy struct {
 	clientLat     *latencyRing
 	govSuppressed atomic.Int64
 	draining      atomic.Bool
+
+	// Crash-safe persistence (persist.go): disk cache tier + state
+	// snapshots, active when Options.StateDir is set.
+	persist         persistState
+	restoreFailures atomic.Int64
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -233,12 +250,20 @@ func New(opts Options) *Proxy {
 	if opts.MaxCacheEntriesPerUser > 0 {
 		p.cacheCfg.MaxEntriesPerUser = opts.MaxCacheEntriesPerUser
 	}
+	// The disk tier must exist before the store so spills and read-through
+	// promotion work from the first request.
+	p.initPersist()
+	var tier cache.Tier
+	if p.persist.tier != nil {
+		tier = p.persist.tier
+	}
 	p.store = cache.New(cache.Options{
 		Shards:             p.cacheCfg.Shards,
 		MaxBytes:           p.cacheCfg.MaxBytes,
 		PerScopeBytes:      p.cacheCfg.PerUserBytes,
 		MaxEntriesPerScope: p.cacheCfg.MaxEntriesPerUser,
 		Now:                func() time.Time { return p.opts.Now() },
+		Tier:               tier,
 	})
 	p.store.StartSweeper(time.Duration(p.cacheCfg.SweepInterval))
 	p.dataUsed = newUsageWindow(opts.Config.BudgetWindow())
@@ -253,6 +278,11 @@ func New(opts Options) *Proxy {
 		Now:      func() time.Time { return p.opts.Now() },
 	})
 	p.registerBridges(reg)
+	p.registerPersistBridges(reg)
+	// Restore before any request is served; the snapshot loop starts only
+	// after the restored state is in place.
+	p.restorePersist()
+	p.startPersistLoop()
 	return p
 }
 
@@ -331,7 +361,14 @@ func (p *Proxy) Drain() { p.sched.Drain() }
 // are refused with 503 while in-flight ones finish; the status endpoints
 // keep serving so orchestrators can watch the drain. Part of graceful
 // shutdown — the server stops admitting before it waits for in-flight work.
-func (p *Proxy) BeginDrain() { p.draining.Store(true) }
+// With persistence enabled the drain also writes a final snapshot, so a
+// graceful restart resumes from the very last learned state rather than
+// the last periodic tick.
+func (p *Proxy) BeginDrain() {
+	if p.draining.CompareAndSwap(false, true) {
+		p.SnapshotNow()
+	}
+}
 
 // Draining reports whether BeginDrain was called.
 func (p *Proxy) Draining() bool { return p.draining.Load() }
@@ -388,10 +425,15 @@ func (p *Proxy) effectiveChainDepth() int {
 	return int(math.Round(level * float64(p.opts.MaxChainDepth)))
 }
 
-// Close stops the prefetch workers and the cache sweeper.
+// Close stops the prefetch workers, the cache sweeper, and (when
+// persistence is enabled) the snapshot loop and disk-tier spill worker —
+// the tier drains its write-behind backlog before Close returns. Ordering:
+// producers of cache writes (the scheduler) stop before the store, and the
+// store before the tier it spills into.
 func (p *Proxy) Close() {
 	p.sched.Close()
 	p.store.Close()
+	p.stopPersist()
 }
 
 func (p *Proxy) user(key string) *user {
@@ -645,6 +687,7 @@ func (p *Proxy) statsV1() adminv1.StatsResponse {
 		Overload:             p.overloadV1(),
 		Sched:                p.schedV1(),
 		Requests:             p.requestsV1(),
+		Persist:              p.persistV1(),
 	}
 }
 

@@ -214,6 +214,26 @@ type BreakerSnapshot struct {
 	OpenFor time.Duration
 }
 
+// Restore seeds the breaker set from a persisted snapshot (warm restart):
+// each host's state and failure streak are reinstated, and an open breaker
+// resumes its timeout mid-count — openedAt is back-dated by OpenFor so a
+// breaker that had 3s of its open window left before the restart has 3s
+// left after it. Probe bookkeeping (probing, half-open successes) is
+// transient and starts clean. Existing in-memory state for a host is
+// overwritten; hosts not in the snapshot are untouched.
+func (bs *Breakers) Restore(snap map[string]BreakerSnapshot) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	now := bs.opts.Now()
+	for host, s := range snap {
+		b := &breaker{state: s.State, failures: s.ConsecutiveFailures}
+		if s.State == Open {
+			b.openedAt = now.Add(-s.OpenFor)
+		}
+		bs.hosts[host] = b
+	}
+}
+
 // Snapshot captures every tracked host's breaker state.
 func (bs *Breakers) Snapshot() map[string]BreakerSnapshot {
 	bs.mu.Lock()

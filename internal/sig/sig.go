@@ -545,6 +545,28 @@ func Merge(graphs ...*Graph) *Graph {
 	return out
 }
 
+// Fingerprint returns a short stable digest of the whole graph — every
+// signature's ID and shape hash plus every dependency edge, order
+// independent. Persisted learner state is keyed by it: exemplars and
+// samples learned against one graph are meaningless (or wrong) against
+// another, so a restore only applies when the fingerprints match.
+func (g *Graph) Fingerprint() string {
+	lines := make([]string, 0, len(g.Sigs)+len(g.Deps))
+	for _, s := range g.Sigs {
+		lines = append(lines, "sig\x00"+s.ID+"\x00"+s.Hash())
+	}
+	for _, d := range g.Deps {
+		lines = append(lines, "dep\x00"+d.PredID+"\x00"+d.SuccID+"\x00"+d.RespPath+"\x00"+d.Loc.String())
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
 // Marshal serializes the graph to JSON.
 func (g *Graph) Marshal() ([]byte, error) {
 	return json.MarshalIndent(g, "", "  ")

@@ -45,4 +45,15 @@ echo "== obs bench smoke + alloc gate"
 go test ./internal/obs/ -run 'Allocs' -bench 'BenchmarkSpanRecord|BenchmarkHistogramObserve' -benchtime 1x
 go test -race -count=1 ./internal/obs/ -run TestRegistryConcurrentObserveAndScrape
 
+# Persistence smoke gate: the corrupt-restore ladder (every corruption mode
+# must degrade to a counted cold start, never a panic) runs race-enabled with
+# -count=1, and the disk-tier codec/spill/load benches must still compile and
+# complete.
+echo "== persist smoke gate"
+go test -race -count=1 ./internal/persist/ \
+    -run 'TestSnapshotLadder|TestSnapshotTruncatedFile|TestSnapshotFaultInjection|TestSnapshotAtomicity|TestTierFaultsDegradeToMiss|TestTierCorruptFileIsMissAndDeleted'
+go test -race -count=1 ./internal/proxy/ \
+    -run 'TestCorruptSnapshotColdStart|TestFingerprintMismatchColdStart|TestKillRestartRecoversHitRatio'
+go test ./internal/persist/ -run '^$' -bench . -benchtime 1x
+
 echo "check: OK"
