@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench bench-cache bench-overload bench-match
+.PHONY: build test check bench bench-cache bench-overload bench-match bench-cluster
 
 build:
 	go build ./...
@@ -30,3 +30,8 @@ bench-overload:
 bench-match:
 	go test ./internal/sig/ -run '^$$' -bench . -benchmem
 	go run ./cmd/appx-bench -experiment matchsweep
+
+# bench-cluster runs the scale-out sweep: origin offload of a clustered fleet
+# vs independent instances, plus the kill/rejoin churn phase.
+bench-cluster:
+	go run ./cmd/appx-bench -experiment clustersweep

@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
 // fig17 ablation mech faultsweep cachesweep overload matchsweep warmstart
-// all.
+// clustersweep all.
 //
 // With -admin it is an operator client instead: it fetches the typed
 // /appx/v1/{stats,health,spans} views from a running appx-proxy and renders
@@ -187,6 +187,13 @@ func run(which string, p exp.Params) error {
 	}
 	if want("warmstart") {
 		res, err := exp.RunWarmStart(p.Seed)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("clustersweep") {
+		res, err := exp.RunClusterSweep(p.Seed)
 		if err != nil {
 			return err
 		}

@@ -38,6 +38,19 @@
 // admission sheds signal pressure. Queued prefetches older than
 // -queue-deadline are dropped at dispatch.
 //
+// Cluster mode scales the proxy across instances: -cluster-self names this
+// instance, -cluster-peers the static fleet seed list (the same value works
+// on every instance), and the fleet forms a consistent-hash ring
+// (-cluster-vnodes) that pins each user's learned state to one owner.
+// Requests landing on a non-owner are relayed there; user-agnostic cache
+// misses try ring siblings (-cluster-replicas of them) before the origin.
+// Peers are health-probed every -cluster-probe-interval over /appx/v1/health
+// and dead instances are rebalanced around without failing foreground
+// requests:
+//
+//	appx-proxy -app wish -listen 127.0.0.1:7001 \
+//	  -cluster-self 127.0.0.1:7001 -cluster-peers 127.0.0.1:7001,127.0.0.1:7002
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the proxy stops admitting new
 // proxied requests, finishes the in-flight ones (bounded by
 // -drain-timeout), then exits cleanly. A background loop prunes user states
@@ -60,6 +73,7 @@ import (
 	"time"
 
 	"appx/internal/apps"
+	"appx/internal/cluster"
 	"appx/internal/config"
 	"appx/internal/netem"
 	"appx/internal/proxy"
@@ -122,6 +136,13 @@ type options struct {
 	// Fault injection (resilience drills).
 	fault     string
 	faultSeed int64
+
+	// Cluster mode.
+	clusterSelf          string
+	clusterPeers         string
+	clusterVNodes        int
+	clusterReplicas      int
+	clusterProbeInterval time.Duration
 }
 
 func main() {
@@ -169,6 +190,12 @@ func main() {
 
 	flag.StringVar(&o.fault, "fault", "", "comma-separated host=prob connect-refusal injection, e.g. api.wish.example=0.3")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
+
+	flag.StringVar(&o.clusterSelf, "cluster-self", "", "this instance's advertised host:port; non-empty enables cluster mode")
+	flag.StringVar(&o.clusterPeers, "cluster-peers", "", "comma-separated host:port seed list (may include self; same value on every instance)")
+	flag.IntVar(&o.clusterVNodes, "cluster-vnodes", 0, "virtual nodes per ring member (0 = default 128)")
+	flag.IntVar(&o.clusterReplicas, "cluster-replicas", 0, "ring siblings consulted per peer fill (0 = default 2)")
+	flag.DurationVar(&o.clusterProbeInterval, "cluster-probe-interval", 0, "peer health-probe period (0 = default 1s)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -255,6 +282,22 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "fault injection active (%s, seed %d)\n", o.fault, o.faultSeed)
 	}
 
+	var cl cluster.Config
+	if o.clusterSelf != "" {
+		cl = cluster.Config{
+			Self:          o.clusterSelf,
+			VNodes:        o.clusterVNodes,
+			Replicas:      o.clusterReplicas,
+			ProbeInterval: o.clusterProbeInterval,
+		}
+		for _, p := range strings.Split(o.clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cl.Peers = append(cl.Peers, p)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "appx-proxy: cluster mode: self=%s peers=%v\n", cl.Self, cl.Peers)
+	}
+
 	px := proxy.New(proxy.Options{
 		Graph:            g,
 		Config:           cfg,
@@ -263,6 +306,7 @@ func run(o options) error {
 		SpanBuffer:       o.spanBuffer,
 		StateDir:         o.stateDir,
 		SnapshotInterval: o.snapshotInterval,
+		Cluster:          cl,
 	})
 	if o.stateDir != "" {
 		switch outcome := px.RestoreOutcome(); outcome {

@@ -23,6 +23,7 @@ package cache
 import (
 	"container/heap"
 	"container/list"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -308,7 +309,25 @@ func (s *Store) shardOf(scope, key string) *shard {
 	return s.shards[h%uint32(len(s.shards))]
 }
 
-func issueKey(scope, key string) string { return scope + "\x00" + key }
+// issueKey builds the inflight-dedup map key. The scope *kind* is part of
+// the key: the old scope+"\x00"+key concatenation let a user-scoped and a
+// shared-scoped fetch of the same canonical key collide (and was ambiguous
+// outright — ("a", "b\x00c") equaled ("a\x00b", "c")), so one user's
+// prefetch claim could starve the shared tier's singleflight. Shared keys
+// get a fixed "s\x00" tag; user keys get a "u<len>\x00" tag whose length
+// prefix makes the scope/key split structurally unambiguous.
+func issueKey(scope, key string) string {
+	if scope == SharedScope {
+		return "s\x00" + key
+	}
+	return "u" + strconv.Itoa(len(scope)) + "\x00" + scope + key
+}
+
+// IssueKey exposes the inflight-dedup key. The cluster layer uses
+// IssueKey(SharedScope, canonicalKey) as the fleet-wide flight key for peer
+// fills: it is identical on every instance and collision-free against user
+// claims by construction.
+func IssueKey(scope, key string) string { return issueKey(scope, key) }
 
 // Get looks up scope/key. fresh=true means the entry is valid to serve.
 // A non-nil entry with fresh=false was expired at lookup: it has been
@@ -357,6 +376,23 @@ func (s *Store) Get(scope, key string) (e *Entry, fresh bool) {
 	}
 	sh.sigStat(en.payload.SigID).Hits++
 	sh.mu.Unlock()
+	return en.payload, true
+}
+
+// Peek returns scope/key if present and fresh, with none of Get's side
+// effects: no hit/miss counters, no LRU touch, no tier read-through, no
+// expired-entry removal. Cluster siblings peek each other's shared tiers
+// during peer fill; remote probes must not distort local telemetry or
+// eviction order.
+func (s *Store) Peek(scope, key string) (*Entry, bool) {
+	sh := s.shardOf(scope, key)
+	now := s.opts.Now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	en := sh.byScope[scope][key]
+	if en == nil || !now.Before(en.payload.Expires) {
+		return nil, false
+	}
 	return en.payload, true
 }
 
@@ -526,7 +562,7 @@ func (s *Store) DropScope(scope string) (entries int, bytes int64) {
 	if scope == SharedScope {
 		targets = s.shards
 	}
-	prefix := scope + "\x00"
+	prefix := issueKey(scope, "")
 	for _, sh := range targets {
 		sh.mu.Lock()
 		m := sh.byScope[scope]

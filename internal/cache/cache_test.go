@@ -299,3 +299,70 @@ func TestSweeperLifecycle(t *testing.T) {
 	s.Close()
 	s.Close() // idempotent
 }
+
+// The inflight-dedup key must include the scope *kind*: under the old
+// scope+NUL+key concatenation these pairs collided, so one claim starved
+// the other's singleflight.
+func TestTryIssueScopeKindDisjoint(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	s := testStore(Options{Shards: 1}, &now) // one shard forces map sharing
+
+	// Structural ambiguity of raw concatenation: ("a", "b\x00c") vs
+	// ("a\x00b", "c") serialize identically without a length prefix.
+	if !s.TryIssue("a", "b\x00c", time.Minute) {
+		t.Fatal("first claim refused")
+	}
+	if !s.TryIssue("a\x00b", "c", time.Minute) {
+		t.Fatal(`claim ("a\x00b", "c") collided with ("a", "b\x00c")`)
+	}
+
+	// Shared vs user scope of the same canonical key must be independent
+	// flights — the cluster peer-fill key is IssueKey(SharedScope, key).
+	if !s.TryIssue(SharedScope, "ckey", time.Minute) {
+		t.Fatal("shared claim refused")
+	}
+	if !s.TryIssue("some-user", "ckey", time.Minute) {
+		t.Fatal("user claim collided with shared claim of the same key")
+	}
+	if s.TryIssue(SharedScope, "ckey", time.Minute) {
+		t.Fatal("duplicate shared claim admitted")
+	}
+
+	// DropScope must release exactly its own scope's claims under the new
+	// key scheme.
+	s.CancelIssue("a", "b\x00c")
+	s.DropScope("some-user")
+	if !s.TryIssue("some-user", "ckey", time.Minute) {
+		t.Fatal("DropScope did not release the user's claim")
+	}
+	if s.TryIssue(SharedScope, "ckey", time.Minute) {
+		t.Fatal("DropScope of a user scope released the shared claim")
+	}
+}
+
+// Peek must be side-effect-free: no counters, no LRU promotion, no removal
+// of expired entries — sibling peeks must not distort local telemetry.
+func TestPeekNoSideEffects(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	s := testStore(Options{}, &now)
+	s.Put(SharedScope, "k", ent("sig", 64, now.Add(time.Minute)))
+
+	if e, ok := s.Peek(SharedScope, "k"); !ok || e == nil {
+		t.Fatal("fresh entry not peekable")
+	}
+	if _, ok := s.Peek(SharedScope, "absent"); ok {
+		t.Fatal("peek fabricated an entry")
+	}
+	m := s.Metrics()
+	if m.Hits != 0 || m.Misses != 0 {
+		t.Fatalf("peek moved counters: hits=%d misses=%d", m.Hits, m.Misses)
+	}
+
+	now = now.Add(2 * time.Minute)
+	if _, ok := s.Peek(SharedScope, "k"); ok {
+		t.Fatal("expired entry peeked as fresh")
+	}
+	if n, _ := s.ScopeStats(SharedScope); n != 1 {
+		t.Fatalf("peek removed the expired entry (remaining=%d), Get owns expiry", n)
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/obs/adminv1"
+)
+
+// forwardResponseHeaderTimeout bounds how long a relay waits for the owner
+// to start answering; the owner runs the full origin path on a miss, so
+// this must comfortably exceed an origin round trip.
+const forwardResponseHeaderTimeout = 5 * time.Second
+
+// peekBodyLimit bounds a sibling's entry response; anything larger than the
+// cache would plausibly hold is a protocol error, not a fill.
+const peekBodyLimit = 32 << 20
+
+// client returns (building on first use) the pooled forwarding client for
+// peer. Each peer is itself a forward proxy, so the client routes every
+// request through it via Transport.Proxy — the request URL stays the
+// origin-form URL the owner expects to key and match on.
+func (c *Cluster) client(peer string) *http.Client {
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	if cl, ok := c.clients[peer]; ok {
+		return cl
+	}
+	proxyURL := &url.URL{Scheme: "http", Host: peer}
+	cl := &http.Client{
+		// No overall Timeout: the context on each request bounds it; a
+		// client-level timeout would also cap large-body reads.
+		Transport: &http.Transport{
+			Proxy:                 http.ProxyURL(proxyURL),
+			MaxIdleConns:          32,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       30 * time.Second,
+			TLSHandshakeTimeout:   2 * time.Second,
+			ExpectContinueTimeout: time.Second,
+			ResponseHeaderTimeout: forwardResponseHeaderTimeout,
+			DisableCompression:    true,
+		},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse // relay redirects verbatim
+		},
+	}
+	c.clients[peer] = cl
+	return cl
+}
+
+// Forward relays r to the owner instance at addr and returns its response.
+// The caller has already stamped the hop and user headers. Network-level
+// failure returns an error; any HTTP response — including the owner's own
+// 5xx — returns nil error and is the caller's policy decision.
+func (c *Cluster) Forward(ctx context.Context, addr string, r *httpmsg.Request) (*httpmsg.Response, error) {
+	hr, err := r.ToHTTP()
+	if err != nil {
+		return nil, err
+	}
+	hr = hr.WithContext(ctx)
+	// The relay must be byte-transparent: if the client sent no User-Agent,
+	// the transport's injected default would reach the owner, taint its
+	// exact-match keys and learned exemplars, and split the cluster into
+	// per-path key universes. An explicitly empty value suppresses it.
+	if _, ok := hr.Header["User-Agent"]; !ok {
+		hr.Header.Set("User-Agent", "")
+	}
+	resp, err := c.client(addr).Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	out, err := httpmsg.FromHTTPResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PeekEntry asks the sibling at addr whether its shared tier holds the
+// canonical key. Returns (entry, true, nil) on a hit, (nil, false, nil) on
+// a clean miss, and an error for anything else (the caller feeds errors
+// into the peer's breaker via ReportForward).
+func (c *Cluster) PeekEntry(ctx context.Context, addr, key string) (*adminv1.ClusterEntry, bool, error) {
+	u := &url.URL{Scheme: "http", Host: addr, Path: adminv1.PathClusterEntry,
+		RawQuery: url.Values{"key": {key}}.Encode()}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.probeClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var entry adminv1.ClusterEntry
+		if err := json.NewDecoder(io.LimitReader(resp.Body, peekBodyLimit)).Decode(&entry); err != nil {
+			return nil, false, fmt.Errorf("cluster: decoding peek from %s: %w", addr, err)
+		}
+		return &entry, true, nil
+	case http.StatusNotFound:
+		drainBody(resp)
+		return nil, false, nil
+	default:
+		drainBody(resp)
+		return nil, false, fmt.Errorf("cluster: peek %s: unexpected status %d", addr, resp.StatusCode)
+	}
+}
+
+// drainBody discards the rest of a response body so the pooled connection
+// can be reused.
+func drainBody(resp *http.Response) {
+	if resp.Body == nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+}

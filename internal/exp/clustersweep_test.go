@@ -1,0 +1,55 @@
+package exp
+
+import "testing"
+
+// TestClusterSweepAcceptance pins the issue's acceptance bars: at three
+// instances the peer-fill/forwarding protocols must offload at least 30% of
+// origin requests versus independent instances, and the kill/rejoin churn
+// phase must complete with zero foreground failures. The assertions are
+// structural (request counts), not timing, so the test holds under -race.
+func TestClusterSweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-instance wire experiment")
+	}
+	res, err := RunClusterSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != clusterSweepInstances {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), clusterSweepInstances)
+	}
+	for _, r := range res.Rows {
+		if r.ClusterOrigin == 0 || r.IndepOrigin == 0 {
+			t.Fatalf("@%d instances: zero origin traffic (cluster %d, indep %d)",
+				r.Instances, r.ClusterOrigin, r.IndepOrigin)
+		}
+	}
+	one, three := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if one.Instances != 1 || three.Instances != clusterSweepInstances {
+		t.Fatalf("unexpected grid: %+v", res.Rows)
+	}
+	// A single instance has nobody to coordinate with: both topologies
+	// degenerate to the same thing.
+	if one.Forwarded != 0 || one.PeerFillHits != 0 {
+		t.Fatalf("@1 instance: forwarded=%d peerFillHits=%d, want 0/0",
+			one.Forwarded, one.PeerFillHits)
+	}
+	if three.OffloadPct < 0.30 {
+		t.Fatalf("@%d instances: origin offload %.1f%%, acceptance bar is 30%%",
+			three.Instances, three.OffloadPct*100)
+	}
+	if three.PeerFillHits == 0 {
+		t.Fatal("@3 instances: offload achieved without a single peer fill — wrong mechanism")
+	}
+	if three.Forwarded == 0 {
+		t.Fatal("@3 instances: no request was ever relayed to its owner")
+	}
+	if res.ChurnFailures != 0 {
+		t.Fatalf("churn phase: %d foreground failures out of %d requests, want 0",
+			res.ChurnFailures, res.ChurnRequests)
+	}
+	if res.ChurnRebalances == 0 {
+		t.Fatal("churn phase: no instance ever rebalanced")
+	}
+	_ = res.Render()
+}

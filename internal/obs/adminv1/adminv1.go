@@ -18,6 +18,12 @@ const (
 	PathSpans   = "/appx/v1/spans"
 	PathMetrics = "/appx/v1/metrics" // Prometheus text, not JSON
 
+	// PathClusterEntry is the peer-fill peek endpoint: a ring sibling asks
+	// whether this instance's shared cache tier holds a canonical key
+	// (?key=...). 200 returns a ClusterEntry, 404 is a miss. Peeks are
+	// side-effect-free on the serving instance (no LRU touch, no counters).
+	PathClusterEntry = "/appx/v1/cluster/entry"
+
 	// The pre-versioning endpoints, kept as deprecated redirecting aliases.
 	LegacyPathHealth = "/appx/health"
 	LegacyPathStats  = "/appx/stats"
@@ -140,6 +146,61 @@ type Persist struct {
 	DiskEvictions    int64  `json:"diskEvictions"`
 }
 
+// ClusterPeer is one configured peer's membership view.
+type ClusterPeer struct {
+	Alive               bool   `json:"alive"`
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+}
+
+// ClusterPeerFill summarizes the sibling-before-origin fill protocol.
+type ClusterPeerFill struct {
+	Attempts int64 `json:"attempts"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Errors   int64 `json:"errors"`
+}
+
+// Cluster is the scale-out block of the stats response. Forwarded counts
+// requests this instance relayed to their owner; ReceivedForwards counts
+// requests that arrived with the hop header (served locally, never
+// re-forwarded). Rebalances and ScopesDropped track incremental topology
+// moves: only user scopes whose hash arc changed owner are dropped.
+type Cluster struct {
+	Enabled          bool                   `json:"enabled"`
+	Self             string                 `json:"self"`
+	VNodes           int                    `json:"vnodes"`
+	Members          []string               `json:"members"`
+	Peers            map[string]ClusterPeer `json:"peers,omitempty"`
+	Forwarded        int64                  `json:"forwarded"`
+	ForwardFallbacks int64                  `json:"forwardFallbacks"`
+	ReceivedForwards int64                  `json:"receivedForwards"`
+	PeerFill         ClusterPeerFill        `json:"peerFill"`
+	Rebalances       int64                  `json:"rebalances"`
+	ScopesDropped    int64                  `json:"scopesDropped"`
+	ProbeFailures    int64                  `json:"probeFailures"`
+	RingRebuilds     int64                  `json:"ringRebuilds"`
+}
+
+// HeaderField is one stored response header in a ClusterEntry.
+type HeaderField struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// ClusterEntry is the body of a 200 from PathClusterEntry: a shared-tier
+// cache entry serialized for a sibling. ExpiresInMs is a relative TTL so
+// peers need no clock agreement; Body is base64 via encoding/json's []byte
+// rule.
+type ClusterEntry struct {
+	SigID       string        `json:"sigId"`
+	Status      int           `json:"status"`
+	Header      []HeaderField `json:"header,omitempty"`
+	Body        []byte        `json:"body,omitempty"`
+	ExpiresInMs int64         `json:"expiresInMs"`
+	Refreshed   bool          `json:"refreshed"`
+}
+
 // StatsResponse is the body of GET /appx/v1/stats.
 type StatsResponse struct {
 	MatchIndex           MatchIndex `json:"matchIndex"`
@@ -163,6 +224,7 @@ type StatsResponse struct {
 	Sched                Sched      `json:"sched"`
 	Requests             Requests   `json:"requests"`
 	Persist              Persist    `json:"persist"`
+	Cluster              Cluster    `json:"cluster"`
 }
 
 // HealthResponse is the body of GET /appx/v1/health.

@@ -67,6 +67,12 @@ const (
 	OutcomeShed
 	// OutcomeOrigin: forwarded to the origin and answered.
 	OutcomeOrigin
+	// OutcomeForwarded: relayed to the cluster instance owning the user's
+	// state and answered from there.
+	OutcomeForwarded
+	// OutcomePeerHit: served locally from a shared-tier entry pulled from a
+	// ring sibling by the cluster peer-fill protocol (no origin round trip).
+	OutcomePeerHit
 	// OutcomeError: the request failed (malformed, or the origin path
 	// errored after retries).
 	OutcomeError
@@ -86,6 +92,10 @@ func (o Outcome) String() string {
 		return "shed"
 	case OutcomeOrigin:
 		return "origin"
+	case OutcomeForwarded:
+		return "forwarded"
+	case OutcomePeerHit:
+		return "peer-hit"
 	case OutcomeError:
 		return "error"
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"appx/internal/cache"
+	"appx/internal/cluster"
 	"appx/internal/config"
 	"appx/internal/httpmsg"
 	"appx/internal/obs"
@@ -82,6 +83,12 @@ type Options struct {
 	// PersistFaults optionally injects disk faults into persistence writes
 	// (hostile-recovery tests and drills).
 	PersistFaults *persist.Faults
+
+	// Cluster configures fleet membership (cluster.Config.Self non-empty
+	// turns it on): this instance joins a consistent-hash ring that pins
+	// each user's learned state to one owner, relays non-owned requests
+	// there, and fills shared-tier misses from ring siblings before origin.
+	Cluster cluster.Config
 }
 
 // userHeader carries an explicit per-user tag from emulated devices; the
@@ -143,6 +150,10 @@ type Proxy struct {
 	// snapshots, active when Options.StateDir is set.
 	persist         persistState
 	restoreFailures atomic.Int64
+
+	// Cluster mode (cluster.go): membership ring, owner forwarding, and
+	// sibling peer fill. Nil when Options.Cluster is not enabled.
+	cluster *clusterState
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -207,7 +218,10 @@ func New(opts Options) *Proxy {
 	if opts.UserKey == nil {
 		opts.UserKey = func(r *http.Request) string {
 			if u := r.Header.Get(userHeader); u != "" {
-				return u
+				// NUL bytes are stripped so a header-supplied key can never
+				// forge the NUL-prefixed reserved shared scope (or smuggle
+				// separator bytes into scope-prefixed internal keys).
+				return strings.ReplaceAll(u, "\x00", "")
 			}
 			host, _, err := net.SplitHostPort(r.RemoteAddr)
 			if err != nil {
@@ -283,6 +297,11 @@ func New(opts Options) *Proxy {
 	// after the restored state is in place.
 	p.restorePersist()
 	p.startPersistLoop()
+	// Cluster mode comes up last, once the instance can already serve: the
+	// first health probes from peers must find a working proxy.
+	if opts.Cluster.Enabled() {
+		p.initCluster(reg)
+	}
 	return p
 }
 
@@ -431,6 +450,11 @@ func (p *Proxy) effectiveChainDepth() int {
 // producers of cache writes (the scheduler) stop before the store, and the
 // store before the tier it spills into.
 func (p *Proxy) Close() {
+	// Cluster probing/rebalancing stops first: a rebalance firing into a
+	// closing scheduler or store would race the teardown below.
+	if p.cluster != nil {
+		p.cluster.c.Close()
+	}
 	p.sched.Close()
 	p.store.Close()
 	p.stopPersist()
@@ -543,9 +567,27 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	// The user tag is proxy addressing metadata, not application payload:
-	// it must not reach the origin or perturb exact-match keys.
+	// Cluster routing: a request for a user this instance does not own is
+	// relayed to the owner, so the user's learned state accretes in exactly
+	// one place. The hop header caps relaying at one hop — a forwarded
+	// request is always served where it lands, even if membership views
+	// momentarily disagree about ownership. Relay failure of any kind falls
+	// through to local serving: topology trouble must never fail a
+	// foreground request.
+	if p.cluster != nil {
+		if _, hopped := req.GetHeader(clusterHopHeader); hopped {
+			p.cluster.receivedForwards.Add(1)
+		} else if addr, self := p.cluster.c.Owner(userKey); !self {
+			if p.clusterRelay(r.Context(), sp, w, req, userKey, addr) {
+				return
+			}
+		}
+	}
+	// The user and cluster tags are proxy addressing metadata, not
+	// application payload: they must not reach the origin or perturb
+	// exact-match keys.
 	req.DeleteHeader(userHeader)
+	req.DeleteHeader(clusterHopHeader)
 	u := p.user(userKey)
 	key := req.CanonicalKey()
 	sp.EndStage(obs.StageParse)
@@ -570,6 +612,30 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.EndStage(obs.StageCache)
 
+	// Cluster peer fill: a shared-eligible miss asks ring siblings for the
+	// entry before paying an origin round trip. Only cacheable targets
+	// qualify — signatures someone prefetches (they have dependency edges
+	// in) and whose responses are user-agnostic. The fill Puts into the
+	// local shared tier, so it both answers this request and warms the
+	// instance.
+	var matched []*sig.Signature
+	haveMatch := false
+	if p.cluster != nil && !p.opts.DisablePrefetch {
+		matched = p.opts.Graph.MatchRequest(req)
+		haveMatch = true
+		if len(matched) > 0 && len(p.opts.Graph.DepsInto(matched[0].ID)) > 0 && p.sharedEligible(matched[0], req) {
+			if entry := p.clusterPeerFill(r.Context(), key, false); entry != nil {
+				sp.SetSig(entry.SigID)
+				p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), true)
+				entry.Resp.WriteTo(w)
+				sp.EndStage(obs.StageWrite)
+				sp.SetOutcome(obs.OutcomePeerHit)
+				p.observeClient(p.opts.Now().Sub(start))
+				return
+			}
+		}
+	}
+
 	// Forward on the client's behalf: the request context propagates client
 	// disconnects, and the retry middleware gives idempotent requests one
 	// fast retry before the client sees a 502.
@@ -591,7 +657,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if p.opts.DisablePrefetch {
 		return
 	}
-	matched := p.opts.Graph.MatchRequest(req)
+	if !haveMatch {
+		matched = p.opts.Graph.MatchRequest(req)
+	}
 	if len(matched) == 0 {
 		return
 	}
@@ -633,6 +701,8 @@ func (p *Proxy) serveStatus(w http.ResponseWriter, r *http.Request) {
 	case adminv1.PathMetrics:
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		p.reg.WritePrometheus(w)
+	case adminv1.PathClusterEntry:
+		p.serveClusterEntry(w, r)
 	case adminv1.LegacyPathStats:
 		redirectDeprecated(w, r, adminv1.PathStats)
 	case adminv1.LegacyPathHealth:
@@ -688,6 +758,7 @@ func (p *Proxy) statsV1() adminv1.StatsResponse {
 		Sched:                p.schedV1(),
 		Requests:             p.requestsV1(),
 		Persist:              p.persistV1(),
+		Cluster:              p.clusterV1(),
 	}
 }
 
@@ -1131,6 +1202,20 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		// budget ran out must not blow past it (C4).
 		p.store.CancelIssue(scope, key)
 		return
+	}
+	// Shared-tier prefetches try ring siblings before the origin: the claim
+	// this task already holds is the cluster flight, so the fill neither
+	// re-claims nor releases on miss (the origin fetch below still owns it).
+	// A peer hit counts as a zero-byte prefetch — the entry is as warm as a
+	// fetched one but cost no origin traffic.
+	if p.cluster != nil && scope == cache.SharedScope {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(p.res.PrefetchTimeout))
+		e := p.clusterPeerFill(ctx, key, true)
+		cancel()
+		if e != nil {
+			p.stats.CountPrefetch(s.ID, 0)
+			return
+		}
 	}
 	sent := req
 	policy := p.opts.Config.Policy(s.Hash())

@@ -59,6 +59,11 @@ func NewNetUpstream(resolve map[string]string, links map[string]netem.Link) *Net
 		MaxIdleConnsPerHost: 64,
 		IdleConnTimeout:     30 * time.Second,
 		DisableCompression:  true,
+		// Handshake-phase bounds: the caller's context caps the whole
+		// attempt, but these keep a single wedged handshake from holding a
+		// pool slot for the full attempt budget.
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
 	}
 	// No whole-client timeout: per-request bounds come from the caller's
 	// context (the resilience middleware sets per-attempt deadlines).

@@ -56,4 +56,16 @@ go test -race -count=1 ./internal/proxy/ \
     -run 'TestCorruptSnapshotColdStart|TestFingerprintMismatchColdStart|TestKillRestartRecoversHitRatio'
 go test ./internal/persist/ -run '^$' -bench . -benchtime 1x
 
+# Cluster smoke gate: ring properties (skew, minimal movement), membership
+# probe transitions, and the multi-instance proxy tests — boot real fleets on
+# loopback, relay with the one-hop cap, kill an instance mid-load and require
+# zero foreground failures, fill a miss from a sibling's shared tier. The
+# clustersweep acceptance test additionally pins ≥30% origin offload at three
+# instances and a zero-failure kill/rejoin churn phase.
+echo "== cluster smoke gate"
+go test -race -count=1 ./internal/cluster/
+go test -race -count=1 ./internal/proxy/ \
+    -run 'TestClusterForwardLoopPrevented|TestClusterKillNoForegroundFailures|TestClusterPeerFill'
+go test -race -count=1 ./internal/exp/ -run TestClusterSweepAcceptance
+
 echo "check: OK"
