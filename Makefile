@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench bench-cache bench-overload bench-match bench-cluster
+.PHONY: build test check bench bench-cache bench-overload bench-match bench-cluster bench-chaos
 
 build:
 	go build ./...
@@ -35,3 +35,11 @@ bench-match:
 # vs independent instances, plus the kill/rejoin churn phase.
 bench-cluster:
 	go run ./cmd/appx-bench -experiment clustersweep
+
+# bench-chaos replays the seeded fault schedules (partition, slow peer,
+# flapping link, disk faults, kill/restart) against a 3-instance cluster and
+# prints the oracle verdict plus the hedged-vs-unhedged fill comparison.
+# Override the fault pattern with: make bench-chaos CHAOS_SEED=7
+CHAOS_SEED ?= 42
+bench-chaos:
+	go run ./cmd/appx-bench -experiment chaossweep -chaos-seed $(CHAOS_SEED)

@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
 // fig17 ablation mech faultsweep cachesweep overload matchsweep warmstart
-// clustersweep all.
+// clustersweep chaossweep all.
 //
 // With -admin it is an operator client instead: it fetches the typed
 // /appx/v1/{stats,health,spans} views from a running appx-proxy and renders
@@ -30,14 +30,15 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment to run")
-		scale    = flag.Float64("scale", 0.2, "emulated time scale (1 = paper-real)")
-		runs     = flag.Int("runs", 5, "microbenchmark repetitions per app")
-		users    = flag.Int("users", 8, "user-study participants")
-		duration = flag.Duration("duration", 3*time.Minute, "per-user session length")
-		think    = flag.Float64("think-speed", 10, "extra think-time compression")
-		events   = flag.Int("fuzz-events", 400, "fuzzing events for Table 3")
-		seed     = flag.Int64("seed", 42, "random seed")
+		which     = flag.String("experiment", "all", "experiment to run")
+		scale     = flag.Float64("scale", 0.2, "emulated time scale (1 = paper-real)")
+		runs      = flag.Int("runs", 5, "microbenchmark repetitions per app")
+		users     = flag.Int("users", 8, "user-study participants")
+		duration  = flag.Duration("duration", 3*time.Minute, "per-user session length")
+		think     = flag.Float64("think-speed", 10, "extra think-time compression")
+		events    = flag.Int("fuzz-events", 400, "fuzzing events for Table 3")
+		seed      = flag.Int64("seed", 42, "random seed")
+		chaosSeed = flag.Int64("chaos-seed", 0, "chaossweep fault-schedule seed (0 = -seed); a fixed seed replays the same fault pattern")
 
 		admin      = flag.String("admin", "", "base URL of a running appx-proxy; render its /appx/v1 admin views instead of running experiments")
 		adminSpans = flag.Int("admin-spans", 10, "recent spans to fetch in -admin mode")
@@ -62,13 +63,17 @@ func main() {
 		Seed:          *seed,
 	}
 
-	if err := run(*which, p); err != nil {
+	cs := *chaosSeed
+	if cs == 0 {
+		cs = *seed
+	}
+	if err := run(*which, p, cs); err != nil {
 		fmt.Fprintln(os.Stderr, "appx-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, p exp.Params) error {
+func run(which string, p exp.Params, chaosSeed int64) error {
 	sel := map[string]bool{}
 	for _, w := range strings.Split(which, ",") {
 		sel[strings.TrimSpace(w)] = true
@@ -194,6 +199,13 @@ func run(which string, p exp.Params) error {
 	}
 	if want("clustersweep") {
 		res, err := exp.RunClusterSweep(p.Seed)
+		if err != nil {
+			return err
+		}
+		section(res.Render())
+	}
+	if want("chaossweep") {
+		res, err := exp.RunChaosSweep(chaosSeed)
 		if err != nil {
 			return err
 		}

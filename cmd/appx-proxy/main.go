@@ -143,6 +143,12 @@ type options struct {
 	clusterVNodes        int
 	clusterReplicas      int
 	clusterProbeInterval time.Duration
+
+	// Latency-budget and hedging knobs.
+	requestBudget time.Duration
+	hedgeDelay    time.Duration
+	hedgeRateCap  float64
+	noHedging     bool
 }
 
 func main() {
@@ -196,6 +202,11 @@ func main() {
 	flag.IntVar(&o.clusterVNodes, "cluster-vnodes", 0, "virtual nodes per ring member (0 = default 128)")
 	flag.IntVar(&o.clusterReplicas, "cluster-replicas", 0, "ring siblings consulted per peer fill (0 = default 2)")
 	flag.DurationVar(&o.clusterProbeInterval, "cluster-probe-interval", 0, "peer health-probe period (0 = default 1s)")
+
+	flag.DurationVar(&o.requestBudget, "request-budget", 0, "per-request latency budget; decremented across stages and propagated (clamped, never grown) over relay hops (0 disables)")
+	flag.DurationVar(&o.hedgeDelay, "hedge-delay", 0, "static fallback delay before a slow peer-fill peek is hedged to the next ring successor (0 = default 30ms; adaptive per-peer p90 takes over with samples)")
+	flag.Float64Var(&o.hedgeRateCap, "hedge-rate-cap", 0, "hedge launches per second across the instance (0 = default 64)")
+	flag.BoolVar(&o.noHedging, "no-hedging", false, "disable hedged peer reads; slow peers are waited out sequentially")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -307,6 +318,10 @@ func run(o options) error {
 		StateDir:         o.stateDir,
 		SnapshotInterval: o.snapshotInterval,
 		Cluster:          cl,
+		RequestBudget:    o.requestBudget,
+		HedgeDelay:       o.hedgeDelay,
+		HedgeRateCap:     o.hedgeRateCap,
+		DisableHedging:   o.noHedging,
 	})
 	if o.stateDir != "" {
 		switch outcome := px.RestoreOutcome(); outcome {

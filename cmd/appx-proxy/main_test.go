@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -14,8 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"appx/internal/cluster"
 	"appx/internal/config"
 	"appx/internal/httpmsg"
+	"appx/internal/persist"
 	"appx/internal/proxy"
 	"appx/internal/sig"
 )
@@ -162,4 +166,75 @@ func TestShutdownLeavesNoGoroutines(t *testing.T) {
 	pprof.Lookup("goroutine").WriteTo(&sb, 1)
 	t.Fatalf("goroutines leaked after shutdown: baseline %d, now %d\n%s",
 		baseline, runtime.NumGoroutine(), sb.String())
+}
+
+// TestShutdownAbortsClusterProbes pins the shutdown ordering for cluster
+// mode: BeginDrain closes the cluster (cancelling its in-flight probes and
+// forwards) before the final state snapshot is written and before serve
+// returns. A peer that accepts connections but never answers would
+// otherwise hold a probe for the full 30s probe timeout and stall the exit.
+func TestShutdownAbortsClusterProbes(t *testing.T) {
+	// A peer that reads nothing and writes nothing: probes to it hang until
+	// their context is cancelled.
+	hung, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer hung.Close()
+	go func() {
+		for {
+			c, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	up := proxy.UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		return &httpmsg.Response{Status: 200, Body: []byte("ok")}, nil
+	})
+	g := sig.NewGraph("t")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	stateDir := t.TempDir()
+	px := proxy.New(proxy.Options{
+		Graph: g, Config: config.Default(g), Upstream: up,
+		StateDir: stateDir,
+		Cluster: cluster.Config{
+			Self:          ln.Addr().String(),
+			Peers:         []string{ln.Addr().String(), hung.Addr().String()},
+			ProbeInterval: 10 * time.Millisecond,
+			ProbeTimeout:  30 * time.Second, // shutdown must not wait this out
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- serve(ctx, px, ln, options{drainTimeout: 5 * time.Second})
+	}()
+	// Let at least one probe to the hung peer get in flight.
+	time.Sleep(50 * time.Millisecond)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("serve stuck behind a hung cluster probe")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v with a hung peer; cluster close must abort probes", elapsed)
+	}
+	// BeginDrain snapshots after the cluster is down: the final state must
+	// be on disk.
+	if _, err := os.Stat(filepath.Join(stateDir, persist.SnapshotFile)); err != nil {
+		t.Fatalf("final drain snapshot missing: %v", err)
+	}
 }

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"testing"
+
+	"appx/internal/netem"
+)
+
+// TestSchedulesWellFormed: every builtin schedule has a name, batches, and
+// events inside its batch range; persist schedules refuse to run rootless.
+func TestSchedulesWellFormed(t *testing.T) {
+	scheds := Schedules()
+	if len(scheds) < 4 {
+		t.Fatalf("only %d builtin schedules, want >= 4", len(scheds))
+	}
+	for _, s := range scheds {
+		if s.Name == "" || s.Batches <= 0 || len(s.Events) == 0 {
+			t.Fatalf("malformed schedule %+v", s)
+		}
+		for _, ev := range s.Events {
+			if ev.Batch < 0 || ev.Batch >= s.Batches {
+				t.Fatalf("%s: event %q at batch %d outside [0,%d)", s.Name, ev.Name, ev.Batch, s.Batches)
+			}
+			if ev.Apply == nil {
+				t.Fatalf("%s: event %q has no action", s.Name, ev.Name)
+			}
+		}
+		if got, ok := ScheduleByName(s.Name); !ok || got.Name != s.Name {
+			t.Fatalf("ScheduleByName(%q) lookup failed", s.Name)
+		}
+	}
+	sched, _ := ScheduleByName("diskfault")
+	if _, err := Run(Options{}, sched); err == nil {
+		t.Fatal("persist schedule ran without a state root")
+	}
+}
+
+// TestRunPartitionHoldsInvariants is the package smoke: a full partition
+// schedule against a 3-instance fleet must finish with zero oracle
+// violations while actually exercising the failure path (fallbacks fired).
+func TestRunPartitionHoldsInvariants(t *testing.T) {
+	sched, ok := ScheduleByName("partition")
+	if !ok {
+		t.Fatal("partition schedule missing")
+	}
+	rep, err := Run(Options{Seed: 7, Users: 3}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("oracle violations: %+v", rep.Violations)
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		t.Fatalf("no workload driven: %+v", rep)
+	}
+	if rep.Availability < 0.99 {
+		t.Fatalf("availability %.4f under partition, want >= 0.99", rep.Availability)
+	}
+	if rep.ForwardFallbacks == 0 {
+		t.Fatal("partition never forced a forward fallback — the cut did not bite")
+	}
+}
+
+// TestRunDiskFaultHoldsInvariants: torn/corrupt/failed writes land on disk
+// mid-run and every surviving artifact still decodes or reports typed
+// corruption.
+func TestRunDiskFaultHoldsInvariants(t *testing.T) {
+	sched, ok := ScheduleByName("diskfault")
+	if !ok {
+		t.Fatal("diskfault schedule missing")
+	}
+	rep, err := Run(Options{Seed: 11, Users: 3, StateRoot: t.TempDir()}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("oracle violations: %+v", rep.Violations)
+	}
+	if rep.DiskFaultsInjected == 0 {
+		t.Fatal("disk injectors never fired — the schedule did not bite")
+	}
+}
+
+// TestHarnessLinkFaultIsolated: a cut between 0 and 1 must not touch the
+// 0<->2 links — fault keys are directed per-pair.
+func TestHarnessLinkFaultIsolated(t *testing.T) {
+	h, err := newHarness(Options{Seed: 3, Users: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+	h.Cut(0, 1)
+	if f := h.inj.Fault(h.link(0, 1)); f.ConnectRefuseProb != 1 {
+		t.Fatalf("cut link 0->1 fault = %+v, want partition", f)
+	}
+	if f := h.inj.Fault(h.link(0, 2)); !faultZero(f) {
+		t.Fatalf("uninvolved link 0->2 got fault %+v", f)
+	}
+	h.Heal()
+	if f := h.inj.Fault(h.link(0, 1)); !faultZero(f) {
+		t.Fatalf("healed link still faulted: %+v", f)
+	}
+}
+
+func faultZero(f netem.Fault) bool {
+	return f == netem.Fault{}
+}

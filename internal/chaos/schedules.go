@@ -1,0 +1,130 @@
+package chaos
+
+import "time"
+
+// Event is one fault action, applied just before its batch is driven.
+type Event struct {
+	// Batch is the 0-based batch index the event fires before.
+	Batch int
+	// Name describes the action for reports and logs.
+	Name string
+	// Apply mutates the harness (set faults, kill, restart, ...).
+	Apply func(*Harness)
+}
+
+// Schedule is a named, ordered fault scenario replayed over a fixed number
+// of workload batches. With a fixed Options.Seed the whole run — fault
+// draws, workload order, ring churn — replays identically.
+type Schedule struct {
+	Name   string
+	Detail string
+	// Batches is how many times the full user population is driven.
+	Batches int
+	// Persist marks schedules that need state directories (disk faults,
+	// warm restarts). Run requires Options.StateRoot for these.
+	Persist bool
+	Events  []Event
+	// Drive overrides the default batch (every user's session, round-robin)
+	// for schedules that need a particular traffic shape.
+	Drive func(*Harness) error
+}
+
+// Schedules returns the builtin scenarios, one per failure family the
+// cluster claims to survive.
+func Schedules() []Schedule {
+	return []Schedule{
+		{
+			Name:    "partition",
+			Detail:  "two-way cut between 0 and 1, then an asymmetric one-way stall from 2 to 0, then heal",
+			Batches: 6,
+			Events: []Event{
+				{Batch: 1, Name: "cut 0<->1", Apply: func(h *Harness) { h.Cut(0, 1) }},
+				{Batch: 3, Name: "one-way slow 2->0", Apply: func(h *Harness) {
+					h.inj.SetFault(h.link(2, 0), slowReadFault(80*time.Millisecond))
+				}},
+				{Batch: 5, Name: "heal", Apply: func(h *Harness) { h.Heal() }},
+			},
+		},
+		{
+			Name:    "slowpeer",
+			Detail:  "every link into instance 2 stalls and drips while its probes stay green — the hedging regime",
+			Batches: 5,
+			Events: []Event{
+				{Batch: 1, Name: "slow links into 2", Apply: func(h *Harness) {
+					h.SlowLinksTo(2, 100*time.Millisecond)
+				}},
+			},
+			// Each batch replays the hedging textbook case: a fresh catalog
+			// epoch seeded onto instances 1 and 2 (the data is replicated),
+			// then driven through instance 0, whose misses race a fill
+			// against one degraded and one healthy holder. Without hedging
+			// every race that peeks the slow holder first waits out the
+			// stall; with hedging the healthy replica rescues it.
+			Drive: func(h *Harness) error {
+				h.epoch.Add(1)
+				for j := 0; j < chaosCatalog; j++ {
+					h.SeedAsset(1, j)
+					h.SeedAsset(2, j)
+				}
+				user := h.users[0] // owned by instance 0: served, not relayed
+				for j := 0; j < chaosCatalog; j++ {
+					if err := h.getVia(0, user, "/asset", h.assetID(j)); err != nil {
+						return err
+					}
+				}
+				h.drainAll()
+				return nil
+			},
+		},
+		{
+			Name:    "flappy",
+			Detail:  "instance 1 oscillates between partitioned and healthy every batch — probe flapping and ring churn",
+			Batches: 6,
+			Events: []Event{
+				{Batch: 1, Name: "flap down 1", Apply: func(h *Harness) { h.FlapLinksTo(1, true) }},
+				{Batch: 2, Name: "flap up 1", Apply: func(h *Harness) { h.FlapLinksTo(1, false) }},
+				{Batch: 3, Name: "flap down 1", Apply: func(h *Harness) { h.FlapLinksTo(1, true) }},
+				{Batch: 4, Name: "flap up 1", Apply: func(h *Harness) { h.FlapLinksTo(1, false) }},
+			},
+		},
+		{
+			Name:    "diskfault",
+			Detail:  "torn, corrupt, and failed disk writes while snapshots and spills run; state must stay decodable-or-typed-corrupt",
+			Batches: 5,
+			Persist: true,
+			Events: []Event{
+				{Batch: 1, Name: "disk faults on", Apply: func(h *Harness) { h.DiskChaos(0.15, 0.15, 0.10) }},
+				{Batch: 2, Name: "snapshot under faults", Apply: func(h *Harness) { h.SnapshotAll() }},
+				{Batch: 3, Name: "disk faults off", Apply: func(h *Harness) { h.DiskChaos(0, 0, 0) }},
+				{Batch: 4, Name: "clean snapshot", Apply: func(h *Harness) { h.SnapshotAll() }},
+			},
+		},
+		{
+			Name:    "killrestart",
+			Detail:  "instance 2 crashes mid-load and warm-restarts from its state directory two batches later",
+			Batches: 6,
+			Persist: true,
+			Events: []Event{
+				{Batch: 1, Name: "snapshot", Apply: func(h *Harness) { h.SnapshotAll() }},
+				{Batch: 2, Name: "kill 2", Apply: func(h *Harness) {
+					h.Kill(2)
+					h.WaitMembers(len(h.addrs)-1, 3*time.Second)
+				}},
+				{Batch: 4, Name: "restart 2", Apply: func(h *Harness) {
+					h.Restart(2)
+					h.WaitMembers(len(h.addrs), 3*time.Second)
+				}},
+			},
+		},
+	}
+}
+
+// ScheduleByName finds a builtin schedule.
+func ScheduleByName(name string) (Schedule, bool) {
+	for _, s := range Schedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}

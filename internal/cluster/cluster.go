@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,10 @@ type Config struct {
 	// experiments freeze it, and a frozen clock would keep open breakers
 	// from ever half-opening, making peer rejoin undetectable.
 	Now func() time.Time
+	// Dial, when non-nil, replaces the default dialer on every cluster
+	// client (probes, forwards, peeks). The chaos harness injects
+	// netem-faulted dials here; production leaves it nil.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 }
 
 // Enabled reports whether this config turns clustering on.
@@ -89,6 +94,12 @@ type Cluster struct {
 	clientMu sync.Mutex
 	clients  map[string]*http.Client // per-peer forwarding clients
 
+	// ctx is the cluster's root context; Close cancels it, aborting
+	// in-flight probes, forwards, and peer fills instead of letting them
+	// wait out their timeouts during a drain.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -110,6 +121,7 @@ func New(cfg Config) *Cluster {
 		clients: map[string]*http.Client{},
 		stop:    make(chan struct{}),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	seen := map[string]struct{}{cfg.Self: {}}
 	for _, p := range cfg.Peers {
 		if _, dup := seen[p]; dup || p == "" {
@@ -126,16 +138,20 @@ func New(cfg Config) *Cluster {
 	})
 	// Probes reuse one pooled client: keep-alive connections to every peer,
 	// never http.DefaultClient (unbounded, shared, no timeout).
+	probeTransport := &http.Transport{
+		MaxIdleConns:          64,
+		MaxIdleConnsPerHost:   4,
+		IdleConnTimeout:       30 * time.Second,
+		TLSHandshakeTimeout:   2 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		DisableCompression:    true,
+	}
+	if cfg.Dial != nil {
+		probeTransport.DialContext = cfg.Dial
+	}
 	c.probeClient = &http.Client{
-		Timeout: cfg.ProbeTimeout,
-		Transport: &http.Transport{
-			MaxIdleConns:          64,
-			MaxIdleConnsPerHost:   4,
-			IdleConnTimeout:       30 * time.Second,
-			TLSHandshakeTimeout:   2 * time.Second,
-			ExpectContinueTimeout: time.Second,
-			DisableCompression:    true,
-		},
+		Timeout:   cfg.ProbeTimeout,
+		Transport: probeTransport,
 	}
 	c.rebuildRing()
 	return c
@@ -160,9 +176,11 @@ func (c *Cluster) Start() {
 	}()
 }
 
-// Close stops probing and releases pooled connections. Idempotent.
+// Close stops probing, cancels in-flight probes/forwards/fills, and
+// releases pooled connections. Idempotent.
 func (c *Cluster) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
+	c.cancel()
 	c.wg.Wait()
 	c.probeClient.CloseIdleConnections()
 	c.clientMu.Lock()
@@ -174,6 +192,15 @@ func (c *Cluster) Close() {
 
 // Self returns this instance's advertised address.
 func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Peers returns the configured peer list (deduped, Self removed). The slice
+// is fixed after New; callers must not mutate it.
+func (c *Cluster) Peers() []string { return c.peers }
+
+// Context returns the cluster's root context. It is canceled by Close, so
+// background work parented here (prefetch-path peer fills, probes) dies with
+// the cluster during a drain instead of waiting out its own timeout.
+func (c *Cluster) Context() context.Context { return c.ctx }
 
 // Replicas returns the peer-fill fan-out bound.
 func (c *Cluster) Replicas() int { return c.cfg.Replicas }
@@ -231,7 +258,9 @@ func (c *Cluster) ProbeOnce() {
 }
 
 func (c *Cluster) probe(peer string) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	// Parent on the cluster context so Close aborts in-flight probes
+	// immediately; a drain no longer waits out ProbeTimeout.
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+adminv1.PathHealth, nil)
 	if err != nil {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -136,5 +138,69 @@ func TestFillPeersExcludesSelf(t *testing.T) {
 				t.Fatalf("FillPeers(%q) includes self", k)
 			}
 		}
+	}
+}
+
+// TestCloseCancelsInflightProbe: Close aborts a probe stuck on a hung peer
+// instead of waiting out ProbeTimeout — the drain path must not block on
+// dead network I/O.
+func TestCloseCancelsInflightProbe(t *testing.T) {
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the probe open until the test ends
+	}))
+	// Unblock the handler before Server.Close waits on it (defers run LIFO).
+	defer hung.Close()
+	defer close(release)
+
+	c := New(Config{
+		Self:         "127.0.0.1:0",
+		Peers:        []string{strings.TrimPrefix(hung.URL, "http://")},
+		ProbeTimeout: 30 * time.Second, // cancellation, not timeout, must end the probe
+	})
+	probeDone := make(chan struct{})
+	go func() {
+		c.ProbeOnce()
+		close(probeDone)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the probe reach the hung handler
+
+	closed := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closed)
+	}()
+	for _, ch := range []chan struct{}{closed, probeDone} {
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatal("Close did not cancel the in-flight probe")
+		}
+	}
+	select {
+	case <-c.Context().Done():
+	default:
+		t.Fatal("cluster context not canceled after Close")
+	}
+}
+
+// TestClusterDialHook: a Config.Dial hook sees every probe dial, letting
+// fault injectors sit under the cluster's own clients.
+func TestClusterDialHook(t *testing.T) {
+	pt := newProbeTarget(t)
+	var dials atomic.Int64
+	c := New(Config{
+		Self:  "127.0.0.1:0",
+		Peers: []string{pt.addr()},
+		Dial: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	})
+	defer c.Close()
+	c.ProbeOnce()
+	if dials.Load() == 0 {
+		t.Fatal("probe did not route through Config.Dial")
 	}
 }

@@ -33,19 +33,23 @@ func (c *Cluster) client(peer string) *http.Client {
 		return cl
 	}
 	proxyURL := &url.URL{Scheme: "http", Host: peer}
+	tr := &http.Transport{
+		Proxy:                 http.ProxyURL(proxyURL),
+		MaxIdleConns:          32,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       30 * time.Second,
+		TLSHandshakeTimeout:   2 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		ResponseHeaderTimeout: forwardResponseHeaderTimeout,
+		DisableCompression:    true,
+	}
+	if c.cfg.Dial != nil {
+		tr.DialContext = c.cfg.Dial
+	}
 	cl := &http.Client{
 		// No overall Timeout: the context on each request bounds it; a
 		// client-level timeout would also cap large-body reads.
-		Transport: &http.Transport{
-			Proxy:                 http.ProxyURL(proxyURL),
-			MaxIdleConns:          32,
-			MaxIdleConnsPerHost:   16,
-			IdleConnTimeout:       30 * time.Second,
-			TLSHandshakeTimeout:   2 * time.Second,
-			ExpectContinueTimeout: time.Second,
-			ResponseHeaderTimeout: forwardResponseHeaderTimeout,
-			DisableCompression:    true,
-		},
+		Transport: tr,
 		CheckRedirect: func(*http.Request, []*http.Request) error {
 			return http.ErrUseLastResponse // relay redirects verbatim
 		},

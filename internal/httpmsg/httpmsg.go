@@ -543,6 +543,17 @@ func (r *Response) GetHeader(key string) (string, bool) {
 	return "", false
 }
 
+// DeleteHeader removes every response header named key (case-insensitive).
+func (r *Response) DeleteHeader(key string) {
+	out := r.Header[:0]
+	for _, f := range r.Header {
+		if !strings.EqualFold(f.Key, key) {
+			out = append(out, f)
+		}
+	}
+	r.Header = out
+}
+
 // JSON lazily parses the body as JSON, caching the result.
 func (r *Response) JSON() (any, error) {
 	if !r.jsonOnce {

@@ -1,11 +1,30 @@
 package netem
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
+)
+
+// FaultDir restricts a fault's delay behaviours (stalls, spikes, drips) to
+// one transfer direction, modelling asymmetric mobile paths where one
+// direction of a link degrades while the other stays clean. Resets and
+// refusals are connection-level events and always apply regardless of
+// direction.
+type FaultDir int
+
+const (
+	// DirBoth applies delay faults to reads and writes alike (the default).
+	DirBoth FaultDir = iota
+	// DirRead applies delay faults only to reads — the peer's responses
+	// arrive late or trickle in, but our sends leave promptly.
+	DirRead
+	// DirWrite applies delay faults only to writes — our sends crawl while
+	// the peer's responses arrive clean.
+	DirWrite
 )
 
 // Fault describes the failure behaviour of one origin host's link. All
@@ -32,11 +51,39 @@ type Fault struct {
 	StallProb float64
 	// StallDelay is how long a stall lasts.
 	StallDelay time.Duration
+	// Dir restricts stalls, spikes, and drips to one transfer direction
+	// (DirBoth applies them to reads and writes alike). Resets and refusals
+	// ignore it: a dead connection is dead in both directions.
+	Dir FaultDir
+	// DripBytes, with DripDelay, turns affected writes into a slow drip:
+	// every write is chopped into DripBytes-sized chunks with DripDelay
+	// between them — the peer stays connected and data flows, just
+	// painfully. Unlike the probabilistic faults, a configured drip applies
+	// to every affected write.
+	DripBytes int
+	// DripDelay is the pause between drip chunks.
+	DripDelay time.Duration
 }
 
 // zero reports whether the fault injects nothing.
 func (f Fault) zero() bool {
-	return f.ConnectRefuseProb <= 0 && f.ResetProb <= 0 && f.SpikeProb <= 0 && f.StallProb <= 0
+	return f.ConnectRefuseProb <= 0 && f.ResetProb <= 0 && f.SpikeProb <= 0 && f.StallProb <= 0 &&
+		(f.DripBytes <= 0 || f.DripDelay <= 0)
+}
+
+// dripping reports whether the fault slow-drips affected writes.
+func (f Fault) dripping() bool { return f.DripBytes > 0 && f.DripDelay > 0 }
+
+// affects reports whether the fault's delay behaviours apply to dir.
+func (f Fault) affects(dir FaultDir) bool {
+	return f.Dir == DirBoth || f.Dir == dir
+}
+
+// Partition is the fault that fully severs a link: every new connection is
+// refused and every in-flight operation resets. Pair with Injector.Sever so
+// pooled keep-alive connections die too, not just future dials.
+func Partition() Fault {
+	return Fault{ConnectRefuseProb: 1, ResetProb: 1}
 }
 
 // ErrInjectedReset is returned by reads and writes on a connection the
@@ -53,6 +100,10 @@ type FaultStats struct {
 	Resets   int
 	Spikes   int
 	Stalls   int
+	// Drips counts writes that were slow-dripped in chunks.
+	Drips int
+	// Severed counts live connections killed by Sever.
+	Severed int
 }
 
 // Injector draws fault decisions from a single seeded source, so a fixed
@@ -64,6 +115,9 @@ type Injector struct {
 	rng    *rand.Rand
 	faults map[string]Fault
 	stats  map[string]*FaultStats
+	// conns tracks live wrapped connections per host so Sever can cut a
+	// link's pooled keep-alives, not just refuse its future dials.
+	conns map[string]map[*faultConn]struct{}
 }
 
 // NewInjector returns an injector seeded for reproducible draws.
@@ -72,6 +126,7 @@ func NewInjector(seed int64) *Injector {
 		rng:    rand.New(rand.NewSource(seed)),
 		faults: map[string]Fault{},
 		stats:  map[string]*FaultStats{},
+		conns:  map[string]map[*faultConn]struct{}{},
 	}
 }
 
@@ -97,6 +152,43 @@ func (in *Injector) Stats(host string) FaultStats {
 		return *st
 	}
 	return FaultStats{}
+}
+
+// Sever kills every live wrapped connection for host: blocked reads and
+// writes return immediately and the transport sockets close, so pooled
+// keep-alive connections cannot tunnel through a partition installed with
+// SetFault. Returns how many connections were cut.
+func (in *Injector) Sever(host string) int {
+	in.mu.Lock()
+	victims := make([]*faultConn, 0, len(in.conns[host]))
+	for c := range in.conns[host] {
+		victims = append(victims, c)
+	}
+	in.stat(host).Severed += len(victims)
+	in.mu.Unlock()
+	// kill takes each conn's own lock and re-enters in.mu via unregister;
+	// never hold in.mu across it.
+	for _, c := range victims {
+		c.kill()
+	}
+	return len(victims)
+}
+
+func (in *Injector) register(c *faultConn) {
+	in.mu.Lock()
+	set := in.conns[c.host]
+	if set == nil {
+		set = map[*faultConn]struct{}{}
+		in.conns[c.host] = set
+	}
+	set[c] = struct{}{}
+	in.mu.Unlock()
+}
+
+func (in *Injector) unregister(c *faultConn) {
+	in.mu.Lock()
+	delete(in.conns[c.host], c)
+	in.mu.Unlock()
 }
 
 func (in *Injector) stat(host string) *FaultStats {
@@ -126,31 +218,39 @@ func (in *Injector) ConnectRefused(host string) bool {
 }
 
 // ioDecision is one pre-I/O draw: at most one fault fires per operation,
-// checked in severity order (reset > stall > spike).
+// checked in severity order (reset > stall > spike); an active drip rides
+// along independently on writes.
 type ioDecision struct {
-	reset bool
-	delay time.Duration
+	reset     bool
+	delay     time.Duration
+	dripBytes int
+	dripDelay time.Duration
 }
 
-func (in *Injector) drawIO(host string) ioDecision {
+func (in *Injector) drawIO(host string, dir FaultDir) ioDecision {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	f := in.faults[host]
 	if f.zero() {
 		return ioDecision{}
 	}
+	var d ioDecision
+	if dir == DirWrite && f.dripping() && f.affects(DirWrite) {
+		d.dripBytes, d.dripDelay = f.DripBytes, f.DripDelay
+	}
+	affected := f.affects(dir)
 	switch {
 	case f.ResetProb > 0 && in.rng.Float64() < f.ResetProb:
 		in.stat(host).Resets++
 		return ioDecision{reset: true}
-	case f.StallProb > 0 && in.rng.Float64() < f.StallProb:
+	case affected && f.StallProb > 0 && in.rng.Float64() < f.StallProb:
 		in.stat(host).Stalls++
-		return ioDecision{delay: f.StallDelay}
-	case f.SpikeProb > 0 && in.rng.Float64() < f.SpikeProb:
+		d.delay = f.StallDelay
+	case affected && f.SpikeProb > 0 && in.rng.Float64() < f.SpikeProb:
 		in.stat(host).Spikes++
-		return ioDecision{delay: f.SpikeDelay}
+		d.delay = f.SpikeDelay
 	}
-	return ioDecision{}
+	return d
 }
 
 // WrapConn runs an existing connection through host's fault model: each
@@ -161,7 +261,9 @@ func (in *Injector) WrapConn(c net.Conn, host string) net.Conn {
 	if in == nil {
 		return c
 	}
-	return &faultConn{Conn: c, in: in, host: host}
+	fc := &faultConn{Conn: c, in: in, host: host}
+	in.register(fc)
+	return fc
 }
 
 // Dial connects like net.Dial but subject to host's fault model: the
@@ -171,6 +273,22 @@ func (in *Injector) Dial(network, addr, host string) (net.Conn, error) {
 		return nil, ErrInjectedRefusal
 	}
 	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c, host), nil
+}
+
+// DialContext is Dial with context plumbing, shaped to drop into
+// http.Transport.DialContext: the attempt may be refused, honours ctx
+// cancellation while connecting, and the returned connection is wrapped in
+// host's fault model.
+func (in *Injector) DialContext(ctx context.Context, network, addr, host string) (net.Conn, error) {
+	if in.ConnectRefused(host) {
+		return nil, ErrInjectedRefusal
+	}
+	var d net.Dialer
+	c, err := d.DialContext(ctx, network, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -228,28 +346,38 @@ func (c *faultConn) done() chan struct{} {
 	return c.donec
 }
 
-// apply performs one fault draw; it returns an error when the connection is
-// (or becomes) reset.
-func (c *faultConn) apply() error {
+// apply performs one fault draw for dir; it returns the decision and an
+// error when the connection is (or becomes) reset.
+func (c *faultConn) apply(dir FaultDir) (ioDecision, error) {
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
-		return ErrInjectedReset
+		return ioDecision{}, ErrInjectedReset
 	}
 	c.mu.Unlock()
-	d := c.in.drawIO(c.host)
+	d := c.in.drawIO(c.host, dir)
 	if d.reset {
 		c.kill()
-		return ErrInjectedReset
+		return d, ErrInjectedReset
 	}
 	if d.delay > 0 {
-		select {
-		case <-time.After(d.delay):
-		case <-c.done():
-			return net.ErrClosed
+		if err := c.sleep(d.delay); err != nil {
+			return d, err
 		}
 	}
-	return nil
+	return d, nil
+}
+
+// sleep waits interruptibly: a kill (reset or Sever) or Close wakes it.
+func (c *faultConn) sleep(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.done():
+		return net.ErrClosed
+	}
 }
 
 // kill marks the connection dead and severs the transport so blocked peers
@@ -263,21 +391,48 @@ func (c *faultConn) kill() {
 		}
 	}
 	c.mu.Unlock()
+	c.in.unregister(c)
 	c.Conn.Close()
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
-	if err := c.apply(); err != nil {
+	if _, err := c.apply(DirRead); err != nil {
 		return 0, err
 	}
 	return c.Conn.Read(p)
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
-	if err := c.apply(); err != nil {
+	d, err := c.apply(DirWrite)
+	if err != nil {
 		return 0, err
 	}
-	return c.Conn.Write(p)
+	if d.dripBytes <= 0 || len(p) <= d.dripBytes {
+		return c.Conn.Write(p)
+	}
+	// Slow drip: the bytes all go out, chunk by chunk, with a pause between
+	// chunks — a link that works but crawls. One drip event per write.
+	c.in.mu.Lock()
+	c.in.stat(c.host).Drips++
+	c.in.mu.Unlock()
+	written := 0
+	for written < len(p) {
+		if written > 0 {
+			if err := c.sleep(d.dripDelay); err != nil {
+				return written, err
+			}
+		}
+		end := written + d.dripBytes
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 func (c *faultConn) Close() error {
@@ -289,5 +444,6 @@ func (c *faultConn) Close() error {
 		}
 	}
 	c.mu.Unlock()
+	c.in.unregister(c)
 	return c.Conn.Close()
 }

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -199,5 +200,195 @@ func TestFaultListener(t *testing.T) {
 	c.Write([]byte("x"))
 	if _, err := c.Read(make([]byte, 1)); err == nil {
 		t.Fatal("exchange succeeded through a 100%-refusing listener")
+	}
+}
+
+// TestFaultDirRead: a read-direction stall delays reads but leaves writes
+// prompt — the asymmetric-link model.
+func TestFaultDirRead(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(11)
+	const stall = 80 * time.Millisecond
+	in.SetFault("h", Fault{StallProb: 1, StallDelay: stall, Dir: DirRead})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if wrote := time.Since(start); wrote > stall/2 {
+		t.Fatalf("write under DirRead stall took %v, want fast", wrote)
+	}
+	start = time.Now()
+	if _, err := io.ReadFull(fc, make([]byte, 4)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if read := time.Since(start); read < stall {
+		t.Fatalf("read under DirRead stall took %v, want >= %v", read, stall)
+	}
+}
+
+// TestFaultDirWrite: the mirror case — writes crawl, reads stay clean.
+func TestFaultDirWrite(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(12)
+	const stall = 80 * time.Millisecond
+	in.SetFault("h", Fault{StallProb: 1, StallDelay: stall, Dir: DirWrite})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if wrote := time.Since(start); wrote < stall {
+		t.Fatalf("write under DirWrite stall took %v, want >= %v", wrote, stall)
+	}
+	start = time.Now()
+	if _, err := io.ReadFull(fc, make([]byte, 4)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if read := time.Since(start); read > stall/2 {
+		t.Fatalf("read under DirWrite stall took %v, want fast", read)
+	}
+}
+
+// TestFaultSlowDrip: a dripping link delivers every byte but pays DripDelay
+// between chunks, and the write is counted as one drip event.
+func TestFaultSlowDrip(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(13)
+	const chunk, pause = 4, 20 * time.Millisecond
+	in.SetFault("h", Fault{DripBytes: chunk, DripDelay: pause})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+
+	msg := []byte("0123456789abcdef") // 16 bytes → 4 chunks → 3 pauses
+	start := time.Now()
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v; want %d, nil", n, err, len(msg))
+	}
+	if elapsed := time.Since(start); elapsed < 3*pause {
+		t.Fatalf("dripped write took %v, want >= %v", elapsed, 3*pause)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(fc, got); err != nil || string(got) != string(msg) {
+		t.Fatalf("echo = %q, %v", got, err)
+	}
+	if st := in.Stats("h"); st.Drips != 1 {
+		t.Fatalf("drips counted = %d, want 1", st.Drips)
+	}
+}
+
+// TestFaultDripDirRead: a drip restricted to reads leaves writes whole.
+func TestFaultDripDirRead(t *testing.T) {
+	ln := echoServer(t)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(14)
+	in.SetFault("h", Fault{DripBytes: 2, DripDelay: 50 * time.Millisecond, Dir: DirRead})
+	fc := in.WrapConn(c, "h")
+	defer fc.Close()
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("0123456789abcdef")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("write under DirRead drip took %v, want undripped", elapsed)
+	}
+	if st := in.Stats("h"); st.Drips != 0 {
+		t.Fatalf("drips counted = %d, want 0", st.Drips)
+	}
+}
+
+// TestFaultSever: Sever kills live wrapped connections — a blocked operation
+// unblocks with an error and later I/O fails — and counts victims.
+func TestFaultSever(t *testing.T) {
+	ln := echoServer(t)
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	in := NewInjector(15)
+	in.SetFault("h", Fault{StallProb: 1, StallDelay: time.Minute})
+	fc1 := in.WrapConn(c1, "h")
+	fc2 := in.WrapConn(c2, "h")
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc1.Write([]byte("x"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if n := in.Sever("h"); n != 2 {
+		t.Fatalf("Sever cut %d conns, want 2", n)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled write returned nil after Sever")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write did not unblock on Sever")
+	}
+	in.SetFault("h", Fault{})
+	if _, err := fc2.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+	if st := in.Stats("h"); st.Severed != 2 {
+		t.Fatalf("severed counted = %d, want 2", st.Severed)
+	}
+	if n := in.Sever("h"); n != 0 {
+		t.Fatalf("second Sever cut %d conns, want 0", n)
+	}
+}
+
+// TestFaultDialContext: refusals fire before the network, and the wrapped
+// conn carries the host's fault model.
+func TestFaultDialContext(t *testing.T) {
+	ln := echoServer(t)
+	in := NewInjector(16)
+	in.SetFault("dead", Fault{ConnectRefuseProb: 1})
+	ctx := context.Background()
+	if _, err := in.DialContext(ctx, "tcp", ln.Addr().String(), "dead"); !errors.Is(err, ErrInjectedRefusal) {
+		t.Fatalf("DialContext err = %v, want ErrInjectedRefusal", err)
+	}
+	c, err := in.DialContext(ctx, "tcp", ln.Addr().String(), "alive")
+	if err != nil {
+		t.Fatalf("DialContext healthy host: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := in.DialContext(canceled, "tcp", ln.Addr().String(), "alive"); err == nil {
+		t.Fatal("DialContext with canceled ctx succeeded")
 	}
 }

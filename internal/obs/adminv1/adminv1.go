@@ -180,6 +180,46 @@ type Cluster struct {
 	ScopesDropped    int64                  `json:"scopesDropped"`
 	ProbeFailures    int64                  `json:"probeFailures"`
 	RingRebuilds     int64                  `json:"ringRebuilds"`
+	// ForwardLoops counts relayed responses that arrived already carrying
+	// the forwarded marker — evidence the one-hop rule was violated. The
+	// chaos oracle asserts this stays zero.
+	ForwardLoops int64 `json:"forwardLoops"`
+	Hedge        Hedge `json:"hedge"`
+}
+
+// Hedge is the hedged-peer-read block inside Cluster.
+type Hedge struct {
+	Enabled bool `json:"enabled"`
+	// DelayMs is the static fallback hedging delay; per-peer adaptive
+	// delays take over once a peer has enough observed fills.
+	DelayMs int64 `json:"delayMs"`
+	// RateCap is the cluster-wide hedge launch cap per second.
+	RateCap float64 `json:"rateCap"`
+	// Launched counts hedge attempts actually sent.
+	Launched int64 `json:"launched"`
+	// Wins counts hedges whose response won the race.
+	Wins int64 `json:"wins"`
+	// Losses counts hedges the primary attempt beat.
+	Losses int64 `json:"losses"`
+	// Suppressed counts hedges withheld by the rate cap or the governor.
+	Suppressed int64 `json:"suppressed"`
+}
+
+// Budget is the request-latency-budget block of /appx/v1/stats.
+type Budget struct {
+	Enabled bool `json:"enabled"`
+	// LimitMs is the locally configured per-request budget (0 = none; the
+	// instance then only honours inherited budgets).
+	LimitMs int64 `json:"limitMs"`
+	// Inherited counts requests that arrived with a relay-propagated budget
+	// header.
+	Inherited int64 `json:"inherited"`
+	// Clamped counts inherited budgets larger than the local limit (the
+	// smaller value always wins — a budget never grows across hops).
+	Clamped int64 `json:"clamped"`
+	// Exhausted counts stage attempts skipped because the budget had
+	// already run out.
+	Exhausted int64 `json:"exhausted"`
 }
 
 // HeaderField is one stored response header in a ClusterEntry.
@@ -225,6 +265,7 @@ type StatsResponse struct {
 	Requests             Requests   `json:"requests"`
 	Persist              Persist    `json:"persist"`
 	Cluster              Cluster    `json:"cluster"`
+	Budget               Budget     `json:"budget"`
 }
 
 // HealthResponse is the body of GET /appx/v1/health.

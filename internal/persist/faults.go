@@ -42,6 +42,15 @@ func NewFaults(seed int64) *Faults {
 	return &Faults{rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetProbs replaces the injection probabilities under the injector's lock,
+// so chaos schedules can raise and lower fault rates while spill workers
+// and snapshot loops are concurrently drawing from the injector.
+func (f *Faults) SetProbs(torn, corrupt, writeErr float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.TornWriteProb, f.CorruptProb, f.WriteErrProb = torn, corrupt, writeErr
+}
+
 // FaultStats counts injected faults by kind.
 type FaultStats struct {
 	Torn, Corrupted, Failed int64

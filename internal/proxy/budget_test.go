@@ -1,0 +1,215 @@
+package proxy
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"appx/internal/httpmsg"
+)
+
+func testBudgetProxy(t *testing.T, budget time.Duration) *Proxy {
+	t.Helper()
+	p := New(Options{
+		Graph: sharedGraph(),
+		Upstream: UpstreamFunc(func(context.Context, *httpmsg.Request) (*httpmsg.Response, error) {
+			return &httpmsg.Response{Status: 200, Body: []byte("ok")}, nil
+		}),
+		Workers:       1,
+		RequestBudget: budget,
+	})
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestBudgetAccept pins the clamping matrix: local-only, inherited-only,
+// and the min of both — a budget never grows across hops — plus counter and
+// header-stripping behaviour.
+func TestBudgetAccept(t *testing.T) {
+	req := func(headerMs string) *httpmsg.Request {
+		r := &httpmsg.Request{Method: "GET", Host: "h.example", Path: "/x"}
+		if headerMs != "" {
+			r.SetHeader(budgetHeader, headerMs)
+		}
+		return r
+	}
+
+	t.Run("local only", func(t *testing.T) {
+		p := testBudgetProxy(t, 500*time.Millisecond)
+		b := p.acceptBudget(req(""))
+		if !b.active() {
+			t.Fatal("local budget not applied")
+		}
+		if rem := b.remaining(p.opts.Now()); rem <= 0 || rem > 500*time.Millisecond {
+			t.Fatalf("remaining = %v, want (0, 500ms]", rem)
+		}
+	})
+
+	t.Run("inherited smaller wins", func(t *testing.T) {
+		p := testBudgetProxy(t, 500*time.Millisecond)
+		r := req("100")
+		b := p.acceptBudget(r)
+		if rem := b.remaining(p.opts.Now()); rem > 100*time.Millisecond {
+			t.Fatalf("remaining = %v, want <= 100ms", rem)
+		}
+		if _, still := r.GetHeader(budgetHeader); still {
+			t.Fatal("budget header not stripped")
+		}
+		if p.budget.inherited.Load() != 1 {
+			t.Fatalf("inherited = %d, want 1", p.budget.inherited.Load())
+		}
+		if p.budget.clamped.Load() != 0 {
+			t.Fatalf("clamped = %d, want 0", p.budget.clamped.Load())
+		}
+	})
+
+	t.Run("inherited larger clamps to local", func(t *testing.T) {
+		p := testBudgetProxy(t, 200*time.Millisecond)
+		b := p.acceptBudget(req("5000"))
+		if rem := b.remaining(p.opts.Now()); rem > 200*time.Millisecond {
+			t.Fatalf("remaining = %v, want <= 200ms (clamped)", rem)
+		}
+		if p.budget.clamped.Load() != 1 {
+			t.Fatalf("clamped = %d, want 1", p.budget.clamped.Load())
+		}
+	})
+
+	t.Run("no budget anywhere", func(t *testing.T) {
+		p := testBudgetProxy(t, 0)
+		if b := p.acceptBudget(req("")); b.active() {
+			t.Fatal("budget active with neither header nor local limit")
+		}
+	})
+
+	t.Run("inherited without local limit", func(t *testing.T) {
+		p := testBudgetProxy(t, 0)
+		b := p.acceptBudget(req("250"))
+		if !b.active() {
+			t.Fatal("inherited budget ignored without a local limit")
+		}
+		if rem := b.remaining(p.opts.Now()); rem > 250*time.Millisecond {
+			t.Fatalf("remaining = %v, want <= 250ms", rem)
+		}
+	})
+
+	t.Run("malformed header ignored", func(t *testing.T) {
+		p := testBudgetProxy(t, 0)
+		for _, v := range []string{"bogus", "-5", "0"} {
+			r := req(v)
+			if b := p.acceptBudget(r); b.active() {
+				t.Fatalf("header %q produced an active budget", v)
+			}
+			if _, still := r.GetHeader(budgetHeader); still {
+				t.Fatalf("header %q not stripped", v)
+			}
+		}
+	})
+}
+
+// TestBudgetBound: the per-attempt context takes the smaller of the static
+// cap and the remaining budget, and an exhausted budget expires almost
+// immediately instead of hanging.
+func TestBudgetBound(t *testing.T) {
+	now := time.Now()
+
+	b := reqBudget{deadline: now.Add(50 * time.Millisecond)}
+	ctx, cancel := b.bound(context.Background(), now, time.Second)
+	dl, ok := ctx.Deadline()
+	cancel()
+	if !ok || time.Until(dl) > 60*time.Millisecond {
+		t.Fatalf("bound deadline = %v, want ~50ms out", time.Until(dl))
+	}
+
+	ctx, cancel = b.bound(context.Background(), now, 10*time.Millisecond)
+	dl, _ = ctx.Deadline()
+	cancel()
+	if time.Until(dl) > 15*time.Millisecond {
+		t.Fatalf("static cap should win when smaller; deadline %v out", time.Until(dl))
+	}
+
+	exhausted := reqBudget{deadline: now.Add(-time.Second)}
+	ctx, cancel = b.bound(context.Background(), now, 0)
+	dl, ok = ctx.Deadline()
+	cancel()
+	if !ok {
+		t.Fatal("budget-only bound produced no deadline")
+	}
+	ctx, cancel = exhausted.bound(context.Background(), now, 0)
+	dl, ok = ctx.Deadline()
+	cancel()
+	if !ok || time.Until(dl) > 5*time.Millisecond {
+		t.Fatal("exhausted budget must expire nearly immediately")
+	}
+
+	none := reqBudget{}
+	ctx, cancel = none.bound(context.Background(), now, 0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("inactive budget with no cap must not add a deadline")
+	}
+	cancel()
+
+	if !exhausted.exhausted(now) || b.exhausted(now) || none.exhausted(now) {
+		t.Fatal("exhausted() wrong on one of the fixtures")
+	}
+}
+
+// TestBudgetHeaderValue: the propagated value is the remaining budget,
+// floored at 1ms so a forwarded budget never reads as "none".
+func TestBudgetHeaderValue(t *testing.T) {
+	now := time.Now()
+	b := reqBudget{deadline: now.Add(80 * time.Millisecond)}
+	if v := b.headerValue(now); v != "80" {
+		t.Fatalf("headerValue = %q, want 80", v)
+	}
+	spent := reqBudget{deadline: now.Add(-time.Second)}
+	if v := spent.headerValue(now); v != "1" {
+		t.Fatalf("headerValue exhausted = %q, want 1", v)
+	}
+}
+
+// TestShedRetryAfterMode: a draining proxy's 503 carries the drain-mode
+// Retry-After hint, not the generic one.
+func TestShedRetryAfterMode(t *testing.T) {
+	p := testBudgetProxy(t, 0)
+	p.BeginDrain()
+	r := httptest.NewRequest(http.MethodGet, "http://h.example/x", nil)
+	w := httptest.NewRecorder()
+	p.ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After = %q, want 5 while draining", ra)
+	}
+}
+
+// TestBudgetPropagatedOverRelay boots a two-instance cluster where only the
+// relaying instance has a local budget; the owner must receive and count the
+// inherited budget from the hop header.
+func TestBudgetPropagatedOverRelay(t *testing.T) {
+	up, _ := countingUpstream()
+	nodes := startClusterNodes(t, 2, sharedGraph, up, nil, func(o *Options) {
+		o.RequestBudget = 2 * time.Second
+	})
+	addrs := []string{nodes[0].addr, nodes[1].addr}
+	user := userOwnedBy(128, addrs, 1) // owned by node 1; drive via node 0
+	if user == "" {
+		t.Fatal("no user key found for node 1")
+	}
+	c := viaCluster(nodes[0].addr)
+	status, _, err := clusterGet(c, user, "http://h.example/list")
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("relayed request = %d, %v", status, err)
+	}
+	if nodes[0].px.ClusterStats().Forwarded == 0 {
+		t.Fatal("request was not relayed")
+	}
+	if got := nodes[1].px.budget.inherited.Load(); got == 0 {
+		t.Fatal("owner did not inherit the relayed budget")
+	}
+	if got := nodes[1].px.budgetV1(); got.Enabled && got.LimitMs == 0 {
+		t.Fatalf("budget stats inconsistent: %+v", got)
+	}
+}

@@ -37,6 +37,9 @@ const clusterFillClaimWindow = 10 * time.Second
 type clusterState struct {
 	c *cluster.Cluster
 
+	// hedge is the hedged-peer-read policy (hedge.go).
+	hedge *hedgeState
+
 	forwarded        atomic.Int64
 	forwardFallbacks atomic.Int64
 	receivedForwards atomic.Int64
@@ -46,12 +49,19 @@ type clusterState struct {
 	fillErrors       atomic.Int64
 	rebalances       atomic.Int64
 	scopesDropped    atomic.Int64
+	// forwardLoops counts owner responses that arrived already marked
+	// forwarded: the owner re-relayed a hopped request, which the one-hop
+	// rule forbids. The chaos oracle asserts this stays zero fleet-wide.
+	forwardLoops atomic.Int64
 }
 
 // initCluster wires cluster mode into a new proxy: membership probing,
 // rebalance-on-change, and the appx_cluster_* metric bridges.
 func (p *Proxy) initCluster(reg *obs.Registry) {
 	st := &clusterState{c: cluster.New(p.opts.Cluster)}
+	// The hedge state registers one histogram per configured peer; peers are
+	// fixed after New, so this is the one place registration is safe.
+	st.hedge = newHedgeState(p.opts, reg, st.c.Peers())
 	p.cluster = st
 	st.c.OnChange(p.rebalanceCluster)
 	p.registerClusterBridges(reg)
@@ -78,6 +88,16 @@ func (p *Proxy) registerClusterBridges(reg *obs.Registry) {
 		st.scopesDropped.Load)
 	reg.GaugeFunc("appx_cluster_members", "Instances currently in the ring (self included).",
 		func() float64 { return float64(len(st.c.Members())) })
+	reg.CounterFunc("appx_cluster_forward_loops_total", "Relayed responses already marked forwarded (one-hop violations).",
+		st.forwardLoops.Load)
+	reg.CounterFunc("appx_cluster_hedges_launched_total", "Hedged peer-read attempts launched.",
+		st.hedge.launched.Load)
+	reg.CounterFunc("appx_cluster_hedges_won_total", "Hedged attempts that won the race.",
+		st.hedge.wins.Load)
+	reg.CounterFunc("appx_cluster_hedges_lost_total", "Hedged attempts the primary beat.",
+		st.hedge.losses.Load)
+	reg.CounterFunc("appx_cluster_hedges_suppressed_total", "Hedges withheld by the rate cap or governor.",
+		st.hedge.suppressed.Load)
 }
 
 // rebalanceCluster runs after every ring rebuild (on the probe goroutine):
@@ -111,20 +131,34 @@ func (p *Proxy) rebalanceCluster() {
 // refusing"; relaying that would fail a foreground request the local
 // instance can still serve). Transport failures feed the peer's breaker;
 // shed responses do not.
-func (p *Proxy) clusterRelay(ctx context.Context, sp *obs.Span, w http.ResponseWriter, req *httpmsg.Request, userKey, addr string) bool {
+func (p *Proxy) clusterRelay(ctx context.Context, bgt reqBudget, sp *obs.Span, w http.ResponseWriter, req *httpmsg.Request, userKey, addr string) bool {
 	st := p.cluster
 	if !st.c.PeerReady(addr) {
 		st.forwardFallbacks.Add(1)
 		return false
 	}
+	now := p.opts.Now()
+	// An exhausted budget cannot afford a network hop; whatever latency the
+	// local path costs is the best remaining option.
+	if bgt.exhausted(now) {
+		p.budget.exhausted.Add(1)
+		st.forwardFallbacks.Add(1)
+		return false
+	}
 	// The clone carries the addressing metadata the owner needs: the user
-	// key (the relay's UserKey extraction already consumed it) and the hop
-	// marker. The local req stays clean for the fallback path.
+	// key (the relay's UserKey extraction already consumed it), the hop
+	// marker, and the remaining budget — clamped at the receiver, so hops
+	// only ever shrink it. The local req stays clean for the fallback path.
 	fwd := req.Clone()
 	fwd.SetHeader(userHeader, userKey)
 	fwd.SetHeader(clusterHopHeader, st.c.Self())
-	start := p.opts.Now()
-	resp, err := st.c.Forward(ctx, addr, fwd)
+	if bgt.active() {
+		fwd.SetHeader(budgetHeader, bgt.headerValue(now))
+	}
+	rctx, rcancel := bgt.bound(ctx, now, 0)
+	defer rcancel()
+	start := now
+	resp, err := st.c.Forward(rctx, addr, fwd)
 	if err != nil {
 		st.c.ReportForward(addr, false)
 		st.forwardFallbacks.Add(1)
@@ -135,6 +169,13 @@ func (p *Proxy) clusterRelay(ctx context.Context, sp *obs.Span, w http.ResponseW
 			st.forwardFallbacks.Add(1)
 			return false
 		}
+	}
+	// An owner answering a hopped request must serve locally; a response
+	// already marked forwarded means it relayed again. Count the violation
+	// and strip the stale marker so the client sees one coherent hop.
+	if _, looped := resp.GetHeader(clusterForwardedHeader); looped {
+		st.forwardLoops.Add(1)
+		resp.DeleteHeader(clusterForwardedHeader)
 	}
 	st.c.ReportForward(addr, true)
 	st.forwarded.Add(1)
@@ -157,10 +198,24 @@ func (p *Proxy) clusterRelay(ctx context.Context, sp *obs.Span, w http.ResponseW
 // path); otherwise the fill claims it and releases it on a miss. A peer hit
 // is Put into the local shared tier — which clears the claim — so the next
 // request is a plain local hit.
-func (p *Proxy) clusterPeerFill(ctx context.Context, key string, claimed bool) *cache.Entry {
+func (p *Proxy) clusterPeerFill(ctx context.Context, key string, claimed bool, bgt reqBudget) *cache.Entry {
 	st := p.cluster
+	// Dead-breaker peers drop out before the race starts, so the hedge
+	// successor is always a peer worth asking.
 	peers := st.c.FillPeers(cache.IssueKey(cache.SharedScope, key))
-	if len(peers) == 0 {
+	ready := peers[:0]
+	for _, addr := range peers {
+		if st.c.PeerReady(addr) {
+			ready = append(ready, addr)
+		}
+	}
+	if len(ready) == 0 {
+		return nil
+	}
+	if bgt.exhausted(p.opts.Now()) {
+		// No budget left for a peer round trip; the origin path (which the
+		// caller falls through to) at least makes forward progress.
+		p.budget.exhausted.Add(1)
 		return nil
 	}
 	if !claimed && !p.store.TryIssue(cache.SharedScope, key, clusterFillClaimWindow) {
@@ -169,24 +224,7 @@ func (p *Proxy) clusterPeerFill(ctx context.Context, key string, claimed bool) *
 		return nil
 	}
 	st.fillAttempts.Add(1)
-	for _, addr := range peers {
-		if !st.c.PeerReady(addr) {
-			continue
-		}
-		pe, ok, err := st.c.PeekEntry(ctx, addr, key)
-		if err != nil {
-			st.fillErrors.Add(1)
-			st.c.ReportForward(addr, false)
-			continue
-		}
-		st.c.ReportForward(addr, true)
-		if !ok {
-			continue
-		}
-		e := p.entryFromPeer(pe)
-		if e == nil {
-			continue
-		}
+	if e := p.hedgedPeek(ctx, ready, key, bgt); e != nil {
 		p.store.Put(cache.SharedScope, key, e)
 		st.fillHits.Add(1)
 		return e
@@ -270,6 +308,16 @@ func (p *Proxy) clusterV1() adminv1.Cluster {
 	}
 	out.Rebalances = st.rebalances.Load()
 	out.ScopesDropped = st.scopesDropped.Load()
+	out.ForwardLoops = st.forwardLoops.Load()
+	out.Hedge = adminv1.Hedge{
+		Enabled:    !st.hedge.disabled,
+		DelayMs:    st.hedge.delay.Milliseconds(),
+		RateCap:    st.hedge.rate,
+		Launched:   st.hedge.launched.Load(),
+		Wins:       st.hedge.wins.Load(),
+		Losses:     st.hedge.losses.Load(),
+		Suppressed: st.hedge.suppressed.Load(),
+	}
 	return out
 }
 

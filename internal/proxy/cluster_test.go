@@ -36,7 +36,7 @@ func (n *clusterNode) kill() {
 // same seed list. vnodes[i] overrides instance i's vnode count (divergent
 // counts force divergent ownership views — the loop-prevention test wants
 // exactly that pathology).
-func startClusterNodes(t *testing.T, n int, graph func() *sig.Graph, up Upstream, vnodes []int) []*clusterNode {
+func startClusterNodes(t *testing.T, n int, graph func() *sig.Graph, up Upstream, vnodes []int, mut ...func(*Options)) []*clusterNode {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -54,7 +54,7 @@ func startClusterNodes(t *testing.T, n int, graph func() *sig.Graph, up Upstream
 		if vnodes != nil {
 			vn = vnodes[i]
 		}
-		px := New(Options{Graph: graph(), Upstream: up, Workers: 1,
+		opts := Options{Graph: graph(), Upstream: up, Workers: 1,
 			Cluster: cluster.Config{
 				Self:          addrs[i],
 				Peers:         addrs,
@@ -62,7 +62,11 @@ func startClusterNodes(t *testing.T, n int, graph func() *sig.Graph, up Upstream
 				Replicas:      2,
 				ProbeInterval: 20 * time.Millisecond,
 				ProbeTimeout:  200 * time.Millisecond,
-			}})
+			}}
+		for _, m := range mut {
+			m(&opts)
+		}
+		px := New(opts)
 		srv := &http.Server{Handler: px}
 		go srv.Serve(lns[i])
 		nodes[i] = &clusterNode{addr: addrs[i], px: px, srv: srv}

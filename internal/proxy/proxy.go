@@ -89,6 +89,23 @@ type Options struct {
 	// each user's learned state to one owner, relays non-owned requests
 	// there, and fills shared-tier misses from ring siblings before origin.
 	Cluster cluster.Config
+
+	// RequestBudget is the per-request latency budget: every cross-instance
+	// stage (relay, peer fill) gets a timeout derived from what remains, and
+	// the remainder propagates to relay targets via X-Appx-Budget-Ms —
+	// clamped at each hop, never grown. 0 disables local budgets (inherited
+	// ones are still honoured).
+	RequestBudget time.Duration
+	// HedgeDelay is the static fallback delay before a slow peer-fill peek
+	// earns a hedge to the next ring successor (default 30ms); once a peer
+	// has enough observed fills its p90 takes over.
+	HedgeDelay time.Duration
+	// HedgeRateCap bounds hedge launches per second cluster-wide (default
+	// 64): under overload, hedges are the first traffic to shed.
+	HedgeRateCap float64
+	// DisableHedging turns hedged peer reads off (fills walk peers
+	// sequentially, as before).
+	DisableHedging bool
 }
 
 // userHeader carries an explicit per-user tag from emulated devices; the
@@ -154,6 +171,13 @@ type Proxy struct {
 	// Cluster mode (cluster.go): membership ring, owner forwarding, and
 	// sibling peer fill. Nil when Options.Cluster is not enabled.
 	cluster *clusterState
+
+	// budget counts request-latency-budget events (budget.go).
+	budget struct {
+		inherited atomic.Int64
+		clamped   atomic.Int64
+		exhausted atomic.Int64
+	}
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -346,6 +370,12 @@ func (p *Proxy) registerBridges(reg *obs.Registry) {
 		func() int64 { return p.store.Metrics().Evictions.Expired })
 	reg.CounterFunc(`appx_cache_evictions_total{cause="budget"}`, "Cache evictions by cause.",
 		func() int64 { return p.store.Metrics().Evictions.Budget })
+	reg.CounterFunc("appx_budget_inherited_total", "Requests arriving with a propagated latency budget.",
+		p.budget.inherited.Load)
+	reg.CounterFunc("appx_budget_clamped_total", "Inherited budgets clamped to the local limit.",
+		p.budget.clamped.Load)
+	reg.CounterFunc("appx_budget_exhausted_total", "Stage attempts skipped on an exhausted budget.",
+		p.budget.exhausted.Load)
 }
 
 // Breakers exposes the per-host circuit breaker set (operational tooling
@@ -385,6 +415,13 @@ func (p *Proxy) Drain() { p.sched.Drain() }
 // the last periodic tick.
 func (p *Proxy) BeginDrain() {
 	if p.draining.CompareAndSwap(false, true) {
+		// Cluster I/O dies first: Close cancels the cluster context, which
+		// aborts in-flight probes and background peer fills immediately — a
+		// drain must not spend its deadline waiting out network timeouts on
+		// peers that may themselves be going down.
+		if p.cluster != nil {
+			p.cluster.c.Close()
+		}
 		p.SnapshotNow()
 	}
 }
@@ -403,6 +440,21 @@ func (p *Proxy) OverloadMode() string {
 
 // OverloadLevel reports the governor's current prefetch level (0..1).
 func (p *Proxy) OverloadLevel() float64 { return p.gov.Level() }
+
+// retryAfter derives the Retry-After hint stamped on every shed (503) from
+// the current overload mode: a draining instance is leaving and clients
+// should stay away longest; a shedding one needs breathing room; a gate shed
+// under otherwise-normal load clears fastest.
+func (p *Proxy) retryAfter() string {
+	switch p.OverloadMode() {
+	case "draining":
+		return "5"
+	case "shedding":
+		return "2"
+	default:
+		return "1"
+	}
+}
 
 // AdmissionCounts reports lifetime admitted and shed client requests.
 func (p *Proxy) AdmissionCounts() (admitted, shed int64) { return p.gate.counts() }
@@ -541,7 +593,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if p.draining.Load() {
 		sp.EndStage(obs.StageAdmission)
 		sp.SetOutcome(obs.OutcomeShed)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", p.retryAfter())
 		http.Error(w, "proxy: draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -552,7 +604,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sp.EndStage(obs.StageAdmission)
 		sp.SetOutcome(obs.OutcomeShed)
 		p.gov.Observe(p.queueFrac(), p.clientLat.Quantile(0.95), true)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", p.retryAfter())
 		http.Error(w, "proxy: overloaded", http.StatusServiceUnavailable)
 		return
 	}
@@ -567,6 +619,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The user, cluster, and budget tags are proxy addressing metadata, not
+	// application payload: record what they say, then strip them here —
+	// before any routing decision — so no path (relay, fallback, origin,
+	// error) can leak them onward or let them perturb exact-match keys.
+	_, hopped := req.GetHeader(clusterHopHeader)
+	bgt := p.acceptBudget(req)
+	req.DeleteHeader(userHeader)
+	req.DeleteHeader(clusterHopHeader)
 	// Cluster routing: a request for a user this instance does not own is
 	// relayed to the owner, so the user's learned state accretes in exactly
 	// one place. The hop header caps relaying at one hop — a forwarded
@@ -575,19 +635,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// through to local serving: topology trouble must never fail a
 	// foreground request.
 	if p.cluster != nil {
-		if _, hopped := req.GetHeader(clusterHopHeader); hopped {
+		if hopped {
 			p.cluster.receivedForwards.Add(1)
 		} else if addr, self := p.cluster.c.Owner(userKey); !self {
-			if p.clusterRelay(r.Context(), sp, w, req, userKey, addr) {
+			if p.clusterRelay(r.Context(), bgt, sp, w, req, userKey, addr) {
 				return
 			}
 		}
 	}
-	// The user and cluster tags are proxy addressing metadata, not
-	// application payload: they must not reach the origin or perturb
-	// exact-match keys.
-	req.DeleteHeader(userHeader)
-	req.DeleteHeader(clusterHopHeader)
 	u := p.user(userKey)
 	key := req.CanonicalKey()
 	sp.EndStage(obs.StageParse)
@@ -624,7 +679,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		matched = p.opts.Graph.MatchRequest(req)
 		haveMatch = true
 		if len(matched) > 0 && len(p.opts.Graph.DepsInto(matched[0].ID)) > 0 && p.sharedEligible(matched[0], req) {
-			if entry := p.clusterPeerFill(r.Context(), key, false); entry != nil {
+			if entry := p.clusterPeerFill(r.Context(), key, false, bgt); entry != nil {
 				sp.SetSig(entry.SigID)
 				p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), true)
 				entry.Resp.WriteTo(w)
@@ -637,9 +692,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Forward on the client's behalf: the request context propagates client
-	// disconnects, and the retry middleware gives idempotent requests one
-	// fast retry before the client sees a 502.
-	resp, err := p.fwdUp.RoundTrip(r.Context(), req)
+	// disconnects, the remaining latency budget (when set) bounds the whole
+	// origin exchange, and the retry middleware gives idempotent requests
+	// one fast retry before the client sees a 502.
+	octx, ocancel := bgt.bound(r.Context(), p.opts.Now(), 0)
+	resp, err := p.fwdUp.RoundTrip(octx, req)
+	ocancel()
 	if err != nil {
 		sp.EndStage(obs.StageOrigin)
 		sp.SetOutcome(obs.OutcomeError)
@@ -759,6 +817,18 @@ func (p *Proxy) statsV1() adminv1.StatsResponse {
 		Requests:             p.requestsV1(),
 		Persist:              p.persistV1(),
 		Cluster:              p.clusterV1(),
+		Budget:               p.budgetV1(),
+	}
+}
+
+// budgetV1 assembles the typed budget block of /appx/v1/stats.
+func (p *Proxy) budgetV1() adminv1.Budget {
+	return adminv1.Budget{
+		Enabled:   p.opts.RequestBudget > 0,
+		LimitMs:   p.opts.RequestBudget.Milliseconds(),
+		Inherited: p.budget.inherited.Load(),
+		Clamped:   p.budget.clamped.Load(),
+		Exhausted: p.budget.exhausted.Load(),
 	}
 }
 
@@ -1209,8 +1279,11 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	// A peer hit counts as a zero-byte prefetch — the entry is as warm as a
 	// fetched one but cost no origin traffic.
 	if p.cluster != nil && scope == cache.SharedScope {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(p.res.PrefetchTimeout))
-		e := p.clusterPeerFill(ctx, key, true)
+		// Parent on the cluster context, not Background: BeginDrain cancels
+		// it, so background fills die with the drain instead of waiting out
+		// PrefetchTimeout.
+		ctx, cancel := context.WithTimeout(p.cluster.c.Context(), time.Duration(p.res.PrefetchTimeout))
+		e := p.clusterPeerFill(ctx, key, true, reqBudget{})
 		cancel()
 		if e != nil {
 			p.stats.CountPrefetch(s.ID, 0)

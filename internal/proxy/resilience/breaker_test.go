@@ -1,6 +1,8 @@
 package resilience
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -147,5 +149,85 @@ func TestBreakerSnapshotOpenFor(t *testing.T) {
 	clock.Advance(4 * time.Second)
 	if got := bs.Snapshot()["h"].OpenFor; got != 4*time.Second {
 		t.Fatalf("OpenFor = %v, want 4s", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeRace: when an open breaker's timeout elapses,
+// many concurrent callers race Allow — exactly one may win the half-open
+// probe slot per window, no matter the interleaving. Run under -race this
+// also checks the slot reservation itself is properly synchronized.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	clock := newFakeClock()
+	bs := newTestBreakers(clock)
+	trip := func() {
+		for i := 0; i < 3; i++ {
+			bs.ReportFailure("h")
+		}
+	}
+	race := func() (admitted int32) {
+		const racers = 32
+		var wg sync.WaitGroup
+		var n int32
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if bs.Allow("h") {
+					atomic.AddInt32(&n, 1)
+				}
+			}()
+		}
+		wg.Wait()
+		return n
+	}
+
+	trip()
+	clock.Advance(11 * time.Second)
+	if got := race(); got != 1 {
+		t.Fatalf("half-open window admitted %d probes, want exactly 1", got)
+	}
+	// The losing racers must not have consumed anything: a failed probe
+	// reopens, and the next window again admits exactly one.
+	bs.ReportFailure("h")
+	if got := bs.State("h"); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	clock.Advance(11 * time.Second)
+	if got := race(); got != 1 {
+		t.Fatalf("second half-open window admitted %d probes, want exactly 1", got)
+	}
+	// Successful probes (HalfOpenSuccesses: 2) close the circuit; after the
+	// first success the slot frees for the second probe.
+	bs.ReportSuccess("h")
+	if got := race(); got != 1 {
+		t.Fatalf("post-success half-open admitted %d probes, want exactly 1", got)
+	}
+	bs.ReportSuccess("h")
+	if got := bs.State("h"); got != Closed {
+		t.Fatalf("state after 2 probe successes = %v, want closed", got)
+	}
+
+	// A closed breaker under concurrent traffic: all callers admitted, all
+	// report, state stays consistent. Material for the race detector more
+	// than for the assertions.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if bs.Allow("h") {
+					if k%8 == 0 && j%50 == 49 {
+						bs.ReportFailure("h")
+					} else {
+						bs.ReportSuccess("h")
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := bs.State("h"); got != Closed && got != Open && got != HalfOpen {
+		t.Fatalf("breaker in impossible state %v", got)
 	}
 }

@@ -68,4 +68,17 @@ go test -race -count=1 ./internal/proxy/ \
     -run 'TestClusterForwardLoopPrevented|TestClusterKillNoForegroundFailures|TestClusterPeerFill'
 go test -race -count=1 ./internal/exp/ -run TestClusterSweepAcceptance
 
+# Chaos smoke gate: seeded fault schedules against a real 3-instance loopback
+# cluster with the invariant oracle watching — partition (forward fallbacks
+# must fire, zero foreground failures) and disk faults (every injected
+# torn/corrupt/failed write must decode or surface as a typed corruption).
+# The budget and hedge unit tests plus the breaker's half-open probe race run
+# race-enabled alongside.
+echo "== chaos smoke gate"
+go test -race -count=1 ./internal/chaos/
+go test -race -count=1 ./internal/proxy/ \
+    -run 'TestBudget|TestHedge'
+go test -race -count=1 ./internal/proxy/resilience/ \
+    -run TestBreakerHalfOpenProbeRace
+
 echo "check: OK"
