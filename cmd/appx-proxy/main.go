@@ -149,6 +149,11 @@ type options struct {
 	hedgeDelay    time.Duration
 	hedgeRateCap  float64
 	noHedging     bool
+
+	// Streaming data plane.
+	streamChunkBytes int
+	captureMaxBytes  int64
+	maxBodyBytes     int64
 }
 
 func main() {
@@ -207,6 +212,10 @@ func main() {
 	flag.DurationVar(&o.hedgeDelay, "hedge-delay", 0, "static fallback delay before a slow peer-fill peek is hedged to the next ring successor (0 = default 30ms; adaptive per-peer p90 takes over with samples)")
 	flag.Float64Var(&o.hedgeRateCap, "hedge-rate-cap", 0, "hedge launches per second across the instance (0 = default 64)")
 	flag.BoolVar(&o.noHedging, "no-hedging", false, "disable hedged peer reads; slow peers are waited out sequentially")
+
+	flag.IntVar(&o.streamChunkBytes, "stream-chunk-bytes", 0, "pooled body-chunk size on the streaming data plane (0 = default 64KiB)")
+	flag.Int64Var(&o.captureMaxBytes, "capture-max-bytes", 0, "largest response body captured for cache insertion; bigger bodies stream through uncached (0 = default 4MiB)")
+	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 0, "largest accepted client request body, 413 past it (0 = default 64MiB, <0 = unlimited)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -322,6 +331,9 @@ func run(o options) error {
 		HedgeDelay:       o.hedgeDelay,
 		HedgeRateCap:     o.hedgeRateCap,
 		DisableHedging:   o.noHedging,
+		StreamChunkBytes: o.streamChunkBytes,
+		CaptureMaxBytes:  o.captureMaxBytes,
+		MaxBodyBytes:     o.maxBodyBytes,
 	})
 	if o.stateDir != "" {
 		switch outcome := px.RestoreOutcome(); outcome {

@@ -451,7 +451,9 @@ func (s *Store) put(scope, key string, p *Entry, spill bool) {
 	sh.sigStat(p.SigID).Puts++
 	sh.mu.Unlock()
 	if spill {
-		if t := s.opts.Tier; t != nil {
+		// Only complete buffered bodies spill: a streaming or truncated
+		// capture serialized to disk would restore as a silently short entry.
+		if t := s.opts.Tier; t != nil && (p.Resp == nil || p.Resp.BodyComplete()) {
 			t.Spill(scope, key, p)
 		}
 	}

@@ -106,7 +106,12 @@ type Cluster struct {
 
 	probeFailures atomic.Int64
 	rebuilds      atomic.Int64
+	drainErrors   atomic.Int64
 }
+
+// DrainErrors reports how many response-body drains failed mid-read — the
+// once-silent error path in drain, now surfaced for the registry.
+func (c *Cluster) DrainErrors() int64 { return c.drainErrors.Load() }
 
 // New builds a Cluster from cfg. The ring starts optimistic — every
 // configured peer is presumed alive until probes say otherwise — so a fleet
@@ -270,9 +275,8 @@ func (c *Cluster) probe(peer string) bool {
 	if err != nil {
 		return false
 	}
-	defer resp.Body.Close()
 	// Drain so the keep-alive connection is reusable.
-	drainBody(resp)
+	c.drain(resp)
 	// A draining instance answers health with 503: it is alive but leaving;
 	// treat as down so new work stops routing there.
 	return resp.StatusCode == http.StatusOK

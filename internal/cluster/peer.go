@@ -79,11 +79,10 @@ func (c *Cluster) Forward(ctx context.Context, addr string, r *httpmsg.Request) 
 	if err != nil {
 		return nil, err
 	}
-	out, err := httpmsg.FromHTTPResponse(resp)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Streaming: the relay copies owner→client without re-buffering the
+	// body. The caller must finish it (WriteTo or DrainAndClose) on every
+	// path, including fallbacks, or the pooled peer connection leaks.
+	return httpmsg.FromHTTPResponseStreaming(resp), nil
 }
 
 // PeekEntry asks the sibling at addr whether its shared tier holds the
@@ -101,28 +100,33 @@ func (c *Cluster) PeekEntry(ctx context.Context, addr, key string) (*adminv1.Clu
 	if err != nil {
 		return nil, false, err
 	}
-	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var entry adminv1.ClusterEntry
-		if err := json.NewDecoder(io.LimitReader(resp.Body, peekBodyLimit)).Decode(&entry); err != nil {
+		err := json.NewDecoder(io.LimitReader(resp.Body, peekBodyLimit)).Decode(&entry)
+		c.drain(resp)
+		if err != nil {
 			return nil, false, fmt.Errorf("cluster: decoding peek from %s: %w", addr, err)
 		}
 		return &entry, true, nil
 	case http.StatusNotFound:
-		drainBody(resp)
+		c.drain(resp)
 		return nil, false, nil
 	default:
-		drainBody(resp)
+		c.drain(resp)
 		return nil, false, fmt.Errorf("cluster: peek %s: unexpected status %d", addr, resp.StatusCode)
 	}
 }
 
-// drainBody discards the rest of a response body so the pooled connection
-// can be reused.
-func drainBody(resp *http.Response) {
+// drain discards the rest of a response body (bounded) and closes it so the
+// pooled connection can be reused. Unlike the old silent io.Copy(io.Discard),
+// errors are counted: a rising drainErrors series means a peer is tearing
+// connections mid-body.
+func (c *Cluster) drain(resp *http.Response) {
 	if resp.Body == nil {
 		return
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	if err := httpmsg.DrainAndClose(resp.Body); err != nil {
+		c.drainErrors.Add(1)
+	}
 }

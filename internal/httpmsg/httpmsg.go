@@ -236,7 +236,10 @@ func (r *Request) DeleteForm(key string) {
 // hopByHop lists fields excluded from the canonical key: transport details
 // that differ between a prefetched request and the client's live request
 // without changing application semantics. Content-Type is covered by
-// BodyKind, which the key already includes.
+// BodyKind, which the key already includes. Range and If-Range are excluded
+// so a ranged request shares its key with the full-entity request — the
+// proxy fetches and caches whole entities and slices the 206 locally, which
+// preserves §4.5 exactness (a byte range of a byte-identical response).
 var hopByHop = map[string]bool{
 	"content-length":    true,
 	"content-type":      true,
@@ -248,6 +251,8 @@ var hopByHop = map[string]bool{
 	"te":                true,
 	"trailer":           true,
 	"upgrade":           true,
+	"range":             true,
+	"if-range":          true,
 }
 
 // keyScratch pools CanonicalKey's working state: the canonical byte stream
@@ -430,6 +435,13 @@ func (r *Request) ToHTTP() (*http.Request, error) {
 // FromHTTP converts an inbound *http.Request (as seen by a proxy or origin
 // handler) into the field-structured form, consuming the body.
 func FromHTTP(req *http.Request) (*Request, error) {
+	return FromHTTPLimited(req, 0)
+}
+
+// FromHTTPLimited is FromHTTP with a body-size guard: when maxBody > 0 and
+// the request body exceeds it, the body is closed and ErrBodyTooLarge is
+// returned (the proxy answers 413). maxBody <= 0 means unlimited.
+func FromHTTPLimited(req *http.Request, maxBody int64) (*Request, error) {
 	out := &Request{
 		Method: req.Method,
 		Scheme: "http",
@@ -455,11 +467,19 @@ func FromHTTP(req *http.Request) (*Request, error) {
 	var body []byte
 	if req.Body != nil {
 		var err error
-		body, err = io.ReadAll(req.Body)
+		src := io.Reader(req.Body)
+		if maxBody > 0 {
+			src = io.LimitReader(req.Body, maxBody+1)
+		}
+		body, err = io.ReadAll(src)
 		if err != nil {
+			req.Body.Close()
 			return nil, fmt.Errorf("httpmsg: reading body: %w", err)
 		}
 		req.Body.Close()
+		if maxBody > 0 && int64(len(body)) > maxBody {
+			return nil, ErrBodyTooLarge
+		}
 	}
 	if len(body) == 0 {
 		return out, nil
@@ -513,18 +533,27 @@ func sortedHeaderKeys(h http.Header) []string {
 	return keys
 }
 
-// Response is a captured HTTP response.
+// Response is a captured HTTP response. A Response is either buffered (Body
+// holds the complete entity, stream nil — the form cache entries, learning,
+// and persistence operate on) or streaming (stream carries the body as it
+// arrives from the origin; Body is empty until/unless Buffer consumes the
+// stream). See body.go for the streaming accessors.
 type Response struct {
 	Status int
 	Header []Field
 	Body   []byte
+
+	stream *bodyStream
+	trunc  bool // body exceeded a Buffer cap and was discarded mid-read
 
 	jsonOnce bool
 	jsonVal  any
 	jsonErr  error
 }
 
-// Clone deep-copies the response (without the parsed-JSON cache).
+// Clone deep-copies the response (without the parsed-JSON cache). Clone is
+// defined for buffered responses only: a stream has exactly one consumer, so
+// the clone shares no stream (its body is whatever has been buffered).
 func (r *Response) Clone() *Response {
 	return &Response{
 		Status: r.Status,
@@ -554,11 +583,20 @@ func (r *Response) DeleteHeader(key string) {
 	r.Header = out
 }
 
-// JSON lazily parses the body as JSON, caching the result.
+// JSON lazily parses the body as JSON, caching the result. It refuses
+// streaming or truncated responses: callers that need the document must
+// Buffer the body first, and a capped capture is never parsed as if whole.
 func (r *Response) JSON() (any, error) {
 	if !r.jsonOnce {
 		r.jsonOnce = true
-		r.jsonVal, r.jsonErr = jsonpath.Decode(r.Body)
+		switch {
+		case r.Streaming():
+			r.jsonErr = errStreamingJSON
+		case r.trunc:
+			r.jsonErr = errTruncatedJSON
+		default:
+			r.jsonVal, r.jsonErr = jsonpath.Decode(r.Body)
+		}
 	}
 	return r.jsonVal, r.jsonErr
 }
@@ -582,12 +620,29 @@ func FromHTTPResponse(resp *http.Response) (*Response, error) {
 	return out, nil
 }
 
-// WriteTo writes the response through a http.ResponseWriter.
+// WriteTo writes the response through a http.ResponseWriter. A streaming
+// response is copied chunk-by-chunk through a pooled buffer — bytes reach
+// the client as they arrive from the origin — and the body is closed
+// afterwards regardless of error.
 func (r *Response) WriteTo(w http.ResponseWriter) error {
 	for _, f := range r.Header {
 		w.Header().Add(f.Key, f.Value)
 	}
 	w.WriteHeader(r.Status)
+	if r.Streaming() {
+		// Flush per write so streamed bytes leave as they arrive instead of
+		// pooling in net/http's response buffer — time-to-first-byte must
+		// track the origin's first byte, not its last.
+		dst := io.Writer(w)
+		if f, ok := w.(http.Flusher); ok {
+			dst = flushedWriter{w: w, f: f}
+		}
+		_, err := copyPooled(dst, r.stream.rc)
+		if cerr := r.CloseBody(); err == nil {
+			err = cerr
+		}
+		return err
+	}
 	_, err := w.Write(r.Body)
 	return err
 }

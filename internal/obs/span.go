@@ -26,6 +26,11 @@ const (
 	// StageLearn is signature matching plus dynamic learning after the
 	// response was delivered.
 	StageLearn
+	// StageStream is body streaming time after the response headers and
+	// first write: the window where origin, spool, and client overlap.
+	// StageWrite now covers only status/header delivery (the user-perceived
+	// first-byte point); the body transfer itself is attributed here.
+	StageStream
 
 	// NumStages bounds the Stage enum.
 	NumStages
@@ -46,6 +51,8 @@ func (s Stage) String() string {
 		return "write"
 	case StageLearn:
 		return "learn"
+	case StageStream:
+		return "stream"
 	}
 	return "unknown"
 }
@@ -76,6 +83,9 @@ const (
 	// OutcomeError: the request failed (malformed, or the origin path
 	// errored after retries).
 	OutcomeError
+	// OutcomeAttachHit: served by attaching to another request's in-flight
+	// origin fetch for the same canonical key — no second origin round trip.
+	OutcomeAttachHit
 
 	// NumOutcomes bounds the Outcome enum.
 	NumOutcomes
@@ -98,6 +108,8 @@ func (o Outcome) String() string {
 		return "peer-hit"
 	case OutcomeError:
 		return "error"
+	case OutcomeAttachHit:
+		return "attach-hit"
 	}
 	return "unknown"
 }

@@ -166,6 +166,11 @@ func (p *Proxy) clusterRelay(ctx context.Context, bgt reqBudget, sp *obs.Span, w
 	}
 	if resp.Status == http.StatusServiceUnavailable {
 		if _, shedding := resp.GetHeader("Retry-After"); shedding {
+			// The owner's body streams now: finish it so the pooled peer
+			// connection is reusable before serving locally.
+			if derr := resp.DrainAndClose(); derr != nil {
+				p.streamStats.drainErrors.Add(1)
+			}
 			st.forwardFallbacks.Add(1)
 			return false
 		}
@@ -272,7 +277,9 @@ func (p *Proxy) serveClusterEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, ok := p.store.Peek(cache.SharedScope, key)
-	if !ok || e.Resp == nil {
+	if !ok || e.Resp == nil || !e.Resp.BodyComplete() {
+		// Entries are buffered-complete by construction; a streaming or
+		// truncated one must never serialize to a sibling as if whole.
 		http.Error(w, "miss", http.StatusNotFound)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
@@ -30,6 +31,7 @@ import (
 	"appx/internal/proxy/resilience"
 	"appx/internal/proxy/sched"
 	"appx/internal/sig"
+	"appx/internal/stream"
 )
 
 // Options configures a Proxy.
@@ -72,6 +74,17 @@ type Options struct {
 	// SpanBuffer sizes the recent-spans ring served by /appx/v1/spans
 	// (default 1024, minimum 16).
 	SpanBuffer int
+
+	// StreamChunkBytes sizes the pooled chunks the streaming data plane
+	// moves bodies through (default stream.DefaultChunkBytes, 64 KiB).
+	StreamChunkBytes int
+	// CaptureMaxBytes caps how much of a streamed origin body is retained
+	// for cache insertion and learning (default 4 MiB). Larger bodies
+	// stream through to the client uncached; over-cap prefetches abort.
+	CaptureMaxBytes int64
+	// MaxBodyBytes bounds client request bodies (413 beyond it) and clamps
+	// CaptureMaxBytes (default 64 MiB; negative disables both guards).
+	MaxBodyBytes int64
 
 	// StateDir enables crash-safe persistence: a disk cache tier under
 	// <StateDir>/cache plus snapshot/restore of learned soft state in
@@ -178,6 +191,17 @@ type Proxy struct {
 		clamped   atomic.Int64
 		exhausted atomic.Int64
 	}
+
+	// Streaming data plane (stream.go): pooled body chunks, the in-flight
+	// fetch registry clients attach to, resolved caps, and data-plane
+	// telemetry.
+	chunks      *stream.Pool
+	captureCap  int64
+	maxBody     int64
+	flightMu    sync.Mutex
+	flights     map[string]*flight
+	streamStats streamStatCounters
+	ttfb        *obs.Histogram
 }
 
 // sigBackoff is one signature's failure streak and suspension deadline.
@@ -257,6 +281,15 @@ func New(opts Options) *Proxy {
 	if opts.Config == nil {
 		opts.Config = config.Default(opts.Graph)
 	}
+	if opts.StreamChunkBytes == 0 {
+		opts.StreamChunkBytes = stream.DefaultChunkBytes
+	}
+	if opts.CaptureMaxBytes == 0 {
+		opts.CaptureMaxBytes = 4 << 20
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
 	reg := obs.NewRegistry()
 	p := &Proxy{
 		opts:    opts,
@@ -264,8 +297,17 @@ func New(opts Options) *Proxy {
 		stats:   NewStatsOn(reg),
 		users:   map[string]*user{},
 		sigFail: map[string]*sigBackoff{},
+		flights: map[string]*flight{},
 	}
 	p.spans = obs.NewSpanRecorder(reg, opts.SpanBuffer, func() time.Time { return p.opts.Now() })
+	p.chunks = stream.NewPool(opts.StreamChunkBytes)
+	p.captureCap = opts.CaptureMaxBytes
+	p.maxBody = opts.MaxBodyBytes
+	if p.maxBody < 0 {
+		p.maxBody = 0 // explicit opt-out: unlimited request bodies
+	}
+	p.ttfb = reg.Histogram("appx_ttfb_seconds",
+		"Time from request admission to the first response byte on the wire.", nil)
 	p.res = opts.Config.EffectiveResilience()
 	// Now/Rand are read through p.opts so tests that rebind them after New
 	// (the established idiom here) also steer the resilience layer.
@@ -316,6 +358,7 @@ func New(opts Options) *Proxy {
 		Now:      func() time.Time { return p.opts.Now() },
 	})
 	p.registerBridges(reg)
+	p.registerStreamBridges(reg)
 	p.registerPersistBridges(reg)
 	// Restore before any request is served; the snapshot loop starts only
 	// after the restored state is in place.
@@ -612,11 +655,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp.EndStage(obs.StageAdmission)
 	userKey := p.opts.UserKey(r)
 	sp.SetUser(userKey)
-	req, err := httpmsg.FromHTTP(r)
+	req, err := httpmsg.FromHTTPLimited(r, p.maxBody)
 	if err != nil {
 		sp.EndStage(obs.StageParse)
 		sp.SetOutcome(obs.OutcomeError)
-		http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
+		if errors.Is(err, httpmsg.ErrBodyTooLarge) {
+			http.Error(w, "proxy: request body too large", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "proxy: malformed request: "+err.Error(), http.StatusBadRequest)
+		}
 		return
 	}
 	// The user, cluster, and budget tags are proxy addressing metadata, not
@@ -653,10 +700,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sp.SetSig(entry.SigID)
 		// R3: the prefetched request was byte-identical (canonical key
 		// equality), so the client receives exactly the origin's bytes —
-		// true even across users for shared-tier hits.
+		// true even across users for shared-tier hits. writeBuffered slices
+		// 206s locally when the client asked for a Range of the entity.
 		p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), shared)
-		entry.Resp.WriteTo(w)
+		p.writeBuffered(w, req, entry.Resp)
 		sp.EndStage(obs.StageWrite)
+		p.observeTTFB(start)
 		if entry.Refreshed {
 			sp.SetOutcome(obs.OutcomeRefreshHit)
 		} else {
@@ -667,70 +716,172 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.EndStage(obs.StageCache)
 
+	// The match runs before the origin round trip now: it decides whether
+	// this miss becomes a flight (spooled, capturable, attachable) or a plain
+	// passthrough.
+	var matched []*sig.Signature
+	if !p.opts.DisablePrefetch {
+		matched = p.opts.Graph.MatchRequest(req)
+	}
+
 	// Cluster peer fill: a shared-eligible miss asks ring siblings for the
 	// entry before paying an origin round trip. Only cacheable targets
 	// qualify — signatures someone prefetches (they have dependency edges
 	// in) and whose responses are user-agnostic. The fill Puts into the
 	// local shared tier, so it both answers this request and warms the
 	// instance.
-	var matched []*sig.Signature
-	haveMatch := false
-	if p.cluster != nil && !p.opts.DisablePrefetch {
-		matched = p.opts.Graph.MatchRequest(req)
-		haveMatch = true
-		if len(matched) > 0 && len(p.opts.Graph.DepsInto(matched[0].ID)) > 0 && p.sharedEligible(matched[0], req) {
-			if entry := p.clusterPeerFill(r.Context(), key, false, bgt); entry != nil {
-				sp.SetSig(entry.SigID)
-				p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), true)
-				entry.Resp.WriteTo(w)
-				sp.EndStage(obs.StageWrite)
-				sp.SetOutcome(obs.OutcomePeerHit)
-				p.observeClient(p.opts.Now().Sub(start))
-				return
-			}
+	if p.cluster != nil && len(matched) > 0 &&
+		len(p.opts.Graph.DepsInto(matched[0].ID)) > 0 && p.sharedEligible(matched[0], req) {
+		if entry := p.clusterPeerFill(r.Context(), key, false, bgt); entry != nil {
+			sp.SetSig(entry.SigID)
+			p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), true)
+			p.writeBuffered(w, req, entry.Resp)
+			sp.EndStage(obs.StageWrite)
+			p.observeTTFB(start)
+			sp.SetOutcome(obs.OutcomePeerHit)
+			p.observeClient(p.opts.Now().Sub(start))
+			return
 		}
 	}
 
-	// Forward on the client's behalf: the request context propagates client
-	// disconnects, the remaining latency budget (when set) bounds the whole
-	// origin exchange, and the retry middleware gives idempotent requests
-	// one fast retry before the client sees a 502.
-	octx, ocancel := bgt.bound(r.Context(), p.opts.Now(), 0)
+	if len(matched) == 0 {
+		// Unmatched (or prefetch-disabled): forward verbatim — Range header
+		// and all — streaming the body straight through, never spooled.
+		p.forwardPassthrough(r.Context(), bgt, sp, w, req, start)
+		return
+	}
+
+	// Matched: this fetch is a flight. The flight key lives on the same
+	// scope the prefetch path uses, so a foreground miss, a prefetch worker,
+	// and any number of concurrent clients converge on one origin fetch.
+	scope := u.key
+	if p.sharedEligible(matched[0], req) {
+		scope = cache.SharedScope
+	}
+	fl, owner := p.openFlight(cache.IssueKey(scope, key))
+	if !owner {
+		if p.attachFlight(w, r.Context().Done(), sp, fl, req, start) {
+			p.streamStats.attachHits.Add(1)
+			sp.SetSig(matched[0].ID)
+			sp.SetOutcome(obs.OutcomeAttachHit)
+			p.observeClient(p.opts.Now().Sub(start))
+			return
+		}
+		// The flight failed, answered non-200, or slid past this client's
+		// range: fetch independently, without opening a second flight (a
+		// failing key must not stack spools).
+		p.forwardPassthrough(r.Context(), bgt, sp, w, req, start)
+		return
+	}
+	p.runFlight(r.Context(), bgt, sp, w, u, req, matched, cache.IssueKey(scope, key), fl, start)
+}
+
+// forwardPassthrough forwards one request on the client's behalf and streams
+// the answer through untouched: no spool, no capture, no learning. The
+// request context propagates client disconnects, the remaining latency
+// budget (when set) bounds the whole origin exchange, and the retry
+// middleware gives idempotent requests one fast retry before the client
+// sees a 502.
+func (p *Proxy) forwardPassthrough(ctx context.Context, bgt reqBudget, sp *obs.Span, w http.ResponseWriter, req *httpmsg.Request, start time.Time) {
+	octx, ocancel := bgt.bound(ctx, p.opts.Now(), 0)
 	resp, err := p.fwdUp.RoundTrip(octx, req)
-	ocancel()
 	if err != nil {
+		ocancel()
 		sp.EndStage(obs.StageOrigin)
 		sp.SetOutcome(obs.OutcomeError)
 		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
 		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
+	// A streaming body keeps the origin exchange open past this function:
+	// the bound context must live until the body is finished.
+	if resp.Streaming() {
+		resp.OnBodyClose(ocancel)
+	} else {
+		ocancel()
+	}
 	sp.EndStage(obs.StageOrigin)
 	elapsed := p.opts.Now().Sub(start)
+	p.observeTTFB(start)
 	resp.WriteTo(w)
 	sp.EndStage(obs.StageWrite)
 	sp.SetOutcome(obs.OutcomeOrigin)
 	p.observeClient(elapsed)
+}
 
-	if p.opts.DisablePrefetch {
+// runFlight executes the owner side of a foreground flight: fetch the whole
+// entity, publish headers to any attachers, pump the body through the spool
+// while serving this client from it, then feed the capture into stats and
+// learning. fkey names the flight in the registry.
+func (p *Proxy) runFlight(ctx context.Context, bgt reqBudget, sp *obs.Span, w http.ResponseWriter, u *user, req *httpmsg.Request, matched []*sig.Signature, fkey string, fl *flight, start time.Time) {
+	// The origin always sees the whole-entity request: Range is stripped and
+	// the 206 (if asked for) is sliced locally from the spool, so the capture
+	// stays a complete entity every attacher and the cache can share.
+	sent := req
+	if rangeHeaderOf(req) != "" {
+		sent = req.Clone()
+		sent.DeleteHeader("Range")
+		sent.DeleteHeader("If-Range")
+	}
+	octx, ocancel := bgt.bound(ctx, p.opts.Now(), 0)
+	resp, err := p.fwdUp.RoundTrip(octx, sent)
+	if err != nil {
+		ocancel()
+		sp.EndStage(obs.StageOrigin)
+		sp.SetOutcome(obs.OutcomeError)
+		p.failFlight(fkey, fl, err)
+		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		p.observeClient(p.opts.Now().Sub(start))
 		return
 	}
-	if !haveMatch {
-		matched = p.opts.Graph.MatchRequest(req)
+	if resp.Streaming() {
+		resp.OnBodyClose(ocancel)
+	} else {
+		ocancel()
 	}
-	if len(matched) == 0 {
-		return
+	sp.EndStage(obs.StageOrigin)
+	elapsed := p.opts.Now().Sub(start)
+	fl.status = resp.Status
+	fl.header = resp.Header
+	fl.sigID = matched[0].ID
+	close(fl.ready)
+	// Resolve this client's own view (Range against a not-yet-known total)
+	// and pin a reader BEFORE the pump starts: pre-pump, no offset can have
+	// been trimmed away, so the owner is always servable from its own flight.
+	off, length, contentRange, ranged, _ := flightRange(req, fl)
+	rd, rerr := fl.sp.ReaderAt(off)
+	go p.pump(fl, resp)
+	if rerr == nil {
+		p.serveSpool(w, sp, fl, rd, length, contentRange, ranged, start)
+		rd.Close()
 	}
 	sp.SetSig(matched[0].ID)
-	p.stats.ObserveRespTime(matched[0].ID, elapsed)
-	p.stats.CountMiss(matched[0].ID, int64(len(resp.Body)))
-	// Ambiguous URI patterns (fully dynamic URLs look identical) mean one
-	// live transaction can instantiate several signatures; learn through
-	// every match so each keeps a usable exemplar.
-	for _, s := range matched {
-		p.learn(u, s, req, resp, 0, true)
+	sp.SetOutcome(obs.OutcomeOrigin)
+	p.observeClient(elapsed)
+
+	// Body accounting and learning happen once the pump finishes. Under-cap
+	// bodies always complete into a capture (no backpressure below the cap),
+	// even when this client disconnected mid-stream; over-cap bodies are
+	// abandoned by the pump as soon as the last reader detaches.
+	fl.sp.Wait()
+	p.closeFlight(fkey, fl)
+	body, ok := fl.sp.Bytes()
+	if !ok && fl.sp.Overflowed() {
+		p.streamStats.bodyOverflows.Add(1)
 	}
-	sp.EndStage(obs.StageLearn)
+	p.stats.ObserveRespTime(matched[0].ID, elapsed)
+	p.stats.CountMiss(matched[0].ID, fl.sp.Size())
+	if ok {
+		lresp := &httpmsg.Response{Status: fl.status, Header: fl.header, Body: body}
+		// Ambiguous URI patterns (fully dynamic URLs look identical) mean one
+		// live transaction can instantiate several signatures; learn through
+		// every match so each keeps a usable exemplar.
+		for _, s := range matched {
+			p.learn(u, s, req, lresp, 0, true)
+		}
+		sp.EndStage(obs.StageLearn)
+	}
+	fl.sp.Discard()
 }
 
 // serveStatus answers direct (non-proxied) requests with the versioned
@@ -1298,14 +1449,26 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 			sent.Header = append(sent.Header, httpmsg.Field{Key: h.Key, Value: h.Value})
 		}
 	}
+	// The prefetch is a flight too: foreground misses for the same key
+	// attach to it instead of paying their own origin round trip. And when a
+	// foreground fetch already owns the flight, this worker rides it the
+	// other way: wait for the shared fetch and cache its capture under the
+	// claim this task holds.
+	fkey := cache.IssueKey(scope, key)
+	fl, owner := p.openFlight(fkey)
+	if !owner {
+		p.adoptFlight(fl, s, req, key, scope, expiry, class)
+		return
+	}
 	// Bound the whole round trip — every retry attempt included — so a
 	// stalled origin (netem-style) cannot pin this worker past the
 	// deadline; the retry layer derives its per-attempt contexts from ours.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(p.res.PrefetchTimeout))
 	start := p.opts.Now()
 	resp, err := p.preUp.RoundTrip(ctx, sent)
-	cancel()
 	if err != nil {
+		cancel()
+		p.failFlight(fkey, fl, err)
 		p.store.CancelIssue(scope, key)
 		if errors.Is(err, resilience.ErrOpen) {
 			// The breaker tripped between queueing and execution; this is
@@ -1317,9 +1480,21 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		p.recordSigFailure(s.ID)
 		return
 	}
+	fl.status = resp.Status
+	fl.header = resp.Header
+	fl.sigID = s.ID
+	close(fl.ready)
+	// The worker streams the body through the spool inline: attachers read
+	// as bytes arrive, and an over-cap body with nobody attached is
+	// abandoned mid-stream (consume-or-cancel) instead of read to EOF.
+	p.pump(fl, resp)
+	cancel()
+	p.closeFlight(fkey, fl)
+	body, captured := fl.sp.Bytes()
+	sz := fl.sp.Size()
 	p.stats.ObserveRespTime(s.ID, p.opts.Now().Sub(start))
-	p.stats.CountPrefetch(s.ID, int64(len(resp.Body)))
-	p.dataUsed.Add(p.opts.Now(), int64(len(resp.Body)))
+	p.stats.CountPrefetch(s.ID, sz)
+	p.dataUsed.Add(p.opts.Now(), sz)
 	if resp.Status != http.StatusOK {
 		// The origin rejected our reconstruction; do not cache errors
 		// (R3: never alter app behaviour with synthetic failures). Clear the
@@ -1328,8 +1503,21 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		p.stats.CountPrefetchReject(s.ID)
 		p.recordSigFailure(s.ID)
 		p.store.CancelIssue(scope, key)
+		fl.sp.Discard()
 		return
 	}
+	if !captured {
+		// Over the capture cap (or a mid-body stream error): there is no
+		// complete entity to cache. Not a signature failure — the origin
+		// answered fine; the response is just bigger than the proxy caches.
+		if fl.sp.Overflowed() {
+			p.streamStats.bodyOverflows.Add(1)
+		}
+		p.store.CancelIssue(scope, key)
+		fl.sp.Discard()
+		return
+	}
+	fl.sp.Discard()
 	p.recordSigSuccess(s.ID)
 	p.mu.Lock()
 	if p.samples == nil {
@@ -1337,8 +1525,9 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	}
 	p.samples[s.ID] = req.Clone()
 	p.mu.Unlock()
+	bresp := &httpmsg.Response{Status: fl.status, Header: fl.header, Body: body}
 	p.store.Put(scope, key, &cache.Entry{
-		Resp:    resp,
+		Resp:    bresp,
 		Req:     req.Clone(),
 		SigID:   s.ID,
 		Expires: p.opts.Now().Add(expiry),
@@ -1348,6 +1537,56 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 	})
 
 	if depth < p.effectiveChainDepth() && !p.opts.DisableChaining {
-		p.learn(u, s, req, resp, depth+1, false)
+		p.learn(u, s, req, bresp, depth+1, false)
 	}
+}
+
+// adoptFlight is the prefetch worker's path when a foreground fetch already
+// owns the key's flight: instead of a second origin round trip, the worker
+// attaches a reader (pinning the capture against release), drains alongside
+// the clients, and Puts the finished capture under the claim this task
+// holds. On any shortfall — flight error, non-200, over-cap body — the claim
+// is released and the cache stays untouched.
+func (p *Proxy) adoptFlight(fl *flight, s *sig.Signature, req *httpmsg.Request, key, scope string, expiry time.Duration, class sched.Class) {
+	rd, rerr := fl.sp.ReaderAt(0)
+	if rerr != nil {
+		// The flight already finished and released its spool; the next
+		// request for the key will simply re-issue the prefetch.
+		p.store.CancelIssue(scope, key)
+		return
+	}
+	select {
+	case <-fl.ready:
+	case <-time.After(time.Duration(p.res.PrefetchTimeout)):
+		// The owner never published headers (wedged origin); give up the
+		// claim rather than pin a worker on someone else's fetch.
+		rd.Close()
+		p.store.CancelIssue(scope, key)
+		return
+	}
+	// Drain our reader as the body streams: it keeps the pump unblocked (a
+	// parked reader at offset 0 would wedge over-cap backpressure) and
+	// returns exactly when the writer closes.
+	io.Copy(io.Discard, rd)
+	body, captured := fl.sp.Bytes()
+	rd.Close()
+	if fl.err != nil || fl.status != http.StatusOK || !captured {
+		p.store.CancelIssue(scope, key)
+		return
+	}
+	p.stats.CountPrefetch(s.ID, 0) // zero-byte: the foreground fetch paid for it
+	p.recordSigSuccess(s.ID)
+	p.mu.Lock()
+	if p.samples == nil {
+		p.samples = map[string]*httpmsg.Request{}
+	}
+	p.samples[s.ID] = req.Clone()
+	p.mu.Unlock()
+	p.store.Put(scope, key, &cache.Entry{
+		Resp:      &httpmsg.Response{Status: fl.status, Header: fl.header, Body: body},
+		Req:       req.Clone(),
+		SigID:     s.ID,
+		Expires:   p.opts.Now().Add(expiry),
+		Refreshed: class == sched.ClassForeground,
+	})
 }

@@ -154,7 +154,15 @@ func (rt *Retrier) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.
 		}
 		actx, cancel := context.WithTimeout(ctx, rt.opts.PerAttemptTimeout)
 		resp, err := rt.next.RoundTrip(actx, r)
-		cancel()
+		if err == nil && resp != nil && resp.Streaming() {
+			// A streaming body outlives this attempt: cancelling now would
+			// sever it mid-transfer. The attempt context lives until the
+			// caller closes the body; the timeout still bounds a wedged
+			// stream because cancel fires when the deadline expires.
+			resp.OnBodyClose(cancel)
+		} else {
+			cancel()
+		}
 		if rt.breakers != nil {
 			if err != nil || (resp != nil && resp.Status >= http.StatusInternalServerError) {
 				rt.breakers.ReportFailure(r.Host)

@@ -1,0 +1,444 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/obs"
+	"appx/internal/stream"
+)
+
+// Streaming data plane (DESIGN.md §12). Bodies move client↔cache↔origin
+// through pooled fixed-size chunks instead of whole-[]byte buffers. Each
+// matched-and-cacheable origin fetch becomes a "flight": one owner pumps the
+// origin stream into a spool, any number of attached clients read from it
+// concurrently, and a bounded prefix is captured for cache insertion and
+// learning. Ownership rules:
+//
+//   - The goroutine that opened the flight (owner) is the only writer: it
+//     pumps, closes the spool's writer, extracts the capture, removes the
+//     flight from the registry, and Discards the spool — in that order.
+//   - Attachers only ever read (ReaderAt) and must close their reader on
+//     every path; a dangling reader would hold the overflow window open.
+//   - The registry lock (flightMu) guards only the map; all body state is
+//     behind the spool's own lock.
+
+// errPumpAbandoned marks a pump abort: the body overflowed the capture cap
+// with no attached readers, so continuing to consume would buy nothing.
+var errPumpAbandoned = errors.New("proxy: streamed body abandoned (over cap, no readers)")
+
+// flight is one in-progress origin fetch with a spooled body.
+type flight struct {
+	sp    *stream.Spool
+	ready chan struct{} // closed once status/header/err are final
+
+	// Written by the owner before close(ready), read-only afterwards.
+	status int
+	header []httpmsg.Field
+	err    error
+	sigID  string
+}
+
+// openFlight returns the flight for fkey, creating it when absent. owner
+// reports whether this caller created it (and therefore must run the fetch,
+// pump, and teardown).
+func (p *Proxy) openFlight(fkey string) (f *flight, owner bool) {
+	p.flightMu.Lock()
+	defer p.flightMu.Unlock()
+	if f, ok := p.flights[fkey]; ok {
+		return f, false
+	}
+	f = &flight{
+		sp:    stream.NewSpool(p.chunks, p.captureCap, func() time.Time { return p.opts.Now() }),
+		ready: make(chan struct{}),
+	}
+	p.flights[fkey] = f
+	return f, true
+}
+
+// closeFlight removes f from the registry (no-op if already replaced).
+func (p *Proxy) closeFlight(fkey string, f *flight) {
+	p.flightMu.Lock()
+	if p.flights[fkey] == f {
+		delete(p.flights, fkey)
+	}
+	p.flightMu.Unlock()
+}
+
+// failFlight seals a flight whose origin fetch never produced a body and
+// releases everything: attachers see err, the registry forgets the flight.
+func (p *Proxy) failFlight(fkey string, f *flight, err error) {
+	f.err = err
+	close(f.ready)
+	f.sp.CloseWriter(err)
+	p.closeFlight(fkey, f)
+	f.sp.Discard()
+}
+
+// pump drives the origin body into the flight's spool. It is the
+// consume-or-cancel point for streamed bodies: on a clean end the spool
+// holds the capture; when the body overflows the cap with no readers left,
+// the pump severs the origin connection instead of buying bytes nobody
+// wants. Always closes the response body (returning the pooled connection
+// or tearing it down) and the spool writer.
+func (p *Proxy) pump(f *flight, resp *httpmsg.Response) {
+	if !resp.Streaming() {
+		// Buffered upstreams (in-process handlers, tests) arrive whole.
+		_, err := f.sp.Append(resp.Body)
+		f.sp.CloseWriter(err)
+		return
+	}
+	src := resp.Stream()
+	buf := p.chunks.Get()
+	var err error
+	for {
+		if f.sp.Overflowed() && f.sp.Readers() == 0 {
+			err = errPumpAbandoned
+			break
+		}
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := f.sp.Append(buf[:n]); werr != nil {
+				err = werr
+				break
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				err = rerr
+			}
+			break
+		}
+	}
+	p.chunks.Put(buf)
+	if err == nil {
+		if derr := resp.DrainAndClose(); derr != nil {
+			p.streamStats.drainErrors.Add(1)
+		}
+	} else {
+		resp.CloseBody()
+	}
+	f.sp.CloseWriter(err)
+}
+
+// byteRange is one parsed Range specifier; start < 0 means a suffix range
+// ("-n", length in length), end < 0 means open-ended ("a-").
+type byteRange struct {
+	start, end int64
+}
+
+// parseRangeHeader parses a Range header value. ok is false for anything
+// malformed or non-bytes — callers then ignore the header (serve 200 full),
+// which RFC 7233 permits.
+func parseRangeHeader(v string) (ranges []byteRange, ok bool) {
+	const prefix = "bytes="
+	if !strings.HasPrefix(v, prefix) {
+		return nil, false
+	}
+	for _, part := range strings.Split(v[len(prefix):], ",") {
+		part = strings.TrimSpace(part)
+		dash := strings.IndexByte(part, '-')
+		if dash < 0 {
+			return nil, false
+		}
+		first, last := part[:dash], part[dash+1:]
+		var br byteRange
+		if first == "" {
+			// Suffix form "-n".
+			if last == "" {
+				return nil, false
+			}
+			n, err := strconv.ParseInt(last, 10, 64)
+			if err != nil || n < 0 {
+				return nil, false
+			}
+			br = byteRange{start: -1, end: n}
+		} else {
+			s, err := strconv.ParseInt(first, 10, 64)
+			if err != nil || s < 0 {
+				return nil, false
+			}
+			br = byteRange{start: s, end: -1}
+			if last != "" {
+				e, err := strconv.ParseInt(last, 10, 64)
+				if err != nil || e < s {
+					return nil, false
+				}
+				br.end = e
+			}
+		}
+		ranges = append(ranges, br)
+	}
+	if len(ranges) == 0 {
+		return nil, false
+	}
+	return ranges, true
+}
+
+// resolve maps the range onto a body of the given size, returning the
+// absolute offset and length. ok is false when the range is unsatisfiable
+// (start at or past the end, or a zero-length suffix).
+func (br byteRange) resolve(size int64) (start, length int64, ok bool) {
+	switch {
+	case br.start < 0: // suffix "-n"
+		if br.end == 0 {
+			return 0, 0, false
+		}
+		start = size - br.end
+		if start < 0 {
+			start = 0
+		}
+		return start, size - start, size > 0
+	case br.start >= size:
+		return 0, 0, false
+	case br.end < 0 || br.end >= size: // "a-" or "a-b" past the end
+		return br.start, size - br.start, true
+	default:
+		return br.start, br.end - br.start + 1, true
+	}
+}
+
+// ifRangeApplies evaluates an If-Range precondition against the response's
+// validators: a mismatch downgrades the range request to a full 200 (RFC
+// 7233 §3.2). Absent If-Range always applies. Only strong comparison: a
+// weak ETag ("W/...") never matches.
+func ifRangeApplies(req *httpmsg.Request, respHeader []httpmsg.Field) bool {
+	v, ok := req.GetHeader("If-Range")
+	if !ok {
+		return true
+	}
+	get := func(key string) string {
+		for _, f := range respHeader {
+			if strings.EqualFold(f.Key, key) {
+				return f.Value
+			}
+		}
+		return ""
+	}
+	if strings.HasPrefix(v, `"`) || strings.HasPrefix(v, "W/") {
+		etag := get("Etag")
+		return etag != "" && !strings.HasPrefix(etag, "W/") && !strings.HasPrefix(v, "W/") && v == etag
+	}
+	lm := get("Last-Modified")
+	return lm != "" && v == lm
+}
+
+// rangeHeaderOf extracts the request's Range header (empty when absent).
+func rangeHeaderOf(req *httpmsg.Request) string {
+	v, _ := req.GetHeader("Range")
+	return v
+}
+
+// writeRangeHeaders copies the response headers onto w, dropping
+// Content-Length (the caller sets the sliced one) and advertising range
+// support.
+func writeRangeHeaders(w http.ResponseWriter, header []httpmsg.Field) {
+	for _, f := range header {
+		if strings.EqualFold(f.Key, "Content-Length") {
+			continue
+		}
+		w.Header().Add(f.Key, f.Value)
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+}
+
+// writeBuffered serves a complete buffered response (cache hit, peer fill)
+// honouring any Range header: single satisfiable ranges get a 206 slice,
+// unsatisfiable ones a 416 with the total, everything else (multi-range,
+// malformed, If-Range mismatch, non-200 source) the full 200.
+func (p *Proxy) writeBuffered(w http.ResponseWriter, req *httpmsg.Request, resp *httpmsg.Response) {
+	spec := rangeHeaderOf(req)
+	if spec == "" || resp.Status != http.StatusOK || !resp.BodyComplete() || !ifRangeApplies(req, resp.Header) {
+		resp.WriteTo(w)
+		return
+	}
+	ranges, ok := parseRangeHeader(spec)
+	if !ok || len(ranges) != 1 {
+		resp.WriteTo(w)
+		return
+	}
+	size := int64(len(resp.Body))
+	start, length, sat := ranges[0].resolve(size)
+	if !sat {
+		writeRangeHeaders(w, resp.Header)
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+		w.Header().Set("Content-Length", "0")
+		w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	writeRangeHeaders(w, resp.Header)
+	w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, start+length-1, size))
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	w.WriteHeader(http.StatusPartialContent)
+	w.Write(resp.Body[start : start+length])
+}
+
+// flightRange resolves the request's Range header against an in-flight
+// spool. With the body complete (and captured), totals are known and full
+// semantics apply; mid-flight, only fully-specified "a-b" ranges are served
+// (Content-Range total "*"), everything else falls back to the full body.
+// status416 reports a known-total unsatisfiable range.
+func flightRange(req *httpmsg.Request, f *flight) (start, length int64, contentRange string, ranged, status416 bool) {
+	spec := rangeHeaderOf(req)
+	if spec == "" || f.status != http.StatusOK || !ifRangeApplies(req, f.header) {
+		return 0, -1, "", false, false
+	}
+	ranges, ok := parseRangeHeader(spec)
+	if !ok || len(ranges) != 1 {
+		return 0, -1, "", false, false
+	}
+	br := ranges[0]
+	if f.sp.Done() && !f.sp.Overflowed() && f.sp.Err() == nil {
+		size := f.sp.Size()
+		s, l, sat := br.resolve(size)
+		if !sat {
+			return 0, 0, fmt.Sprintf("bytes */%d", size), false, true
+		}
+		return s, l, fmt.Sprintf("bytes %d-%d/%d", s, s+l-1, size), true, false
+	}
+	if br.start >= 0 && br.end >= 0 {
+		return br.start, br.end - br.start + 1, fmt.Sprintf("bytes %d-%d/*", br.start, br.end), true, false
+	}
+	return 0, -1, "", false, false
+}
+
+// flushWriter flushes after every write so streamed bytes reach the client
+// as they arrive instead of pooling in net/http's buffer — the difference
+// between TTFB tracking the origin's first byte and tracking its last.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newFlushWriter(w http.ResponseWriter) io.Writer {
+	if f, ok := w.(http.Flusher); ok {
+		return flushWriter{w: w, f: f}
+	}
+	return w
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if n > 0 {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// attachFlight serves one attaching client from another request's in-flight
+// fetch: waits for headers, resolves any Range, opens a spool reader, and
+// streams. Returns false — without having written anything — when the
+// attacher must fetch on its own: flight error, non-200 answer, or the
+// retained window already slid past the requested offset.
+func (p *Proxy) attachFlight(w http.ResponseWriter, done <-chan struct{}, sp *obs.Span, f *flight, req *httpmsg.Request, start time.Time) bool {
+	select {
+	case <-f.ready:
+	case <-done:
+		return false
+	}
+	if f.err != nil {
+		return false
+	}
+	if f.status != http.StatusOK {
+		// A non-200 flight is the owner's conversation with the origin
+		// (reconstruction reject, redirect, error); attaching would replay a
+		// response this client never provoked. Fetch independently instead.
+		return false
+	}
+	off, length, contentRange, ranged, status416 := flightRange(req, f)
+	if status416 {
+		write416(w, f.header, contentRange)
+		sp.EndStage(obs.StageWrite)
+		p.observeTTFB(start)
+		return true
+	}
+	rd, err := f.sp.ReaderAt(off)
+	if err != nil {
+		// The window slid past this offset (over-cap body): this client can
+		// no longer be served from the flight.
+		return false
+	}
+	defer rd.Close()
+	p.serveSpool(w, sp, f, rd, length, contentRange, ranged, start)
+	return true
+}
+
+// write416 answers an unsatisfiable range with the total size.
+func write416(w http.ResponseWriter, header []httpmsg.Field, contentRange string) {
+	writeRangeHeaders(w, header)
+	w.Header().Set("Content-Range", contentRange)
+	w.Header().Set("Content-Length", "0")
+	w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+}
+
+// serveSpool writes the status line and headers for one flight-served
+// response and streams the (already offset-positioned) spool reader to the
+// client with per-chunk flushing. The caller owns rd.
+func (p *Proxy) serveSpool(w http.ResponseWriter, sp *obs.Span, f *flight, rd *stream.Reader, length int64, contentRange string, ranged bool, start time.Time) {
+	if length >= 0 {
+		rd.Limit(length)
+	}
+	if ranged {
+		writeRangeHeaders(w, f.header)
+		w.Header().Set("Content-Range", contentRange)
+		if length >= 0 {
+			w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+		}
+		w.WriteHeader(http.StatusPartialContent)
+	} else {
+		for _, h := range f.header {
+			w.Header().Add(h.Key, h.Value)
+		}
+		w.WriteHeader(f.status)
+	}
+	// Headers are on the wire: this is the user-perceived first-byte point.
+	sp.EndStage(obs.StageWrite)
+	p.observeTTFB(start)
+	rd.WriteTo(newFlushWriter(w))
+	sp.EndStage(obs.StageStream)
+}
+
+// observeTTFB folds one time-to-first-byte sample into the histogram.
+func (p *Proxy) observeTTFB(start time.Time) {
+	p.ttfb.Observe(p.opts.Now().Sub(start))
+}
+
+// TTFBQuantile reports the q-quantile of observed time-to-first-byte.
+func (p *Proxy) TTFBQuantile(q float64) time.Duration { return p.ttfb.Quantile(q) }
+
+// streamStatCounters groups the data-plane counters (registered in
+// registerStreamBridges).
+type streamStatCounters struct {
+	attachHits    atomic.Int64
+	bodyOverflows atomic.Int64
+	drainErrors   atomic.Int64
+}
+
+// registerStreamBridges exposes the streaming data plane on the registry.
+func (p *Proxy) registerStreamBridges(reg *obs.Registry) {
+	reg.CounterFunc("appx_flight_attach_total", "Clients served by attaching to an in-flight origin fetch.",
+		p.streamStats.attachHits.Load)
+	reg.CounterFunc("appx_body_overflow_total", "Bodies that exceeded the capture cap (streamed through uncached; prefetches aborted).",
+		p.streamStats.bodyOverflows.Load)
+	reg.CounterFunc("appx_drain_errors_total", "Response-body drains that failed mid-read (proxy and cluster).",
+		func() int64 {
+			n := p.streamStats.drainErrors.Load()
+			if p.cluster != nil {
+				n += p.cluster.c.DrainErrors()
+			}
+			return n
+		})
+	reg.GaugeFunc("appx_stream_chunks_outstanding", "Pooled body chunks currently checked out.",
+		func() float64 { return float64(p.chunks.Outstanding()) })
+}
+
+// ChunkPool exposes the body-chunk pool (leak tests assert
+// Outstanding()==0 once the proxy is quiescent).
+func (p *Proxy) ChunkPool() *stream.Pool { return p.chunks }

@@ -1,0 +1,465 @@
+package proxy
+
+// Tests for the streaming data plane: Range/206 conformance from cached
+// entries, flight attach (one origin fetch, many clients), TTFB decoupled
+// from body completion, over-cap overflow behaviour, the request-body
+// guard, chunk-pool leak checks, and the whole-path alloc budget.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"appx/internal/cache"
+	"appx/internal/httpmsg"
+	"appx/internal/sig"
+)
+
+// streamGraph is a one-signature graph: a literal GET with no dependency
+// edges, so every request is a miss-path flight and nothing prefetches.
+func streamGraph() *sig.Graph {
+	g := sig.NewGraph("t")
+	g.Add(&sig.Signature{ID: "t:big#0", Method: "GET", URI: sig.Literal("h.example/big")})
+	return g
+}
+
+// notifyWriter is a ResponseWriter that signals the instant headers are
+// written — the client-side first-byte observation point.
+type notifyWriter struct {
+	rec      *httptest.ResponseRecorder
+	once     sync.Once
+	headerAt chan time.Time
+}
+
+func newNotifyWriter() *notifyWriter {
+	return &notifyWriter{rec: httptest.NewRecorder(), headerAt: make(chan time.Time, 1)}
+}
+
+func (w *notifyWriter) Header() http.Header { return w.rec.Header() }
+func (w *notifyWriter) Flush()              {}
+func (w *notifyWriter) WriteHeader(code int) {
+	w.once.Do(func() { w.headerAt <- time.Now() })
+	w.rec.WriteHeader(code)
+}
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { w.headerAt <- time.Now() })
+	return w.rec.Write(p)
+}
+
+// waitChunksReleased polls the proxy's chunk pool until every pooled chunk
+// has been returned (attachers may close their readers a beat after the
+// owner finishes).
+func waitChunksReleased(t *testing.T, p *Proxy) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.ChunkPool().Outstanding() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("chunk pool leak: %d chunks still outstanding", p.ChunkPool().Outstanding())
+}
+
+func TestRangeConformanceCached(t *testing.T) {
+	g := streamGraph()
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		t.Fatal("cached range requests must not reach the origin")
+		return nil, nil
+	})
+	p := New(Options{Graph: g, Upstream: up})
+	defer p.Close()
+
+	body := make([]byte, 1000)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	req := &httpmsg.Request{Method: "GET", Host: "h.example", Path: "/big"}
+	p.Cache().Put("9.9.9.9", req.CanonicalKey(), &cache.Entry{
+		Resp: &httpmsg.Response{Status: 200, Header: []httpmsg.Field{
+			{Key: "Content-Type", Value: "application/octet-stream"},
+			{Key: "Etag", Value: `"v1"`},
+			{Key: "Last-Modified", Value: "Wed, 21 Oct 2015 07:28:00 GMT"},
+		}, Body: body},
+		SigID:   "t:big#0",
+		Expires: time.Now().Add(time.Hour),
+	})
+
+	serve := func(hdr map[string]string) *httptest.ResponseRecorder {
+		hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+		hreq.RemoteAddr = "9.9.9.9:1"
+		for k, v := range hdr {
+			hreq.Header.Set(k, v)
+		}
+		rec := httptest.NewRecorder()
+		p.ServeHTTP(rec, hreq)
+		return rec
+	}
+
+	cases := []struct {
+		name      string
+		hdr       map[string]string
+		status    int
+		wantBody  []byte
+		wantRange string
+	}{
+		{"single", map[string]string{"Range": "bytes=100-199"}, 206, body[100:200], "bytes 100-199/1000"},
+		{"open-ended", map[string]string{"Range": "bytes=900-"}, 206, body[900:], "bytes 900-999/1000"},
+		{"suffix", map[string]string{"Range": "bytes=-100"}, 206, body[900:], "bytes 900-999/1000"},
+		{"past-end-clamped", map[string]string{"Range": "bytes=990-2000"}, 206, body[990:], "bytes 990-999/1000"},
+		{"unsatisfiable", map[string]string{"Range": "bytes=1000-"}, 416, nil, "bytes */1000"},
+		{"suffix-zero", map[string]string{"Range": "bytes=-0"}, 416, nil, "bytes */1000"},
+		{"if-range-match", map[string]string{"Range": "bytes=0-9", "If-Range": `"v1"`}, 206, body[:10], "bytes 0-9/1000"},
+		{"if-range-mismatch", map[string]string{"Range": "bytes=0-9", "If-Range": `"v2"`}, 200, body, ""},
+		{"if-range-lastmod-match", map[string]string{"Range": "bytes=0-9", "If-Range": "Wed, 21 Oct 2015 07:28:00 GMT"}, 206, body[:10], "bytes 0-9/1000"},
+		{"if-range-lastmod-mismatch", map[string]string{"Range": "bytes=0-9", "If-Range": "Thu, 22 Oct 2015 07:28:00 GMT"}, 200, body, ""},
+		{"multi-range-full", map[string]string{"Range": "bytes=0-1,5-6"}, 200, body, ""},
+		{"malformed-full", map[string]string{"Range": "bytes=abc"}, 200, body, ""},
+		{"non-bytes-full", map[string]string{"Range": "items=0-1"}, 200, body, ""},
+		{"no-range", nil, 200, body, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := serve(tc.hdr)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if got := rec.Header().Get("Content-Range"); got != tc.wantRange {
+				t.Fatalf("Content-Range = %q, want %q", got, tc.wantRange)
+			}
+			if tc.status == 416 {
+				return
+			}
+			if !bytes.Equal(rec.Body.Bytes(), tc.wantBody) {
+				t.Fatalf("body: got %d bytes, want %d (first 20: %q vs %q)",
+					rec.Body.Len(), len(tc.wantBody), trunc20(rec.Body.Bytes()), trunc20(tc.wantBody))
+			}
+			if tc.status == 206 {
+				if cl := rec.Header().Get("Content-Length"); cl != fmt.Sprint(len(tc.wantBody)) {
+					t.Fatalf("Content-Length = %q, want %d", cl, len(tc.wantBody))
+				}
+				if ar := rec.Header().Get("Accept-Ranges"); ar != "bytes" {
+					t.Fatalf("Accept-Ranges = %q", ar)
+				}
+			}
+		})
+	}
+}
+
+func trunc20(b []byte) []byte {
+	if len(b) > 20 {
+		return b[:20]
+	}
+	return b
+}
+
+// gatedUpstream streams a two-part body: part one immediately, part two only
+// after release. It counts RoundTrips, making duplicate origin fetches
+// visible.
+type gatedUpstream struct {
+	calls   atomic.Int64
+	started chan struct{} // closed on first RoundTrip
+	release chan struct{} // closing lets part two flow
+	part1   []byte
+	part2   []byte
+}
+
+func (g *gatedUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+	if g.calls.Add(1) == 1 {
+		close(g.started)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(g.part1)
+		<-g.release
+		pw.Write(g.part2)
+		pw.Close()
+	}()
+	resp := &httpmsg.Response{Status: 200, Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/octet-stream"}}}
+	resp.SetStream(pr)
+	return resp, nil
+}
+
+// TestAttachToInFlightFetch drives three concurrent clients — the owner, a
+// full-body attacher, and a mid-flight Range attacher — through one origin
+// fetch. Run under -race this also exercises the spool's concurrent
+// reader/writer paths.
+func TestAttachToInFlightFetch(t *testing.T) {
+	g := streamGraph()
+	up := &gatedUpstream{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		part1:   bytes.Repeat([]byte("A"), 300),
+		part2:   bytes.Repeat([]byte("B"), 300),
+	}
+	p := New(Options{Graph: g, Upstream: up, StreamChunkBytes: 128})
+	defer p.Close()
+	full := append(append([]byte{}, up.part1...), up.part2...)
+
+	send := func(w http.ResponseWriter, rangeHdr string) {
+		hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+		hreq.RemoteAddr = "9.9.9.9:1"
+		if rangeHdr != "" {
+			hreq.Header.Set("Range", rangeHdr)
+		}
+		p.ServeHTTP(w, hreq)
+	}
+
+	var wg sync.WaitGroup
+	owner := newNotifyWriter()
+	wg.Add(1)
+	go func() { defer wg.Done(); send(owner, "") }()
+	<-up.started // the flight is registered before the origin is asked
+
+	attacher := newNotifyWriter()
+	wg.Add(1)
+	go func() { defer wg.Done(); send(attacher, "") }()
+	<-attacher.headerAt // headers flowed: the attacher is on the flight
+
+	ranged := newNotifyWriter()
+	wg.Add(1)
+	go func() { defer wg.Done(); send(ranged, "bytes=100-149") }()
+	<-ranged.headerAt
+
+	close(up.release)
+	wg.Wait()
+
+	if got := up.calls.Load(); got != 1 {
+		t.Fatalf("origin fetched %d times for three concurrent clients, want 1", got)
+	}
+	for name, rec := range map[string]*httptest.ResponseRecorder{"owner": owner.rec, "attacher": attacher.rec} {
+		if rec.Code != 200 || !bytes.Equal(rec.Body.Bytes(), full) {
+			t.Fatalf("%s: status %d, %d body bytes, want 200 with %d", name, rec.Code, rec.Body.Len(), len(full))
+		}
+	}
+	if ranged.rec.Code != 206 {
+		t.Fatalf("mid-flight range: status %d, want 206", ranged.rec.Code)
+	}
+	if cr := ranged.rec.Header().Get("Content-Range"); cr != "bytes 100-149/*" {
+		t.Fatalf("mid-flight Content-Range = %q, want total-unknown form", cr)
+	}
+	if !bytes.Equal(ranged.rec.Body.Bytes(), full[100:150]) {
+		t.Fatalf("mid-flight range body wrong: %q", trunc20(ranged.rec.Body.Bytes()))
+	}
+	if p.streamStats.attachHits.Load() != 2 {
+		t.Fatalf("attach hits = %d, want 2", p.streamStats.attachHits.Load())
+	}
+	waitChunksReleased(t, p)
+}
+
+// TestTTFBPrecedesSlowBody proves the data plane streams: with an origin
+// that sends its first bytes immediately but takes ~200ms to finish, the
+// client sees headers and first bytes long before the body completes.
+func TestTTFBPrecedesSlowBody(t *testing.T) {
+	g := streamGraph()
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.Write(bytes.Repeat([]byte("x"), 1024)) // first bytes: immediate
+			time.Sleep(200 * time.Millisecond)        // slow origin tail
+			pw.Write(bytes.Repeat([]byte("y"), 1024))
+			pw.Close()
+		}()
+		resp := &httpmsg.Response{Status: 200}
+		resp.SetStream(pr)
+		return resp, nil
+	})
+	p := New(Options{Graph: g, Upstream: up, StreamChunkBytes: 256})
+	defer p.Close()
+
+	start := time.Now()
+	w := newNotifyWriter()
+	hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+	hreq.RemoteAddr = "9.9.9.9:1"
+	p.ServeHTTP(w, hreq)
+	total := time.Since(start)
+	ttfb := (<-w.headerAt).Sub(start)
+
+	if w.rec.Body.Len() != 2048 {
+		t.Fatalf("body = %d bytes, want 2048", w.rec.Body.Len())
+	}
+	if total < 200*time.Millisecond {
+		t.Fatalf("origin finished too fast for the test to mean anything: %v", total)
+	}
+	if ttfb > total/2 {
+		t.Fatalf("TTFB %v not ≪ total %v: body was buffered, not streamed", ttfb, total)
+	}
+	if q := p.TTFBQuantile(0.5); q <= 0 || q > total {
+		t.Fatalf("TTFB histogram quantile out of range: %v (total %v)", q, total)
+	}
+	waitChunksReleased(t, p)
+}
+
+// TestOverCapBodyStreamsUncached: a body over CaptureMaxBytes reaches the
+// client whole but never enters the cache, and counts one overflow.
+func TestOverCapBodyStreamsUncached(t *testing.T) {
+	g := streamGraph()
+	var calls atomic.Int64
+	big := bytes.Repeat([]byte("z"), 8<<10)
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		calls.Add(1)
+		resp := &httpmsg.Response{Status: 200}
+		resp.SetStream(io.NopCloser(bytes.NewReader(big)))
+		return resp, nil
+	})
+	p := New(Options{Graph: g, Upstream: up, StreamChunkBytes: 256, CaptureMaxBytes: 1024})
+	defer p.Close()
+
+	for i := 0; i < 2; i++ {
+		hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+		hreq.RemoteAddr = "9.9.9.9:1"
+		rec := httptest.NewRecorder()
+		p.ServeHTTP(rec, hreq)
+		if rec.Code != 200 || rec.Body.Len() != len(big) {
+			t.Fatalf("request %d: status %d, %d bytes, want full 200", i, rec.Code, rec.Body.Len())
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("origin calls = %d, want 2 (over-cap bodies must not cache)", got)
+	}
+	if p.streamStats.bodyOverflows.Load() < 2 {
+		t.Fatalf("body overflows = %d, want ≥ 2", p.streamStats.bodyOverflows.Load())
+	}
+	waitChunksReleased(t, p)
+}
+
+// TestMaxBodyBytesRequestGuard: request bodies over the limit answer 413
+// before any origin work.
+func TestMaxBodyBytesRequestGuard(t *testing.T) {
+	g := streamGraph()
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		return &httpmsg.Response{Status: 200}, nil
+	})
+	p := New(Options{Graph: g, Upstream: up, MaxBodyBytes: 64})
+	defer p.Close()
+
+	hreq := httptest.NewRequest("POST", "http://h.example/big", strings.NewReader(strings.Repeat("p", 100)))
+	hreq.RemoteAddr = "9.9.9.9:1"
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, hreq)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized request body: status %d, want 413", rec.Code)
+	}
+
+	hreq = httptest.NewRequest("POST", "http://h.example/big", strings.NewReader(strings.Repeat("p", 64)))
+	hreq.RemoteAddr = "9.9.9.9:1"
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, hreq)
+	if rec.Code != 200 {
+		t.Fatalf("at-limit request body: status %d, want 200", rec.Code)
+	}
+}
+
+// TestPrefetchOverflowAbortsAndReleases: a prefetched body that overflows
+// the capture cap is abandoned mid-stream (the origin stream is closed, not
+// read to EOF), counted as an overflow, never cached, and every pooled
+// chunk comes back.
+func TestPrefetchOverflowAbortsAndReleases(t *testing.T) {
+	g := sharedGraph()
+	var prefetchStarted, feederDone atomic.Int64
+	up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		if r.Path == "/list" {
+			return &httpmsg.Response{Status: 200,
+				Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+				Body:   []byte(`{"ids":["1"]}`)}, nil
+		}
+		if id, _ := r.GetQuery("id"); id == "0" {
+			// The foreground exemplar teach: small enough to capture, so the
+			// signature learns an exemplar and the prefetch fires.
+			return &httpmsg.Response{Status: 200, Body: bytes.Repeat([]byte("t"), 512)}, nil
+		}
+		prefetchStarted.Add(1)
+		// The prefetched item streams without end: only consume-or-cancel
+		// terminates it, by closing the body and unblocking the feeder.
+		pr, pw := io.Pipe()
+		go func() {
+			defer feederDone.Add(1)
+			buf := bytes.Repeat([]byte("q"), 1024)
+			for {
+				if _, err := pw.Write(buf); err != nil {
+					return
+				}
+			}
+		}()
+		resp := &httpmsg.Response{Status: 200}
+		resp.SetStream(pr)
+		return resp, nil
+	})
+	p := New(Options{Graph: g, Upstream: up, StreamChunkBytes: 256, CaptureMaxBytes: 1024})
+	defer p.Close()
+
+	alice := &proxyTransport{p: p, user: "1.1.1.1"}
+	// Teach the item exemplar (this one also overflows — streamed through),
+	// then fan out from the list.
+	if _, err := alice.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example", Path: "/item",
+		Query: []httpmsg.Field{{Key: "id", Value: "0"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example", Path: "/list"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+
+	if prefetchStarted.Load() == 0 {
+		t.Fatal("prefetch never reached the origin")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for feederDone.Load() < prefetchStarted.Load() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if feederDone.Load() < prefetchStarted.Load() {
+		t.Fatal("aborted prefetch never closed the origin stream")
+	}
+	if n, _ := p.Cache().ScopeStats(cache.SharedScope); n != 0 {
+		t.Fatalf("over-cap prefetch cached %d entries, want 0", n)
+	}
+	if p.streamStats.bodyOverflows.Load() == 0 {
+		t.Fatal("overflow never counted")
+	}
+	waitChunksReleased(t, p)
+}
+
+// TestWholePathAllocBudget gates the miss-path allocation count: allocations
+// per request must not scale with the number of body chunks. A 1 MiB body
+// through 4 KiB chunks is 256 chunk-transits; if any layer allocated per
+// chunk, the two measurements below would differ by hundreds.
+func TestWholePathAllocBudget(t *testing.T) {
+	serveOnce := func(body []byte) float64 {
+		g := streamGraph()
+		up := UpstreamFunc(func(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+			resp := &httpmsg.Response{Status: 200}
+			resp.SetStream(io.NopCloser(bytes.NewReader(body)))
+			return resp, nil
+		})
+		p := New(Options{Graph: g, Upstream: up, StreamChunkBytes: 4096, CaptureMaxBytes: 4 << 20})
+		defer p.Close()
+		// Warm the pool and the per-signature state.
+		for i := 0; i < 3; i++ {
+			hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+			hreq.RemoteAddr = "9.9.9.9:1"
+			p.ServeHTTP(httptest.NewRecorder(), hreq)
+		}
+		return testing.AllocsPerRun(30, func() {
+			hreq := httptest.NewRequest("GET", "http://h.example/big", nil)
+			hreq.RemoteAddr = "9.9.9.9:1"
+			p.ServeHTTP(httptest.NewRecorder(), hreq)
+		})
+	}
+	small := serveOnce(bytes.Repeat([]byte("s"), 64<<10)) // 16 chunk-transits
+	large := serveOnce(bytes.Repeat([]byte("l"), 1<<20))  // 256 chunk-transits
+	if d := large - small; d > 64 {
+		t.Fatalf("allocs grow with body chunks: %0.1f (64KiB) vs %0.1f (1MiB), Δ=%0.1f > 64",
+			small, large, d)
+	}
+	if large > 400 {
+		t.Fatalf("miss path costs %0.1f allocs/request, want O(1) ≤ 400", large)
+	}
+}

@@ -117,7 +117,10 @@ func (u *NetUpstream) dial(ctx context.Context, network, addr string) (net.Conn,
 	return c, nil
 }
 
-// RoundTrip implements Upstream.
+// RoundTrip implements Upstream. The response is returned streaming — the
+// body has not been read — so the first byte reaches the caller as soon as
+// the origin sends headers, and the transport's pooled connection is held
+// until the caller finishes the body (WriteTo / Buffer / DrainAndClose).
 func (u *NetUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
 	hreq, err := r.ToHTTP()
 	if err != nil {
@@ -129,5 +132,5 @@ func (u *NetUpstream) RoundTrip(ctx context.Context, r *httpmsg.Request) (*httpm
 	if err != nil {
 		return nil, err
 	}
-	return httpmsg.FromHTTPResponse(hresp)
+	return httpmsg.FromHTTPResponseStreaming(hresp), nil
 }

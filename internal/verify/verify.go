@@ -171,6 +171,11 @@ func Run(o Options) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
+				// Streaming upstreams hand the body over unread; the probe
+				// compares whole bodies, so consume it here.
+				if err := resp.Buffer(0); err != nil {
+					return nil, err
+				}
 				return resp.Body, nil
 			}, o.ProbeMin, o.ProbeMax, o.Sleep)
 			rep.Expirations[id] = exp

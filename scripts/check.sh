@@ -81,4 +81,16 @@ go test -race -count=1 ./internal/proxy/ \
 go test -race -count=1 ./internal/proxy/resilience/ \
     -run TestBreakerHalfOpenProbeRace
 
+# Stream data-plane gate: Range/206 conformance, flight attach under -race,
+# TTFB decoupled from body completion, abort paths returning every pooled
+# chunk — then the whole-path alloc budget (O(1) allocs/request: the test
+# fails if allocations grow with the number of body chunks) and the spool
+# throughput bench smoke.
+echo "== stream data-plane gate"
+go test -race -count=1 ./internal/stream/
+go test -race -count=1 ./internal/proxy/ \
+    -run 'TestRangeConformanceCached|TestAttachToInFlightFetch|TestTTFBPrecedesSlowBody|TestOverCapBodyStreamsUncached|TestPrefetchOverflowAbortsAndReleases'
+go test -count=1 ./internal/proxy/ -run TestWholePathAllocBudget
+go test ./internal/stream/ -run '^$' -bench BenchmarkSpoolAppendRead -benchtime 1x
+
 echo "check: OK"
