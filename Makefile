@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench bench-cache bench-overload bench-match bench-cluster bench-chaos
+.PHONY: build test check bench bench-cache bench-overload bench-match bench-cluster bench-chaos bench-policy
 
 build:
 	go build ./...
@@ -43,3 +43,9 @@ bench-cluster:
 CHAOS_SEED ?= 42
 bench-chaos:
 	go run ./cmd/appx-bench -experiment chaossweep -chaos-seed $(CHAOS_SEED)
+
+# bench-policy replays the hostile workloads (flash crowd, mixed fleet,
+# sequential scan, diurnal gap, legacy replay) against the static and markov
+# prefetch policies and writes BENCH_policy.json.
+bench-policy:
+	go run ./cmd/appx-bench -experiment policysweep

@@ -36,7 +36,14 @@
 // -admission-wait before a 503), and an AIMD governor scales speculative
 // prefetching down when the prefetch queue, client p95 (-target-p95), or
 // admission sheds signal pressure. Queued prefetches older than
-// -queue-deadline are dropped at dispatch.
+// -prefetch-queue-deadline are dropped at dispatch (the old -queue-deadline
+// spelling still works and logs a deprecation note).
+//
+// Prefetch decisions run through a pluggable policy (-prefetch-policy):
+// "static" issues candidates in dependency-graph order, "markov" learns a
+// per-user first-order transition model and reorders/prunes chains by
+// observed behaviour (-policy-decay sets the history half-life,
+// -policy-max-users bounds the model's footprint).
 //
 // Cluster mode scales the proxy across instances: -cluster-self names this
 // instance, -cluster-peers the static fleet seed list (the same value works
@@ -105,7 +112,9 @@ type options struct {
 	prefetchBackoffBase time.Duration
 	prefetchBackoffMax  time.Duration
 
-	prefetchTimeout time.Duration
+	// Prefetch flag group: every knob shaping what (and how eagerly) the
+	// proxy prefetches registers together in prefetchFlags.
+	prefetch prefetchFlags
 
 	// Cache overrides; zero values defer to -config / built-in defaults,
 	// negative values disable the corresponding bound.
@@ -121,8 +130,6 @@ type options struct {
 	admissionWait    time.Duration
 	targetP95        time.Duration
 	governorInterval time.Duration
-	queueDeadline    time.Duration
-	prefetchQueue    int
 
 	// Lifecycle.
 	drainTimeout  time.Duration
@@ -176,7 +183,7 @@ func main() {
 	flag.IntVar(&o.prefetchFailLimit, "prefetch-failure-limit", 0, "consecutive failures that suspend a prefetch signature (0 = config default)")
 	flag.DurationVar(&o.prefetchBackoffBase, "prefetch-backoff-base", 0, "initial suspension of a failing prefetch signature (0 = config default)")
 	flag.DurationVar(&o.prefetchBackoffMax, "prefetch-backoff-max", 0, "suspension cap for a failing prefetch signature (0 = config default)")
-	flag.DurationVar(&o.prefetchTimeout, "prefetch-timeout", 0, "whole-prefetch deadline, retries included (0 = config default)")
+	o.prefetch.register(flag.CommandLine)
 
 	flag.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "global prefetch-store byte budget (0 = config default, <0 = unlimited)")
 	flag.Int64Var(&o.cacheUserBytes, "cache-user-bytes", 0, "per-user resident-byte cap (0 = config default, <0 = uncapped)")
@@ -189,8 +196,6 @@ func main() {
 	flag.DurationVar(&o.admissionWait, "admission-wait", 0, "how long an arriving request may wait for an admission slot (0 = config default)")
 	flag.DurationVar(&o.targetP95, "target-p95", 0, "client p95 latency ceiling that signals overload to the prefetch governor (0 = config default: disabled)")
 	flag.DurationVar(&o.governorInterval, "governor-interval", 0, "AIMD governor adjustment period (0 = config default)")
-	flag.DurationVar(&o.queueDeadline, "queue-deadline", 0, "queued-prefetch staleness bound; older tasks drop at dispatch (0 = config default, <0 = disabled)")
-	flag.IntVar(&o.prefetchQueue, "prefetch-queue", 0, "prefetch scheduler queue bound (0 = config default)")
 
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests to finish")
 	flag.DurationVar(&o.pruneInterval, "prune-interval", 5*time.Minute, "how often to prune idle per-user state (<=0 disables)")
@@ -218,6 +223,10 @@ func main() {
 	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 0, "largest accepted client request body, 413 past it (0 = default 64MiB, <0 = unlimited)")
 	flag.Parse()
 
+	if err := o.prefetch.validate(flag.CommandLine); err != nil {
+		fmt.Fprintln(os.Stderr, "appx-proxy:", err)
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "appx-proxy:", err)
 		os.Exit(1)
@@ -334,6 +343,9 @@ func run(o options) error {
 		StreamChunkBytes: o.streamChunkBytes,
 		CaptureMaxBytes:  o.captureMaxBytes,
 		MaxBodyBytes:     o.maxBodyBytes,
+		PrefetchPolicy:   o.prefetch.policy,
+		PolicyDecay:      o.prefetch.policyDecay,
+		PolicyMaxUsers:   o.prefetch.policyMaxUsers,
 	})
 	if o.stateDir != "" {
 		switch outcome := px.RestoreOutcome(); outcome {
@@ -460,7 +472,7 @@ func applyResilienceFlags(cfg *config.Config, o options) {
 		{int64(o.prefetchFailLimit), func() { r.PrefetchFailureLimit = o.prefetchFailLimit }},
 		{int64(o.prefetchBackoffBase), func() { r.PrefetchBackoffBase = config.Duration(o.prefetchBackoffBase) }},
 		{int64(o.prefetchBackoffMax), func() { r.PrefetchBackoffMax = config.Duration(o.prefetchBackoffMax) }},
-		{int64(o.prefetchTimeout), func() { r.PrefetchTimeout = config.Duration(o.prefetchTimeout) }},
+		{int64(o.prefetch.timeout), func() { r.PrefetchTimeout = config.Duration(o.prefetch.timeout) }},
 	} {
 		if f.flag > 0 {
 			f.dst()
@@ -535,12 +547,12 @@ func applyOverloadFlags(cfg *config.Config, o options) {
 		v.GovernorInterval = config.Duration(o.governorInterval)
 		set = true
 	}
-	if o.queueDeadline != 0 {
-		v.QueueDeadline = config.Duration(o.queueDeadline)
+	if o.prefetch.queueDeadline != 0 {
+		v.QueueDeadline = config.Duration(o.prefetch.queueDeadline)
 		set = true
 	}
-	if o.prefetchQueue > 0 {
-		v.MaxQueue = o.prefetchQueue
+	if o.prefetch.queue > 0 {
+		v.MaxQueue = o.prefetch.queue
 		set = true
 	}
 	if set || cfg.Overload != nil {
@@ -575,4 +587,58 @@ func loadGraph(a *apps.App, sigsPath string) (*sig.Graph, error) {
 		return sig.Unmarshal(b)
 	}
 	return static.Analyze(a.APK.Program, a.Name, a.APK.Entries(), static.Options{Features: static.AllFeatures()})
+}
+
+// prefetchFlags is the consolidated prefetch flag group: every knob shaping
+// what the proxy speculates on — and how eagerly — registers here together
+// and is checked by one validation pass after flag.Parse.
+type prefetchFlags struct {
+	timeout       time.Duration
+	queue         int
+	queueDeadline time.Duration
+	// legacyQueueDeadline receives the deprecated -queue-deadline
+	// spelling; validate folds it into queueDeadline with a one-time note.
+	legacyQueueDeadline time.Duration
+
+	policy         string
+	policyDecay    time.Duration
+	policyMaxUsers int
+}
+
+// register adds the prefetch flag group to fs.
+func (pf *prefetchFlags) register(fs *flag.FlagSet) {
+	fs.DurationVar(&pf.timeout, "prefetch-timeout", 0, "whole-prefetch deadline, retries included (0 = config default)")
+	fs.IntVar(&pf.queue, "prefetch-queue", 0, "prefetch scheduler queue bound (0 = config default)")
+	fs.DurationVar(&pf.queueDeadline, "prefetch-queue-deadline", 0, "queued-prefetch staleness bound; older tasks drop at dispatch (0 = config default, <0 = disabled)")
+	fs.DurationVar(&pf.legacyQueueDeadline, "queue-deadline", 0, "deprecated alias for -prefetch-queue-deadline")
+	fs.StringVar(&pf.policy, "prefetch-policy", "static", "prefetch decision policy: static or markov")
+	fs.DurationVar(&pf.policyDecay, "policy-decay", 0, "markov history half-life (0 = built-in default)")
+	fs.IntVar(&pf.policyMaxUsers, "policy-max-users", 0, "markov per-user model cap (0 = built-in default)")
+}
+
+// validate is the group's single validation pass. It also resolves the
+// renamed deadline flag: the old spelling still works, logging one
+// deprecation note, but passing both is an error.
+func (pf *prefetchFlags) validate(fs *flag.FlagSet) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["queue-deadline"] {
+		if set["prefetch-queue-deadline"] {
+			return errors.New("-queue-deadline is a deprecated alias for -prefetch-queue-deadline; pass only one")
+		}
+		fmt.Fprintln(os.Stderr, "appx-proxy: -queue-deadline is deprecated; use -prefetch-queue-deadline")
+		pf.queueDeadline = pf.legacyQueueDeadline
+	}
+	switch pf.policy {
+	case "static", "markov":
+	default:
+		return fmt.Errorf("unknown -prefetch-policy %q (want static or markov)", pf.policy)
+	}
+	if pf.policyDecay < 0 {
+		return fmt.Errorf("-policy-decay must be >= 0, got %v", pf.policyDecay)
+	}
+	if pf.policyMaxUsers < 0 {
+		return fmt.Errorf("-policy-max-users must be >= 0, got %d", pf.policyMaxUsers)
+	}
+	return nil
 }

@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"appx/internal/config"
+	"appx/internal/httpmsg"
+	"appx/internal/obs/adminv1"
+	"appx/internal/proxy"
+	"appx/internal/sig"
+	"appx/internal/trace"
+)
+
+// PolicySweep judges the prefetch policies on the adversarial workloads of
+// internal/trace: each (scenario, policy) cell replays the same scripted
+// request stream against a star-shaped app — one home signature fanning out
+// to K branch signatures — under a frozen clock and reports prefetch
+// precision (used/prefetched), recall (branch views served without a live
+// origin round trip), and the origin bytes the unused prefetches wasted.
+//
+// The static policy prefetches the full fan-out on every home view, so its
+// precision is pinned near 1/K wherever users have favourites; the markov
+// policy should recover most of that waste on structured workloads
+// (flash-crowd, mixed-fleet) while staying within noise of static on the
+// structure-free legacy replay.
+type PolicySweep struct {
+	Seed     int64            `json:"seed"`
+	Users    int              `json:"users"`
+	Branches int              `json:"branches"`
+	Rounds   int              `json:"rounds"`
+	Rows     []PolicySweepRow `json:"rows"`
+}
+
+// PolicySweepRow is one (scenario, policy) cell.
+type PolicySweepRow struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Precision is used prefetched entries over all prefetched entries.
+	Precision float64 `json:"precision"`
+	// Recall is the fraction of branch views served without a synchronous
+	// origin fetch (i.e. from a prefetched or still-fresh entry).
+	Recall float64 `json:"recall"`
+	// Prefetches and Used are the raw entry counts behind Precision.
+	Prefetches int `json:"prefetches"`
+	Used       int `json:"used"`
+	// WastedKB is origin traffic spent on prefetched-but-never-used
+	// branch bodies; OriginKB is total origin traffic.
+	WastedKB float64 `json:"wastedKB"`
+	OriginKB float64 `json:"originKB"`
+	// Pruned and Reordered report the history model's interventions.
+	Pruned    int64 `json:"pruned"`
+	Reordered int64 `json:"reordered"`
+}
+
+const (
+	policyUsers       = 8
+	policyBranches    = 8
+	policyRounds      = 5
+	policyBranchBytes = 4096
+	// policyExpiry is below trace.RoundGap, so every measurement round
+	// forces a fresh prefetch decision.
+	policyExpiry = 60 * time.Second
+)
+
+// policyGraph builds the star: a home signature whose response token feeds
+// one dependent branch signature per branch index.
+func policyGraph(branches int) *sig.Graph {
+	g := sig.NewGraph("policysweep")
+	home := &sig.Signature{ID: "ps:home#0", Method: "GET", URI: sig.Literal("app.example/home")}
+	g.Add(home)
+	for b := 0; b < branches; b++ {
+		s := &sig.Signature{ID: fmt.Sprintf("ps:b%d#0", b), Method: "GET",
+			URI:   sig.Literal(fmt.Sprintf("app.example/b%d", b)),
+			Query: []sig.Field{{Key: "tok", Value: sig.DepValue(home.ID, "tok")}}}
+		g.Add(s)
+		g.AddDep(sig.Dependency{PredID: home.ID, SuccID: s.ID, RespPath: "tok",
+			Loc: sig.FieldLoc{Where: "query", Key: "tok"}})
+	}
+	return g
+}
+
+// RunPolicySweep runs every (scenario, policy) cell. Fully deterministic:
+// scripted workloads, a frozen clock advanced to each step's offset, one
+// prefetch worker drained after every home view.
+func RunPolicySweep(seed int64) (*PolicySweep, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	out := &PolicySweep{Seed: seed, Users: policyUsers, Branches: policyBranches, Rounds: policyRounds}
+	for _, h := range trace.Hostiles(policyUsers, policyBranches, policyRounds, seed) {
+		for _, pol := range []string{"static", "markov"} {
+			row, err := runPolicyCell(h, pol, seed)
+			if err != nil {
+				return nil, fmt.Errorf("policysweep %s/%s: %w", h.Name, pol, err)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// runPolicyCell replays one workload against one policy.
+func runPolicyCell(h trace.Hostile, policyName string, seed int64) (PolicySweepRow, error) {
+	row := PolicySweepRow{Scenario: h.Name, Policy: policyName}
+	g := policyGraph(policyBranches)
+	cfg := config.Default(g)
+	cfg.DefaultExpiration = config.Duration(policyExpiry)
+	// Per-user caching only: the shared tier would let one user's prefetch
+	// serve the whole fleet and mask per-user precision differences.
+	cc := cfg.EffectiveCache()
+	cc.DisableSharedTier = true
+	cfg.Cache = &cc
+
+	var originBytes, liveBranch atomic.Int64
+	// prefetching is set for the window from a home view through the drain
+	// that follows it — the only time prefetch fetches reach the origin, as
+	// branch views are synchronous on the driver goroutine. Branch fetches
+	// outside that window are live misses, the recall counter.
+	var prefetching atomic.Bool
+	up := proxy.UpstreamFunc(func(_ context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		if r.Path == "/home" {
+			body := []byte(`{"tok":"v1"}`)
+			originBytes.Add(int64(len(body)))
+			return &httpmsg.Response{Status: 200,
+				Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+				Body:   body}, nil
+		}
+		if !prefetching.Load() {
+			liveBranch.Add(1)
+		}
+		body := bytes.Repeat([]byte("b"), policyBranchBytes)
+		originBytes.Add(int64(len(body)))
+		return &httpmsg.Response{Status: 200, Body: body}, nil
+	})
+
+	base := time.Unix(1_700_000_000, 0)
+	var nowNano atomic.Int64
+	nowNano.Store(base.UnixNano())
+	rnd := rand.New(rand.NewSource(seed))
+	px := proxy.New(proxy.Options{Graph: g, Config: cfg, Upstream: up, Workers: 1,
+		Now:            func() time.Time { return time.Unix(0, nowNano.Load()) },
+		Rand:           rnd.Float64,
+		PrefetchPolicy: policyName,
+	})
+	defer px.Close()
+
+	get := func(user, path string, withTok bool) error {
+		req := &httpmsg.Request{Method: "GET", Host: "app.example", Path: path,
+			Header: []httpmsg.Field{{Key: "X-Appx-User", Value: user}}}
+		if withTok {
+			req.Query = []httpmsg.Field{{Key: "tok", Value: "v1"}}
+		}
+		_, err := httpmsg.ServeViaHandler(px, req)
+		return err
+	}
+
+	branchGETs := 0
+	for _, st := range h.Steps {
+		nowNano.Store(base.Add(st.At).UnixNano())
+		if st.Branch == trace.Home {
+			prefetching.Store(true)
+			err := get(st.User, "/home", false)
+			px.Drain()
+			prefetching.Store(false)
+			if err != nil {
+				return row, err
+			}
+			continue
+		}
+		branchGETs++
+		if err := get(st.User, fmt.Sprintf("/b%d", st.Branch), true); err != nil {
+			return row, err
+		}
+	}
+
+	snap := px.Stats().Snapshot()
+	row.Prefetches = snap.Prefetches
+	row.Used = snap.UsedEntries
+	row.Precision = snap.UsedPrefetchRatio()
+	if branchGETs > 0 {
+		row.Recall = 1 - float64(liveBranch.Load())/float64(branchGETs)
+	}
+	row.WastedKB = float64((snap.Prefetches-snap.UsedEntries)*policyBranchBytes) / 1000
+	row.OriginKB = float64(originBytes.Load()) / 1000
+
+	// The typed policy block of /appx/v1/stats carries the model's
+	// intervention counters; fetching it over the admin API (a direct,
+	// origin-form request) also keeps that surface exercised end to end.
+	rec := httptest.NewRecorder()
+	px.ServeHTTP(rec, httptest.NewRequest("GET", adminv1.PathStats, nil))
+	var stats adminv1.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		return row, fmt.Errorf("decode %s: %w", adminv1.PathStats, err)
+	}
+	row.Pruned = stats.Policy.Pruned
+	row.Reordered = stats.Policy.Reordered
+	return row, nil
+}
+
+// Render formats the sweep.
+func (p *PolicySweep) Render() string {
+	rows := make([][]string, 0, len(p.Rows))
+	for _, r := range p.Rows {
+		rows = append(rows, []string{
+			r.Scenario, r.Policy,
+			fmtPct(r.Precision), fmtPct(r.Recall),
+			fmt.Sprintf("%d", r.Prefetches), fmt.Sprintf("%d", r.Used),
+			fmt.Sprintf("%.1f", r.WastedKB), fmt.Sprintf("%.1f", r.OriginKB),
+			fmt.Sprintf("%d", r.Pruned), fmt.Sprintf("%d", r.Reordered),
+		})
+	}
+	return fmt.Sprintf("Prefetch-policy sweep (seed %d): %d users, %d branches, %d rounds\n",
+		p.Seed, p.Users, p.Branches, p.Rounds) +
+		table([]string{"scenario", "policy", "precision", "recall", "prefetched", "used",
+			"wasted KB", "origin KB", "pruned", "reordered"}, rows)
+}
+
+// WriteJSON writes the machine-readable result.
+func (p *PolicySweep) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

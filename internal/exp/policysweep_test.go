@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+// TestPolicySweepAcceptance pins the ISSUE-10 acceptance bars: the markov
+// policy must beat static prefetch precision on the flash-crowd and
+// mixed-fleet workloads, and may not waste more than 5% extra origin bytes
+// on the structure-free legacy replay.
+func TestPolicySweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policysweep: full sweep is long for -short")
+	}
+	ps, err := RunPolicySweep(1)
+	if err != nil {
+		t.Fatalf("RunPolicySweep: %v", err)
+	}
+	cell := func(scenario, policy string) PolicySweepRow {
+		for _, r := range ps.Rows {
+			if r.Scenario == scenario && r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/%s", scenario, policy)
+		return PolicySweepRow{}
+	}
+	for _, r := range ps.Rows {
+		t.Logf("%-13s %-7s precision=%.3f recall=%.3f prefetched=%d used=%d wasted=%.1fKB pruned=%d",
+			r.Scenario, r.Policy, r.Precision, r.Recall, r.Prefetches, r.Used, r.WastedKB, r.Pruned)
+	}
+
+	for _, scenario := range []string{"flash-crowd", "mixed-fleet"} {
+		s, m := cell(scenario, "static"), cell(scenario, "markov")
+		if m.Precision <= s.Precision {
+			t.Errorf("%s: markov precision %.3f not above static %.3f",
+				scenario, m.Precision, s.Precision)
+		}
+	}
+	s, m := cell("legacy-replay", "static"), cell("legacy-replay", "markov")
+	if m.WastedKB > s.WastedKB*1.05 {
+		t.Errorf("legacy-replay: markov wasted %.1fKB exceeds static %.1fKB by more than 5%%",
+			m.WastedKB, s.WastedKB)
+	}
+	// The model must actually be intervening where it wins, not winning by
+	// accident of scheduling.
+	if fc := cell("flash-crowd", "markov"); fc.Pruned == 0 {
+		t.Errorf("flash-crowd: markov pruned nothing")
+	}
+}

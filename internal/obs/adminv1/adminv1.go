@@ -222,6 +222,41 @@ type Budget struct {
 	Exhausted int64 `json:"exhausted"`
 }
 
+// PolicyEntry is the prefetch-policy block of /appx/v1/stats: which policy
+// is configured and which is currently active (the proxy falls back to
+// static while the governor sheds), the history model's size, and the
+// decision-path telemetry.
+type PolicyEntry struct {
+	// Configured is the policy selected by -prefetch-policy.
+	Configured string `json:"configured"`
+	// Active is the policy answering Rank calls right now; differs from
+	// Configured while the governor's mode hot-swaps markov out.
+	Active string `json:"active"`
+	// Users / Rows / Transitions size the history model (zero for static).
+	Users       int `json:"users"`
+	Rows        int `json:"rows"`
+	Transitions int `json:"transitions"`
+	// TableBytes estimates the transition tables' memory footprint.
+	TableBytes int64 `json:"tableBytes"`
+	// Observations counts live hits folded into the model.
+	Observations int64 `json:"observations"`
+	// RankCalls counts policy ranking decisions.
+	RankCalls int64 `json:"rankCalls"`
+	// Pruned counts candidates dropped as history-unlikely.
+	Pruned int64 `json:"pruned"`
+	// Reordered counts Rank calls that changed the candidate order.
+	Reordered int64 `json:"reordered"`
+	// RankP95Micros is the p95 latency of one Rank call, in microseconds.
+	RankP95Micros float64 `json:"rankP95Micros"`
+	// Skip counters mirror appx_prefetch_skipped_total by reason:
+	// candidates dropped before reaching the scheduler.
+	NoExemplarSkips  int64 `json:"noExemplarSkips"`
+	NoDepValueSkips  int64 `json:"noDepValueSkips"`
+	PendingFullSkips int64 `json:"pendingFullSkips"`
+	DepthSkips       int64 `json:"depthSkips"`
+	UnlikelySkips    int64 `json:"unlikelySkips"`
+}
+
 // HeaderField is one stored response header in a ClusterEntry.
 type HeaderField struct {
 	Key   string `json:"key"`
@@ -243,29 +278,30 @@ type ClusterEntry struct {
 
 // StatsResponse is the body of GET /appx/v1/stats.
 type StatsResponse struct {
-	MatchIndex           MatchIndex `json:"matchIndex"`
-	Hits                 int        `json:"hits"`
-	SharedHits           int        `json:"sharedHits"`
-	Misses               int        `json:"misses"`
-	Prefetches           int        `json:"prefetches"`
-	HitRatio             float64    `json:"hitRatio"`
-	SharedHitRatio       float64    `json:"sharedHitRatio"`
-	DataUsage            float64    `json:"dataUsage"`
-	UsedPrefetchRatio    float64    `json:"usedPrefetchRatio"`
-	SavedLatencyMs       int64      `json:"savedLatencyMs"`
-	Users                int        `json:"users"`
-	PrefetchQueue        int        `json:"prefetchQueue"`
-	DataUsedBytes        int64      `json:"dataUsedBytes"`
-	CacheResidentBytes   int64      `json:"cacheResidentBytes"`
-	Retries              int        `json:"retries"`
-	PrefetchErrors       int        `json:"prefetchErrors"`
-	SuppressedPrefetches int        `json:"suppressedPrefetches"`
-	Overload             Overload   `json:"overload"`
-	Sched                Sched      `json:"sched"`
-	Requests             Requests   `json:"requests"`
-	Persist              Persist    `json:"persist"`
-	Cluster              Cluster    `json:"cluster"`
-	Budget               Budget     `json:"budget"`
+	MatchIndex           MatchIndex  `json:"matchIndex"`
+	Hits                 int         `json:"hits"`
+	SharedHits           int         `json:"sharedHits"`
+	Misses               int         `json:"misses"`
+	Prefetches           int         `json:"prefetches"`
+	HitRatio             float64     `json:"hitRatio"`
+	SharedHitRatio       float64     `json:"sharedHitRatio"`
+	DataUsage            float64     `json:"dataUsage"`
+	UsedPrefetchRatio    float64     `json:"usedPrefetchRatio"`
+	SavedLatencyMs       int64       `json:"savedLatencyMs"`
+	Users                int         `json:"users"`
+	PrefetchQueue        int         `json:"prefetchQueue"`
+	DataUsedBytes        int64       `json:"dataUsedBytes"`
+	CacheResidentBytes   int64       `json:"cacheResidentBytes"`
+	Retries              int         `json:"retries"`
+	PrefetchErrors       int         `json:"prefetchErrors"`
+	SuppressedPrefetches int         `json:"suppressedPrefetches"`
+	Overload             Overload    `json:"overload"`
+	Sched                Sched       `json:"sched"`
+	Requests             Requests    `json:"requests"`
+	Persist              Persist     `json:"persist"`
+	Cluster              Cluster     `json:"cluster"`
+	Budget               Budget      `json:"budget"`
+	Policy               PolicyEntry `json:"policy"`
 }
 
 // HealthResponse is the body of GET /appx/v1/health.

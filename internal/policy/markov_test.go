@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// markovAt builds a markov policy over a settable frozen clock.
+func markovAt(cfg MarkovConfig) (*Markov, *time.Time) {
+	now := time.Unix(1_700_000_000, 0)
+	cfg.Now = func() time.Time { return now }
+	return NewMarkov(Hooks{}, cfg), &now
+}
+
+// teach feeds n home→fav transitions, 10 seconds apart.
+func teach(m *Markov, now *time.Time, user, fav string, n int) {
+	for i := 0; i < n; i++ {
+		*now = now.Add(10 * time.Second)
+		m.Observe(user, "home", *now)
+		*now = now.Add(2 * time.Second)
+		m.Observe(user, fav, *now)
+	}
+}
+
+func branchCands(n int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		out[i] = Candidate{SigID: fmt.Sprintf("b%d", i), Index: i, Prior: 1}
+	}
+	return out
+}
+
+// TestMarkovLearnsAndPrunes: after enough favourite observations the model
+// ranks the favourite first and prunes the never-taken branches as
+// unlikely.
+func TestMarkovLearnsAndPrunes(t *testing.T) {
+	m, now := markovAt(MarkovConfig{})
+	teach(m, now, "u", "b2", 6)
+	ds := m.Rank("u", "home", branchCands(4))
+	if ds[0].SigID != "b2" || !ds[0].Keep {
+		t.Fatalf("favourite not ranked first/kept: %+v", ds)
+	}
+	for _, d := range ds[1:] {
+		if d.Keep {
+			t.Fatalf("unlikely branch %s not pruned: %+v", d.SigID, d)
+		}
+		if d.KeepReason != ReasonUnlikely {
+			t.Fatalf("branch %s reason = %q", d.SigID, d.KeepReason)
+		}
+	}
+	st := m.Stats()
+	if st.Pruned == 0 || st.Reordered == 0 || st.Users != 1 {
+		t.Fatalf("stats after learning: %+v", st)
+	}
+	if st.TableBytes <= 0 {
+		t.Fatalf("table bytes = %d", st.TableBytes)
+	}
+}
+
+// TestMarkovColdIdentity: with no history at all, markov's decisions are
+// byte-identical to static's — same order, no pruning.
+func TestMarkovColdIdentity(t *testing.T) {
+	m, _ := markovAt(MarkovConfig{})
+	cands := branchCands(6)
+	got := m.Rank("u", "home", cands)
+	want := NewStatic(Hooks{}).Rank("u", "home", cands)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold markov diverged from static:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestMarkovNoTransitionContext: issue-time ranking (from == "") never
+// reorders or prunes, whatever the model knows.
+func TestMarkovNoTransitionContext(t *testing.T) {
+	m, now := markovAt(MarkovConfig{})
+	teach(m, now, "u", "b2", 8)
+	cands := branchCands(4)
+	for i, d := range m.Rank("u", "", cands) {
+		if !d.Keep || d.SigID != cands[i].SigID {
+			t.Fatalf("issue-time rank intervened: %+v", d)
+		}
+	}
+}
+
+// TestMarkovSessionGap: hits separated by more than SessionGap do not form
+// transitions — a returning user starts a fresh session.
+func TestMarkovSessionGap(t *testing.T) {
+	m, now := markovAt(MarkovConfig{})
+	m.Observe("u", "home", *now)
+	*now = now.Add(2 * time.Hour)
+	m.Observe("u", "b0", *now)
+	if st := m.Stats(); st.Transitions != 0 {
+		t.Fatalf("cross-session transition recorded: %+v", st)
+	}
+	// Self-transitions (refreshes) are not navigation evidence either.
+	*now = now.Add(time.Second)
+	m.Observe("u", "b0", *now)
+	if st := m.Stats(); st.Transitions != 0 {
+		t.Fatalf("self-transition recorded: %+v", st)
+	}
+}
+
+// TestMarkovDecayForgets: evidence many half-lives old no longer clears the
+// prune confidence bar, so a long-idle model degrades to static behaviour
+// instead of acting on stale counts.
+func TestMarkovDecayForgets(t *testing.T) {
+	m, now := markovAt(MarkovConfig{HalfLife: time.Minute})
+	teach(m, now, "u", "b2", 6)
+	*now = now.Add(24 * time.Hour)
+	for _, d := range m.Rank("u", "home", branchCands(4)) {
+		if !d.Keep {
+			t.Fatalf("stale evidence still prunes: %+v", d)
+		}
+	}
+}
+
+// TestMarkovBounds: the model's footprint stays bounded — least recently
+// seen users evict at MaxUsers, and a row tracks at most
+// defaultMaxSuccessorsPerRow successors.
+func TestMarkovBounds(t *testing.T) {
+	m, now := markovAt(MarkovConfig{MaxUsers: 2})
+	for i := 0; i < 5; i++ {
+		*now = now.Add(time.Second)
+		m.Observe(fmt.Sprintf("u%d", i), "home", *now)
+	}
+	if st := m.Stats(); st.Users != 2 {
+		t.Fatalf("users = %d, want 2 (MaxUsers)", st.Users)
+	}
+
+	m2, now2 := markovAt(MarkovConfig{})
+	for i := 0; i < 2*defaultMaxSuccessorsPerRow; i++ {
+		*now2 = now2.Add(time.Second)
+		m2.Observe("u", "home", *now2)
+		*now2 = now2.Add(time.Second)
+		m2.Observe("u", fmt.Sprintf("b%d", i), *now2)
+		*now2 = now2.Add(time.Second)
+		m2.Observe("u", "home", *now2)
+	}
+	// Per-user and global "home" rows each cap their successor fan-out.
+	ex := m2.Export()
+	rowLens := map[string]int{}
+	for _, r := range ex.Users[0].Rows {
+		rowLens["user/"+r.From] = len(r.To)
+	}
+	for _, r := range ex.Global {
+		rowLens["global/"+r.From] = len(r.To)
+	}
+	for _, table := range []string{"user", "global"} {
+		if n := rowLens[table+"/home"]; n == 0 || n > defaultMaxSuccessorsPerRow {
+			t.Fatalf("%s home row tracks %d successors, cap %d",
+				table, n, defaultMaxSuccessorsPerRow)
+		}
+	}
+}
+
+// TestMarkovExportRestoreRoundTrip: Export → Restore reproduces the model
+// exactly — identical re-export and identical ranking behaviour.
+func TestMarkovExportRestoreRoundTrip(t *testing.T) {
+	m, now := markovAt(MarkovConfig{})
+	teach(m, now, "u1", "b2", 6)
+	teach(m, now, "u2", "b0", 4)
+	st := m.Export()
+	if st.Name != "markov" || len(st.Users) != 2 || len(st.Global) == 0 {
+		t.Fatalf("export shape: %+v", st)
+	}
+
+	fresh, _ := markovAt(MarkovConfig{})
+	// Restored model must rank with the restored clock context, so share
+	// the original's Now.
+	fresh.cfg.Now = m.cfg.Now
+	fresh.Restore(st)
+	if got := fresh.Export(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip changed state:\n got %+v\nwant %+v", got, st)
+	}
+	want := m.Rank("u1", "home", branchCands(4))
+	got := fresh.Rank("u1", "home", branchCands(4))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored model ranks differently:\n got %+v\nwant %+v", got, want)
+	}
+	s1, s2 := m.Stats(), fresh.Stats()
+	if s1.Users != s2.Users || s1.Rows != s2.Rows || s1.Transitions != s2.Transitions {
+		t.Fatalf("restored bookkeeping differs: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestMarkovConcurrent hammers Observe/Rank/Stats/Export from many
+// goroutines — the -race gate in scripts/check.sh relies on this test to
+// prove the model's locking.
+func TestMarkovConcurrent(t *testing.T) {
+	m := NewMarkov(Hooks{}, MarkovConfig{})
+	base := time.Unix(1_700_000_000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w%4)
+			for i := 0; i < 200; i++ {
+				at := base.Add(time.Duration(w*1000+i) * time.Second)
+				m.Observe(user, fmt.Sprintf("b%d", i%6), at)
+				m.Rank(user, "b0", branchCands(4))
+				if i%50 == 0 {
+					m.Stats()
+					m.Export()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := m.Stats(); st.Observations != 8*200 {
+		t.Fatalf("observations = %d, want %d", st.Observations, 8*200)
+	}
+}

@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// refConfig is a concrete, randomized gate configuration for the
+// differential tests below.
+type refConfig struct {
+	level     float64
+	shedding  bool
+	suspended map[string]bool
+	hostDown  map[string]bool
+	maxDepth  int
+}
+
+func (rc refConfig) hooks() Hooks {
+	return Hooks{
+		Level:     func() float64 { return rc.level },
+		Shedding:  func() bool { return rc.shedding },
+		Suspended: func(id string) bool { return rc.suspended[id] },
+		HostReady: func(h string) bool { return !rc.hostDown[h] },
+		MaxDepth:  func() int { return rc.maxDepth },
+	}
+}
+
+// reference reimplements the pre-policy inline decision logic of
+// internal/proxy — the depth ceiling from the old runPrefetch chain gate
+// and the governor/backoff/breaker sequence from the old maybePrefetch —
+// independently of Hooks.decide, so the differential test pins the static
+// policy to the historical behaviour rather than to its own implementation.
+func (rc refConfig) reference(c Candidate) Decision {
+	d := Decision{Candidate: c, Keep: true, Allow: true, Prob: c.Prior, Score: c.Prior}
+	if !c.Foreground {
+		if rc.shedding {
+			d.Allow = false
+			d.AllowReason = ReasonShedding
+		} else {
+			d.Prob *= rc.level
+		}
+	}
+	if d.Allow && rc.suspended[c.SigID] {
+		d.Allow = false
+		d.AllowReason = ReasonSuspended
+	}
+	if d.Allow && c.Host != "" && rc.hostDown[c.Host] {
+		d.Allow = false
+		d.AllowReason = ReasonBreaker
+	}
+	if c.Depth > 0 && c.Depth > rc.maxDepth {
+		d.Keep = false
+		d.KeepReason = ReasonDepth
+	}
+	return d
+}
+
+// TestStaticDifferentialIdentity pins the static policy byte-identical to
+// the pre-policy chain behaviour across >1000 randomized candidate batches
+// and gate configurations: same keep/allow verdicts, same reasons, same
+// probabilities, same order.
+func TestStaticDifferentialIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 1200; iter++ {
+		rc := refConfig{
+			level:     rng.Float64(),
+			shedding:  rng.Intn(4) == 0,
+			suspended: map[string]bool{},
+			hostDown:  map[string]bool{},
+			maxDepth:  rng.Intn(5),
+		}
+		n := 1 + rng.Intn(12)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			id := fmt.Sprintf("sig%d", rng.Intn(8))
+			host := ""
+			if rng.Intn(2) == 0 {
+				host = fmt.Sprintf("h%d.example", rng.Intn(3))
+			}
+			cands[i] = Candidate{
+				SigID:      id,
+				Host:       host,
+				Depth:      rng.Intn(6),
+				Index:      i,
+				Foreground: rng.Intn(4) == 0,
+				Prior:      rng.Float64(),
+			}
+			if rng.Intn(6) == 0 {
+				rc.suspended[id] = true
+			}
+			if host != "" && rng.Intn(6) == 0 {
+				rc.hostDown[host] = true
+			}
+		}
+		want := make([]Decision, n)
+		for i, c := range cands {
+			want[i] = rc.reference(c)
+		}
+		got := NewStatic(rc.hooks()).Rank("u", "from", cands)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: static diverged from reference\n got %+v\nwant %+v", iter, got, want)
+		}
+	}
+}
+
+// TestStaticNilHooksPermissive: a static policy with no hooks wired gates
+// nothing — every candidate keeps, allows, and carries its prior.
+func TestStaticNilHooksPermissive(t *testing.T) {
+	cands := []Candidate{
+		{SigID: "a", Depth: 3, Prior: 0.5},
+		{SigID: "b", Host: "h.example", Depth: 0, Prior: 1},
+	}
+	for i, d := range NewStatic(Hooks{}).Rank("u", "", cands) {
+		if !d.Keep || !d.Allow || d.Prob != cands[i].Prior {
+			t.Fatalf("candidate %d gated by nil hooks: %+v", i, d)
+		}
+	}
+}
+
+// TestStaticPreservesOrder: static never reorders — output decisions carry
+// the input candidates in input order.
+func TestStaticPreservesOrder(t *testing.T) {
+	cands := make([]Candidate, 20)
+	for i := range cands {
+		cands[i] = Candidate{SigID: fmt.Sprintf("s%d", i), Index: i, Prior: float64(20-i) / 20}
+	}
+	ds := NewStatic(Hooks{}).Rank("u", "from", cands)
+	for i, d := range ds {
+		if d.SigID != cands[i].SigID || d.Index != i {
+			t.Fatalf("order changed at %d: %+v", i, d)
+		}
+	}
+	if st := NewStatic(Hooks{}).Stats(); st.Users != 0 || st.Pruned != 0 {
+		t.Fatalf("static stats carry model state: %+v", st)
+	}
+}
+
+// TestHooksDecideDepth: the depth rule is the exact complement of the old
+// `depth < effectiveChainDepth` chain gate — live fan-out (depth 0) is
+// never pruned, chained candidates prune strictly beyond MaxDepth.
+func TestHooksDecideDepth(t *testing.T) {
+	h := Hooks{MaxDepth: func() int { return 2 }}
+	for depth, wantKeep := range map[int]bool{0: true, 1: true, 2: true, 3: false, 4: false} {
+		d := h.decide(Candidate{SigID: "s", Depth: depth, Prior: 1})
+		if d.Keep != wantKeep {
+			t.Fatalf("depth %d: keep = %v, want %v", depth, d.Keep, wantKeep)
+		}
+		if !wantKeep && d.KeepReason != ReasonDepth {
+			t.Fatalf("depth %d: reason = %q", depth, d.KeepReason)
+		}
+		// The depth rule prunes from the fan-out but never touches the
+		// issue gates — a pruned candidate still reports Allow.
+		if !d.Allow {
+			t.Fatalf("depth %d: depth rule leaked into Allow", depth)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package policy
+
+import (
+	"strings"
+
+	"appx/internal/httpmsg"
+)
+
+// perUserShareDeny lists header-name fragments that conservatively mark a
+// request as carrying per-user state (credentials, sessions, accounts).
+// Matching entries never enter the shared tier — not because serving them
+// would be unsafe (exact-match still holds), but because a credentialed
+// response is per-user data that must not outlive its user's eviction, and
+// a shared slot for it could never serve anyone else anyway.
+var perUserShareDeny = []string{"cookie", "auth", "token", "session", "secret", "credential", "account"}
+
+// SharedEligible is the header half of shared-tier eligibility: whether a
+// reconstructed request's live headers (which carry the exemplar's extra
+// run-time headers) smell of per-user state. The caller has already
+// established that the signature's patterns are user-agnostic.
+func SharedEligible(header []httpmsg.Field) bool {
+	for _, h := range header {
+		name := strings.ToLower(h.Key)
+		for _, deny := range perUserShareDeny {
+			if strings.Contains(name, deny) {
+				return false
+			}
+		}
+	}
+	return true
+}

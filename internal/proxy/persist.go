@@ -252,6 +252,13 @@ func (p *Proxy) exportState() *persist.State {
 		}
 	}
 	p.resMu.Unlock()
+
+	// The history policy's transition tables ride the same snapshot (and the
+	// same fingerprint gate: transition counts between signatures of a
+	// different graph are meaningless).
+	if p.markovPol != nil {
+		st.Policy = p.markovPol.Export()
+	}
 	return st
 }
 
@@ -331,6 +338,13 @@ func (p *Proxy) applyState(st *persist.State) {
 		p.sigFail[id] = sb
 	}
 	p.resMu.Unlock()
+
+	// A snapshot written by a markov proxy restores into a markov proxy;
+	// a static configuration ignores the tables (and vice versa — a
+	// snapshot without them simply leaves the model cold).
+	if st.Policy != nil && p.markovPol != nil {
+		p.markovPol.Restore(st.Policy)
+	}
 }
 
 // registerPersistBridges exposes the persistence counters on the metrics

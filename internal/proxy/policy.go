@@ -1,0 +1,202 @@
+package proxy
+
+import (
+	"sync/atomic"
+	"time"
+
+	"appx/internal/obs"
+	"appx/internal/obs/adminv1"
+	"appx/internal/policy"
+)
+
+// Prefetch-policy wiring (ISSUE 10). The decision logic that used to be
+// inlined across learn/maybePrefetch — governor probability and chain-depth
+// gating, failure backoff, breaker readiness — lives in internal/policy
+// behind the Policy interface now, with two implementations:
+//
+//   - static: the historical behaviour, candidates in dependency-graph
+//     order. The differential tests pin it byte-identical to the pre-policy
+//     proxy.
+//   - markov: a per-user first-order transition model that reorders and
+//     prunes chains by observed behaviour, fed by observePolicy on every
+//     attributed live hit and carried across restarts by the snapshot
+//     ladder.
+//
+// Selection is -prefetch-policy; the active policy hot-swaps back to static
+// while the governor is shedding (ranking history is pure overhead when
+// every speculative candidate is being refused anyway).
+
+// Skip reasons for candidates dropped before reaching the scheduler, beyond
+// the policy package's own (ReasonDepth, ReasonUnlikely).
+const (
+	skipNoExemplar  = "no_exemplar"   // materialize failed: run-time values missing
+	skipNoDepValues = "no_dep_values" // predecessor response yielded no dependency values
+	skipPendingFull = "pending_full"  // per-signature parked-instance cap hit
+)
+
+// prefetchSkips counts dropped candidates by reason
+// (appx_prefetch_skipped_total).
+type prefetchSkips struct {
+	noExemplar  atomic.Int64
+	noDepValues atomic.Int64
+	pendingFull atomic.Int64
+	depth       atomic.Int64
+	unlikely    atomic.Int64
+}
+
+// countSkip attributes one dropped candidate to its reason.
+func (p *Proxy) countSkip(reason string) {
+	switch reason {
+	case skipNoExemplar:
+		p.skips.noExemplar.Add(1)
+	case skipNoDepValues:
+		p.skips.noDepValues.Add(1)
+	case skipPendingFull:
+		p.skips.pendingFull.Add(1)
+	case policy.ReasonDepth:
+		p.skips.depth.Add(1)
+	case policy.ReasonUnlikely:
+		p.skips.unlikely.Add(1)
+	}
+}
+
+// rankBounds buckets the Rank-latency histogram on a microsecond scale: a
+// rank call is a handful of map reads and must never show up in request
+// latency.
+var rankBounds = []time.Duration{
+	time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 25 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 250 * time.Microsecond,
+	time.Millisecond, 5 * time.Millisecond,
+}
+
+// initPolicy builds the policy layer. Both implementations share one Hooks
+// set; the hooks are all side-effect-free reads, so policies may evaluate
+// them at any point relative to the probability draw.
+func (p *Proxy) initPolicy() {
+	hooks := policy.Hooks{
+		Level:     p.gov.Level,
+		Shedding:  p.gov.Shedding,
+		Suspended: p.sigSuspended,
+		HostReady: p.breakers.Ready,
+		MaxDepth:  p.effectiveChainDepth,
+	}
+	p.staticPol = policy.NewStatic(hooks)
+	if p.opts.PrefetchPolicy == "markov" {
+		p.markovPol = policy.NewMarkov(hooks, policy.MarkovConfig{
+			HalfLife: p.opts.PolicyDecay,
+			MaxUsers: p.opts.PolicyMaxUsers,
+			Now:      func() time.Time { return p.opts.Now() },
+		})
+	}
+	p.rankHist = p.reg.Histogram("appx_policy_rank_seconds",
+		"Latency of one prefetch-policy Rank call.", rankBounds)
+}
+
+// configuredPolicy names the policy selected at construction.
+func (p *Proxy) configuredPolicy() string {
+	if p.markovPol != nil {
+		return p.markovPol.Name()
+	}
+	return p.staticPol.Name()
+}
+
+// activePolicy resolves the policy answering the next Rank call: markov
+// when configured, hot-swapped back to static while the governor sheds.
+func (p *Proxy) activePolicy() policy.Policy {
+	if p.markovPol != nil && p.gov.Mode() != "shedding" {
+		return p.markovPol
+	}
+	return p.staticPol
+}
+
+// modelPolicy is the policy whose Stats describe the history model: the
+// configured markov instance even while static is hot-swapped in (the model
+// keeps learning and its size is what operators watch).
+func (p *Proxy) modelPolicy() policy.Policy {
+	if p.markovPol != nil {
+		return p.markovPol
+	}
+	return p.staticPol
+}
+
+// rankCandidates runs one policy ranking, timed.
+func (p *Proxy) rankCandidates(userKey, from string, cands []policy.Candidate) []policy.Decision {
+	pol := p.activePolicy()
+	start := p.opts.Now()
+	ds := pol.Rank(userKey, from, cands)
+	p.rankHist.Observe(p.opts.Now().Sub(start))
+	return ds
+}
+
+// rankOne is the issue-time single-candidate ranking (maybePrefetch). No
+// transition context: the candidate's fate was ordered at fan-out time;
+// only the execution gates and probability matter here.
+func (p *Proxy) rankOne(userKey string, c policy.Candidate) policy.Decision {
+	return p.rankCandidates(userKey, "", []policy.Candidate{c})[0]
+}
+
+// observePolicy feeds one attributed live hit into the history model.
+// Static configurations skip the call entirely — zero added cost.
+func (p *Proxy) observePolicy(userKey, sigID string) {
+	if p.markovPol != nil {
+		p.markovPol.Observe(userKey, sigID, p.opts.Now())
+	}
+}
+
+// registerPolicyBridges exposes the policy layer on the metrics registry.
+func (p *Proxy) registerPolicyBridges(reg *obs.Registry) {
+	reg.GaugeFunc("appx_policy_users", "Per-user history models held.",
+		func() float64 { return float64(p.modelPolicy().Stats().Users) })
+	reg.GaugeFunc("appx_policy_rows", "Transition rows across users and the global table.",
+		func() float64 { return float64(p.modelPolicy().Stats().Rows) })
+	reg.GaugeFunc("appx_policy_transitions", "Tracked (from, to) transition pairs.",
+		func() float64 { return float64(p.modelPolicy().Stats().Transitions) })
+	reg.GaugeFunc("appx_policy_table_bytes", "Estimated transition-table memory footprint.",
+		func() float64 { return float64(p.modelPolicy().Stats().TableBytes) })
+	reg.CounterFunc("appx_policy_observations_total", "Live hits folded into the history model.",
+		func() int64 { return p.modelPolicy().Stats().Observations })
+	reg.CounterFunc("appx_policy_rank_total", "Policy Rank calls.",
+		func() int64 { return p.modelPolicy().Stats().RankCalls })
+	reg.CounterFunc("appx_policy_pruned_total", "Candidates pruned as history-unlikely.",
+		func() int64 { return p.modelPolicy().Stats().Pruned })
+	reg.CounterFunc("appx_policy_reordered_total", "Rank calls that changed candidate order.",
+		func() int64 { return p.modelPolicy().Stats().Reordered })
+	for _, s := range []struct {
+		reason string
+		c      *atomic.Int64
+	}{
+		{skipNoExemplar, &p.skips.noExemplar},
+		{skipNoDepValues, &p.skips.noDepValues},
+		{skipPendingFull, &p.skips.pendingFull},
+		{policy.ReasonDepth, &p.skips.depth},
+		{policy.ReasonUnlikely, &p.skips.unlikely},
+	} {
+		c := s.c
+		reg.CounterFunc(`appx_prefetch_skipped_total{reason="`+s.reason+`"}`,
+			"Prefetch candidates dropped before scheduling, by reason.", c.Load)
+	}
+}
+
+// policyV1 assembles the typed policy block of /appx/v1/stats.
+func (p *Proxy) policyV1() adminv1.PolicyEntry {
+	st := p.modelPolicy().Stats()
+	return adminv1.PolicyEntry{
+		Configured:       p.configuredPolicy(),
+		Active:           p.activePolicy().Name(),
+		Users:            st.Users,
+		Rows:             st.Rows,
+		Transitions:      st.Transitions,
+		TableBytes:       st.TableBytes,
+		Observations:     st.Observations,
+		RankCalls:        st.RankCalls,
+		Pruned:           st.Pruned,
+		Reordered:        st.Reordered,
+		RankP95Micros:    float64(p.rankHist.Quantile(0.95)) / float64(time.Microsecond),
+		NoExemplarSkips:  p.skips.noExemplar.Load(),
+		NoDepValueSkips:  p.skips.noDepValues.Load(),
+		PendingFullSkips: p.skips.pendingFull.Load(),
+		DepthSkips:       p.skips.depth.Load(),
+		UnlikelySkips:    p.skips.unlikely.Load(),
+	}
+}

@@ -1,0 +1,271 @@
+package proxy
+
+// Tests for the pluggable prefetch-policy layer: the static policy must be
+// differentially identical to the pre-policy inline chain logic (same
+// candidates prefetched, same order), dropped candidates must be counted by
+// reason, and the markov model must survive the persistence ladder.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"appx/internal/httpmsg"
+	"appx/internal/policy"
+	"appx/internal/sig"
+)
+
+// starGraph builds home → K branches, inserting the dependency edges in
+// the given branch order (the order the pre-policy fan-out walked).
+func starGraph(order []int) *sig.Graph {
+	g := sig.NewGraph("star")
+	home := &sig.Signature{ID: "st:home#0", Method: "GET", URI: sig.Literal("h.example/home")}
+	g.Add(home)
+	sigs := make([]*sig.Signature, len(order))
+	for _, b := range order {
+		s := &sig.Signature{ID: fmt.Sprintf("st:b%d#0", b), Method: "GET",
+			URI:   sig.Literal(fmt.Sprintf("h.example/b%d", b)),
+			Query: []sig.Field{{Key: "tok", Value: sig.DepValue(home.ID, "tok")}}}
+		g.Add(s)
+		g.AddDep(sig.Dependency{PredID: home.ID, SuccID: s.ID, RespPath: "tok",
+			Loc: sig.FieldLoc{Where: "query", Key: "tok"}})
+		sigs[b] = s
+	}
+	return g
+}
+
+// starUpstream serves the star app and records the branch paths it is
+// asked for, in arrival order.
+func starUpstream() (UpstreamFunc, func() []string, func()) {
+	var mu sync.Mutex
+	var fetched []string
+	up := UpstreamFunc(func(_ context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		if r.Path == "/home" {
+			return &httpmsg.Response{Status: 200,
+				Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+				Body:   []byte(`{"tok":"v1"}`)}, nil
+		}
+		mu.Lock()
+		fetched = append(fetched, r.Path)
+		mu.Unlock()
+		return &httpmsg.Response{Status: 200, Body: []byte("branch")}, nil
+	})
+	list := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), fetched...)
+	}
+	reset := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		fetched = nil
+	}
+	return up, list, reset
+}
+
+// TestStaticChainOrderDifferential pins the refactored fan-out to the
+// pre-policy behaviour across randomized star graphs: with the static
+// policy, the prefetch fetches that reach the origin are exactly the
+// branches with exemplars, in dependency-insertion order — and branches
+// without exemplars are counted under the no_exemplar skip reason.
+func TestStaticChainOrderDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 25; iter++ {
+		k := 1 + rng.Intn(8)
+		order := rng.Perm(k)
+		g := starGraph(order)
+		up, fetched, reset := starUpstream()
+
+		var nowNano atomic.Int64
+		base := time.Unix(1_700_000_000, 0)
+		nowNano.Store(base.UnixNano())
+		p := New(Options{Graph: g, Upstream: up, Workers: 1,
+			Now: func() time.Time { return time.Unix(0, nowNano.Load()) }})
+
+		// Teach exemplars for a random subset of branches (always at least
+		// one) via live visits.
+		scanned := map[int]bool{}
+		for b := 0; b < k; b++ {
+			if b == order[0] || rng.Intn(4) > 0 {
+				scanned[b] = true
+			}
+		}
+		tr := &proxyTransport{p: p, user: "9.9.9.9"}
+		for b := 0; b < k; b++ {
+			if !scanned[b] {
+				continue
+			}
+			if _, err := tr.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example",
+				Path:  fmt.Sprintf("/b%d", b),
+				Query: []httpmsg.Field{{Key: "tok", Value: "v1"}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Drain()
+
+		// Let the scan's cache entries expire so the fan-out below must
+		// issue real prefetch fetches, then open home.
+		nowNano.Store(base.Add(20 * time.Minute).UnixNano())
+		reset()
+		if _, err := tr.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example",
+			Path: "/home"}); err != nil {
+			t.Fatal(err)
+		}
+		p.Drain()
+
+		// The pre-policy fan-out walked g.Successors(home) in index order;
+		// the static policy must reproduce exactly that walk.
+		var want []string
+		for _, succID := range g.Successors("st:home#0") {
+			var b int
+			if _, err := fmt.Sscanf(succID, "st:b%d#0", &b); err != nil {
+				t.Fatalf("unexpected successor %q", succID)
+			}
+			if scanned[b] {
+				want = append(want, fmt.Sprintf("/b%d", b))
+			}
+		}
+		if got := fetched(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d (k=%d, order=%v, scanned=%v): prefetch order %v, want %v",
+				iter, k, order, scanned, got, want)
+		}
+		p.Close()
+	}
+}
+
+// TestNoExemplarSkipCounted: a candidate whose exemplar cannot resolve
+// every run-time value (here: a field depending on a different
+// predecessor) used to vanish silently from the fan-out; it must be
+// counted under appx_prefetch_skipped_total{reason="no_exemplar"}.
+func TestNoExemplarSkipCounted(t *testing.T) {
+	g := sig.NewGraph("mix")
+	home := &sig.Signature{ID: "mx:home#0", Method: "GET", URI: sig.Literal("h.example/home")}
+	other := &sig.Signature{ID: "mx:other#0", Method: "GET", URI: sig.Literal("h.example/other")}
+	mix := &sig.Signature{ID: "mx:mix#0", Method: "GET", URI: sig.Literal("h.example/mix"),
+		Query: []sig.Field{
+			{Key: "a", Value: sig.DepValue(home.ID, "tok")},
+			{Key: "b", Value: sig.DepValue(other.ID, "key")},
+		}}
+	g.Add(home)
+	g.Add(other)
+	g.Add(mix)
+	g.AddDep(sig.Dependency{PredID: home.ID, SuccID: mix.ID, RespPath: "tok",
+		Loc: sig.FieldLoc{Where: "query", Key: "a"}})
+	g.AddDep(sig.Dependency{PredID: other.ID, SuccID: mix.ID, RespPath: "key",
+		Loc: sig.FieldLoc{Where: "query", Key: "b"}})
+
+	up := UpstreamFunc(func(_ context.Context, r *httpmsg.Request) (*httpmsg.Response, error) {
+		body := []byte(`{}`)
+		switch r.Path {
+		case "/home":
+			body = []byte(`{"tok":"v1"}`)
+		case "/other":
+			body = []byte(`{"key":"k1"}`)
+		}
+		return &httpmsg.Response{Status: 200,
+			Header: []httpmsg.Field{{Key: "Content-Type", Value: "application/json"}},
+			Body:   body}, nil
+	})
+	p := New(Options{Graph: g, Upstream: up, Workers: 1})
+	defer p.Close()
+
+	tr := &proxyTransport{p: p, user: "8.8.8.8"}
+	// Teach the mix exemplar from a live request that omits "b": the
+	// exemplar then has no captured wild for the mx:other#0 dependency, so
+	// when the fan-out from home resolves "a" from the combo but falls back
+	// to exemplar wilds for "b", materialize fails and the skip must be
+	// attributed instead of vanishing.
+	if _, err := tr.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example", Path: "/mix",
+		Query: []httpmsg.Field{{Key: "a", Value: "v1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(&httpmsg.Request{Method: "GET", Host: "h.example",
+		Path: "/home"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	if got := p.skips.noExemplar.Load(); got == 0 {
+		t.Fatal("materialize failure not counted under no_exemplar")
+	}
+	if got := p.statsV1().Policy.NoExemplarSkips; got == 0 {
+		t.Fatalf("stats policy block NoExemplarSkips = %d", got)
+	}
+}
+
+// TestMarkovPersistRoundTrip: the markov tables ride the snapshot ladder —
+// a warm restart restores them byte-identically, and a proxy configured
+// with the static policy ignores the snapshot's policy block.
+func TestMarkovPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := starGraph([]int{0, 1, 2})
+	up, _, _ := starUpstream()
+	now := time.Unix(1_700_000_000, 0)
+	opts := func() Options {
+		return Options{Graph: g, Upstream: up, StateDir: dir,
+			PrefetchPolicy: "markov",
+			Now:            func() time.Time { return now }}
+	}
+
+	p1 := New(opts())
+	for i := 0; i < 5; i++ {
+		at := now.Add(time.Duration(i) * 10 * time.Second)
+		p1.markovPol.Observe("u1", "st:home#0", at)
+		p1.markovPol.Observe("u1", "st:b1#0", at.Add(2*time.Second))
+	}
+	want := p1.markovPol.Export()
+	if len(want.Users) == 0 || len(want.Global) == 0 {
+		t.Fatalf("model empty before snapshot: %+v", want)
+	}
+	if err := p1.SnapshotNow(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	p1.Close()
+
+	p2 := New(opts())
+	defer p2.Close()
+	if got := p2.RestoreOutcome(); got != RestoreWarm {
+		t.Fatalf("restore outcome = %q (%s)", got, p2.RestoreDetail())
+	}
+	// Compare as JSON: the snapshot round trip normalizes time.Time
+	// locations, which DeepEqual would flag despite equal instants.
+	gotJSON, _ := json.Marshal(p2.markovPol.Export())
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("restored markov state differs:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	// The restored history must rank: the favourite branch stays, the
+	// never-taken ones prune.
+	ds := p2.markovPol.Rank("u1", "st:home#0", []policy.Candidate{
+		{SigID: "st:b0#0", Index: 0, Prior: 1},
+		{SigID: "st:b1#0", Index: 1, Prior: 1},
+		{SigID: "st:b2#0", Index: 2, Prior: 1},
+	})
+	if ds[0].SigID != "st:b1#0" || !ds[0].Keep {
+		t.Fatalf("restored model lost its favourite: %+v", ds)
+	}
+
+	// A static-policy proxy on the same state directory restores warm but
+	// has no model to fill — the policy block is simply ignored.
+	sOpts := opts()
+	sOpts.PrefetchPolicy = "static"
+	p3 := New(sOpts)
+	defer p3.Close()
+	if p3.markovPol != nil {
+		t.Fatal("static proxy grew a markov model from the snapshot")
+	}
+	if got := p3.statsV1().Policy; got.Configured != "static" || got.Active != "static" {
+		t.Fatalf("policy stats block = %+v", got)
+	}
+
+	// And the markov proxy's stats block reports the restored model.
+	pol := p2.statsV1().Policy
+	if pol.Configured != "markov" || pol.Active != "markov" || pol.Users != 1 || pol.Transitions == 0 {
+		t.Fatalf("markov policy stats block = %+v", pol)
+	}
+}

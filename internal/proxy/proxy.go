@@ -28,6 +28,7 @@ import (
 	"appx/internal/obs"
 	"appx/internal/obs/adminv1"
 	"appx/internal/persist"
+	"appx/internal/policy"
 	"appx/internal/proxy/resilience"
 	"appx/internal/proxy/sched"
 	"appx/internal/sig"
@@ -85,6 +86,19 @@ type Options struct {
 	// MaxBodyBytes bounds client request bodies (413 beyond it) and clamps
 	// CaptureMaxBytes (default 64 MiB; negative disables both guards).
 	MaxBodyBytes int64
+
+	// PrefetchPolicy selects the prefetch decision policy: "static" (the
+	// default — candidates in dependency-graph order, the historical
+	// behaviour) or "markov" (per-user history reorders and prunes chains
+	// by observed transition probability). Unknown values fall back to
+	// static.
+	PrefetchPolicy string
+	// PolicyDecay is the markov model's transition-count half-life
+	// (default policy.DefaultHalfLife, 10m).
+	PolicyDecay time.Duration
+	// PolicyMaxUsers bounds tracked per-user markov models (default
+	// policy.DefaultMaxUsers, 10000).
+	PolicyMaxUsers int
 
 	// StateDir enables crash-safe persistence: a disk cache tier under
 	// <StateDir>/cache plus snapshot/restore of learned soft state in
@@ -184,6 +198,15 @@ type Proxy struct {
 	// Cluster mode (cluster.go): membership ring, owner forwarding, and
 	// sibling peer fill. Nil when Options.Cluster is not enabled.
 	cluster *clusterState
+
+	// Prefetch decision policy (policy.go in this package): the static
+	// baseline always exists; markovPol is additionally non-nil when
+	// Options.PrefetchPolicy selects history-aware ranking. skips counts
+	// candidates dropped before reaching the scheduler, by reason.
+	staticPol *policy.Static
+	markovPol *policy.Markov
+	rankHist  *obs.Histogram
+	skips     prefetchSkips
 
 	// budget counts request-latency-budget events (budget.go).
 	budget struct {
@@ -357,9 +380,13 @@ func New(opts Options) *Proxy {
 		MaxQueue: p.ovl.MaxQueue,
 		Now:      func() time.Time { return p.opts.Now() },
 	})
+	// The policy layer hooks into the governor, breakers, and backoff state
+	// built above; it must exist before any request can fan out prefetches.
+	p.initPolicy()
 	p.registerBridges(reg)
 	p.registerStreamBridges(reg)
 	p.registerPersistBridges(reg)
+	p.registerPolicyBridges(reg)
 	// Restore before any request is served; the snapshot loop starts only
 	// after the restored state is in place.
 	p.restorePersist()
@@ -703,6 +730,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// true even across users for shared-tier hits. writeBuffered slices
 		// 206s locally when the client asked for a Range of the entity.
 		p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), shared)
+		p.observePolicy(u.key, entry.SigID)
 		p.writeBuffered(w, req, entry.Resp)
 		sp.EndStage(obs.StageWrite)
 		p.observeTTFB(start)
@@ -735,6 +763,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if entry := p.clusterPeerFill(r.Context(), key, false, bgt); entry != nil {
 			sp.SetSig(entry.SigID)
 			p.stats.CountHit(entry.SigID, int64(len(entry.Resp.Body)), p.stats.RespTime(entry.SigID), entry.FirstUse(), true)
+			p.observePolicy(u.key, entry.SigID)
 			p.writeBuffered(w, req, entry.Resp)
 			sp.EndStage(obs.StageWrite)
 			p.observeTTFB(start)
@@ -762,6 +791,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !owner {
 		if p.attachFlight(w, r.Context().Done(), sp, fl, req, start) {
 			p.streamStats.attachHits.Add(1)
+			p.observePolicy(u.key, matched[0].ID)
 			sp.SetSig(matched[0].ID)
 			sp.SetOutcome(obs.OutcomeAttachHit)
 			p.observeClient(p.opts.Now().Sub(start))
@@ -814,6 +844,9 @@ func (p *Proxy) forwardPassthrough(ctx context.Context, bgt reqBudget, sp *obs.S
 // while serving this client from it, then feed the capture into stats and
 // learning. fkey names the flight in the registry.
 func (p *Proxy) runFlight(ctx context.Context, bgt reqBudget, sp *obs.Span, w http.ResponseWriter, u *user, req *httpmsg.Request, matched []*sig.Signature, fkey string, fl *flight, start time.Time) {
+	// A matched live request is history evidence whether it hits or misses;
+	// the hit paths observe in ServeHTTP, the miss path observes here.
+	p.observePolicy(u.key, matched[0].ID)
 	// The origin always sees the whole-entity request: Range is stripped and
 	// the 206 (if asked for) is sliced locally from the spool, so the capture
 	// stays a complete entity every attacher and the cache can share.
@@ -969,6 +1002,7 @@ func (p *Proxy) statsV1() adminv1.StatsResponse {
 		Persist:              p.persistV1(),
 		Cluster:              p.clusterV1(),
 		Budget:               p.budgetV1(),
+		Policy:               p.policyV1(),
 	}
 }
 
@@ -1231,31 +1265,17 @@ func (p *Proxy) refreshExpired(u *user, e *cache.Entry) {
 	}
 }
 
-// perUserShareDeny lists header-name fragments that conservatively mark a
-// request as carrying per-user state (credentials, sessions, accounts).
-// Matching entries never enter the shared tier — not because serving them
-// would be unsafe (exact-match still holds), but because a credentialed
-// response is per-user data that must not outlive its user's eviction, and
-// a shared slot for it could never serve anyone else anyway.
-var perUserShareDeny = []string{"cookie", "auth", "token", "session", "secret", "credential", "account"}
-
 // sharedEligible decides whether a reconstructed request may cache once
 // for all users: the signature's patterns must be free of per-user runtime
 // wildcards, and the materialized request (which carries the exemplar's
-// extra live headers) must not smell of per-user state.
+// extra live headers) must not smell of per-user state. The header half of
+// the rule lives in the policy package (policy.SharedEligible) with the
+// rest of the prefetch decision logic.
 func (p *Proxy) sharedEligible(s *sig.Signature, req *httpmsg.Request) bool {
 	if p.cacheCfg.DisableSharedTier || !s.UserAgnostic() {
 		return false
 	}
-	for _, h := range req.Header {
-		name := strings.ToLower(h.Key)
-		for _, deny := range perUserShareDeny {
-			if strings.Contains(name, deny) {
-				return false
-			}
-		}
-	}
-	return true
+	return policy.SharedEligible(req.Header)
 }
 
 // learn runs the Figure-6 flowchart for one completed transaction:
@@ -1291,24 +1311,58 @@ func (p *Proxy) learn(u *user, s *sig.Signature, req *httpmsg.Request, resp *htt
 	if err != nil {
 		return
 	}
+	// Build the candidate batch in dependency-graph order, then let the
+	// policy decide which survive (Keep) and in what order they are
+	// attempted. Only Keep and the output order are honoured here: the
+	// execution gates re-run at issue time inside maybePrefetch, because an
+	// instance can park awaiting an exemplar for arbitrarily long between
+	// fan-out and issue.
+	type fanout struct {
+		succ  *sig.Signature
+		paths []string
+	}
+	var cands []policy.Candidate
+	var aux []fanout
 	for _, succID := range succIDs {
 		succ := p.opts.Graph.Sig(succID)
 		if succ == nil {
 			continue
 		}
-		policy := p.opts.Config.Policy(succ.Hash())
-		if policy != nil && !policy.Prefetch {
+		cpol := p.opts.Config.Policy(succ.Hash())
+		if cpol != nil && !cpol.Prefetch {
 			continue
 		}
-		if policy != nil && !policy.Condition.Eval(doc) {
+		if cpol != nil && !cpol.Condition.Eval(doc) {
 			continue
 		}
 		paths := depPaths(succ, s.ID)
 		if len(paths) == 0 {
 			continue
 		}
-		for _, combo := range depCombos(doc, paths) {
-			p.instantiate(u, succ, s.ID, combo, doc, depth)
+		cands = append(cands, policy.Candidate{
+			SigID: succID,
+			Depth: depth,
+			Index: len(aux),
+			Prior: p.opts.Config.EffectiveProbability(cpol) * p.opts.Config.UserScale(u.key),
+		})
+		aux = append(aux, fanout{succ: succ, paths: paths})
+	}
+	if len(cands) == 0 {
+		return
+	}
+	for _, d := range p.rankCandidates(u.key, s.ID, cands) {
+		if !d.Keep {
+			p.countSkip(d.KeepReason)
+			continue
+		}
+		fo := aux[d.Index]
+		combos := depCombos(doc, fo.paths)
+		if len(combos) == 0 {
+			p.countSkip(skipNoDepValues)
+			continue
+		}
+		for _, combo := range combos {
+			p.instantiate(u, fo.succ, s.ID, combo, doc, depth)
 		}
 	}
 }
@@ -1328,12 +1382,19 @@ func (p *Proxy) instantiate(u *user, s *sig.Signature, pred string, combo map[st
 		u.mu.Lock()
 		if len(u.pending[s.ID]) < p.opts.MaxPendingPerSig {
 			u.pending[s.ID] = append(u.pending[s.ID], pendingInstance{s: s, pred: pred, combo: combo, doc: doc, depth: depth})
+			u.mu.Unlock()
+			return
 		}
 		u.mu.Unlock()
+		p.countSkip(skipPendingFull)
 		return
 	}
 	req, ok := materialize(s, pred, combo, ex)
 	if !ok {
+		// The exemplar could not resolve every run-time value (stale wilds,
+		// deps on other predecessors): the candidate silently vanishing here
+		// would pollute policy precision numbers, so count it.
+		p.countSkip(skipNoExemplar)
 		return
 	}
 	// Depth maps to shed priority: chain tails are the most speculative work
@@ -1349,19 +1410,24 @@ func (p *Proxy) instantiate(u *user, s *sig.Signature, pred string, combo map[st
 // overload control (governor level, class queue shares, enqueue deadline),
 // then schedules the prefetch.
 func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, depth int, class sched.Class) {
-	policy := p.opts.Config.Policy(s.Hash())
-	prob := p.opts.Config.EffectiveProbability(policy) * p.opts.Config.UserScale(u.key)
-	// The governor throttles only speculative classes; foreground refreshes
-	// keep already-hot entries warm and stay cheap even under load.
-	if class != sched.ClassForeground {
-		if p.gov.Shedding() {
-			p.govSuppressed.Add(1)
-			p.stats.CountPrefetchSuppressed(s.ID)
-			return
-		}
-		prob *= p.gov.Level()
+	cpol := p.opts.Config.Policy(s.Hash())
+	// The policy evaluates the execution gates — governor shedding/level,
+	// signature failure backoff, breaker readiness — over the concrete
+	// candidate. All hooks are side-effect-free reads, so evaluating them
+	// before the probability draw below leaves the draw stream unchanged.
+	d := p.rankOne(u.key, policy.Candidate{
+		SigID:      s.ID,
+		Host:       req.Host,
+		Depth:      depth,
+		Foreground: class == sched.ClassForeground,
+		Prior:      p.opts.Config.EffectiveProbability(cpol) * p.opts.Config.UserScale(u.key),
+	})
+	if !d.Allow && d.AllowReason == policy.ReasonShedding {
+		p.govSuppressed.Add(1)
+		p.stats.CountPrefetchSuppressed(s.ID)
+		return
 	}
-	if prob <= 0 || (prob < 1 && p.opts.Rand() >= prob) {
+	if d.Prob <= 0 || (d.Prob < 1 && p.opts.Rand() >= d.Prob) {
 		return
 	}
 	if budget := p.opts.Config.DataBudgetBytes; budget > 0 && p.dataUsed.Used(p.opts.Now()) >= budget {
@@ -1370,11 +1436,11 @@ func (p *Proxy) maybePrefetch(u *user, s *sig.Signature, req *httpmsg.Request, d
 	// Resilience gates: a suspended signature (consecutive failures) or a
 	// host whose breaker is not admitting traffic stops producing prefetch
 	// work here, before it occupies queue slots, workers, or data budget.
-	if p.sigSuspended(s.ID) || !p.breakers.Ready(req.Host) {
+	if !d.Allow {
 		p.stats.CountPrefetchSuppressed(s.ID)
 		return
 	}
-	expiry := p.opts.Config.Expiration(policy)
+	expiry := p.opts.Config.Expiration(cpol)
 	key := req.CanonicalKey()
 	// Shared-eligible requests prefetch into the cross-user tier; TryIssue
 	// then singleflights the fetch across every user wanting this key.
@@ -1442,10 +1508,10 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		}
 	}
 	sent := req
-	policy := p.opts.Config.Policy(s.Hash())
-	if policy != nil && len(policy.AddHeader) > 0 {
+	cpol := p.opts.Config.Policy(s.Hash())
+	if cpol != nil && len(cpol.AddHeader) > 0 {
 		sent = req.Clone()
-		for _, h := range policy.AddHeader {
+		for _, h := range cpol.AddHeader {
 			sent.Header = append(sent.Header, httpmsg.Field{Key: h.Key, Value: h.Value})
 		}
 	}
@@ -1536,7 +1602,12 @@ func (p *Proxy) runPrefetch(u *user, s *sig.Signature, req *httpmsg.Request, key
 		Refreshed: class == sched.ClassForeground,
 	})
 
-	if depth < p.effectiveChainDepth() && !p.opts.DisableChaining {
+	// Chain continuation: the depth ceiling moved into the policy layer —
+	// fan-out candidates at depth+1 are Keep=false (ReasonDepth) beyond the
+	// governor-scaled effective chain depth, replacing the old
+	// `depth < effectiveChainDepth()` gate here, and each pruned tail is
+	// counted instead of silently skipped.
+	if !p.opts.DisableChaining {
 		p.learn(u, s, req, bresp, depth+1, false)
 	}
 }

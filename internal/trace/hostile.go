@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Hostile workloads for judging prefetch policies. Unlike the device-driven
+// traces above, these are request-level scripts against a star-shaped
+// signature graph — one "home" predecessor fanning out to K branch
+// signatures — designed to separate a history-aware policy from the static
+// one: per-user structure a Markov model can exploit (flash crowds of loyal
+// users, mixed fleets) next to structure it must not overfit (uniform
+// legacy traffic, cache-hostile scanners, diurnal gaps longer than a
+// session).
+//
+// Each workload opens with a teaching prologue (every user visits home and
+// then their characteristic branches a few times, seconds apart) followed
+// by measurement rounds spaced RoundGap apart — longer than the sweep's
+// cache expiry, so every round forces a fresh prefetch decision.
+
+// Step is one scripted request: Branch -1 is the home signature, otherwise
+// an index into the K branch signatures. At is the offset from workload
+// start at which the request is issued.
+type Step struct {
+	User   string
+	Branch int
+	At     time.Duration
+}
+
+// Home marks a Step that requests the home signature.
+const Home = -1
+
+// Hostile is one named adversarial workload.
+type Hostile struct {
+	Name  string
+	Steps []Step
+}
+
+const (
+	// teachReps is how many (home, branch) visits the prologue gives each
+	// user: enough observations for a favourite to cross the Markov prune
+	// threshold before measurement starts.
+	teachReps = 6
+	// teachGap separates prologue repetitions.
+	teachGap = 10 * time.Second
+	// visitGap separates a home visit from the branch visit that follows it.
+	visitGap = 2 * time.Second
+	// RoundGap separates measurement rounds. Sweeps set cache expiry below
+	// it so every round re-decides the prefetch fan-out.
+	RoundGap = 90 * time.Second
+)
+
+// userName labels the i-th workload user.
+func userName(i int) string { return fmt.Sprintf("hostile-u%02d", i) }
+
+// finish orders steps by time (stable: emission order breaks ties) and
+// wraps them with the workload name.
+func finish(name string, steps []Step) Hostile {
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	return Hostile{Name: name, Steps: steps}
+}
+
+// teachFavorites emits the prologue. It opens with one full scan per user —
+// home, then every branch once (rotated by user index so the scan's own
+// home→branch transition spreads over the fleet) — so each branch has a
+// per-user exemplar and a static policy prefetches the complete fan-out
+// from the first measurement round. It then repeats (home, characteristic
+// branch) visits, where fav names the branch per (user, repetition).
+// Returns the prologue duration.
+func teachFavorites(steps *[]Step, users, branches int, fav func(user, rep int) int) time.Duration {
+	for u := 0; u < users; u++ {
+		base := time.Duration(u) * 250 * time.Millisecond
+		*steps = append(*steps, Step{User: userName(u), Branch: Home, At: base})
+		for j := 0; j < branches; j++ {
+			*steps = append(*steps, Step{User: userName(u), Branch: (u + j) % branches,
+				At: base + time.Duration(j+1)*visitGap})
+		}
+	}
+	scan := time.Duration(branches+2) * visitGap
+	for r := 0; r < teachReps; r++ {
+		for u := 0; u < users; u++ {
+			base := scan + time.Duration(r)*teachGap + time.Duration(u)*250*time.Millisecond
+			*steps = append(*steps,
+				Step{User: userName(u), Branch: Home, At: base},
+				Step{User: userName(u), Branch: fav(u, r), At: base + visitGap})
+		}
+	}
+	return scan + teachReps*teachGap
+}
+
+// FlashCrowd is the loyal-user stampede: every user has one favourite
+// branch (spread uniformly over the K branches), and in each measurement
+// round the whole fleet hits home within a second and then its favourite.
+// A static policy prefetches all K branches per home view; a history-aware
+// one should keep roughly the favourite.
+func FlashCrowd(users, branches, rounds int, seed int64) Hostile {
+	var steps []Step
+	start := teachFavorites(&steps, users, branches, func(u, _ int) int { return u % branches })
+	for r := 0; r < rounds; r++ {
+		base := start + time.Duration(r)*RoundGap
+		for u := 0; u < users; u++ {
+			at := base + time.Duration(u)*20*time.Millisecond
+			steps = append(steps,
+				Step{User: userName(u), Branch: Home, At: at},
+				Step{User: userName(u), Branch: u % branches, At: at + visitGap})
+		}
+	}
+	return finish("flash-crowd", steps)
+}
+
+// MixedFleet interleaves a loyal half (favourite branch, as in FlashCrowd)
+// with a roaming half that picks a uniformly random branch every visit —
+// the policy must exploit the loyal users without penalizing the roamers.
+func MixedFleet(users, branches, rounds int, seed int64) Hostile {
+	rng := rand.New(rand.NewSource(seed))
+	loyal := func(u int) bool { return u%2 == 0 }
+	var steps []Step
+	start := teachFavorites(&steps, users, branches, func(u, _ int) int {
+		if loyal(u) {
+			return (u / 2) % branches
+		}
+		return rng.Intn(branches)
+	})
+	for r := 0; r < rounds; r++ {
+		base := start + time.Duration(r)*RoundGap
+		for u := 0; u < users; u++ {
+			at := base + time.Duration(u)*300*time.Millisecond
+			br := (u / 2) % branches
+			if !loyal(u) {
+				br = rng.Intn(branches)
+			}
+			steps = append(steps,
+				Step{User: userName(u), Branch: Home, At: at},
+				Step{User: userName(u), Branch: br, At: at + visitGap})
+		}
+	}
+	return finish("mixed-fleet", steps)
+}
+
+// ScanUsers is the cache-hostile sweep: every user reads home and then
+// every branch in order, every round. All prefetches are consumed, so a
+// policy that prunes aggressively sacrifices recall here — the scenario
+// exists to expose that cost, not to be won.
+func ScanUsers(users, branches, rounds int, seed int64) Hostile {
+	var steps []Step
+	start := teachFavorites(&steps, users, branches, func(_, r int) int { return r % branches })
+	for r := 0; r < rounds; r++ {
+		base := start + time.Duration(r)*RoundGap
+		for u := 0; u < users; u++ {
+			at := base + time.Duration(u)*500*time.Millisecond
+			steps = append(steps, Step{User: userName(u), Branch: Home, At: at})
+			for b := 0; b < branches; b++ {
+				steps = append(steps, Step{User: userName(u), Branch: b,
+					At: at + visitGap + time.Duration(b)*time.Second})
+			}
+		}
+	}
+	return finish("scan-users", steps)
+}
+
+// Diurnal spaces bursts of favourite-branch activity hours apart — longer
+// than the Markov session gap and many history half-lives, so the model
+// must relearn each burst from live traffic instead of coasting on stale
+// counts.
+func Diurnal(users, branches, rounds int, seed int64) Hostile {
+	const bursts = 3
+	const burstGap = 2 * time.Hour
+	var steps []Step
+	start := teachFavorites(&steps, users, branches, func(u, _ int) int { return u % branches })
+	for b := 0; b < bursts; b++ {
+		burst := start + time.Duration(b)*burstGap
+		for r := 0; r < rounds; r++ {
+			base := burst + time.Duration(r)*RoundGap
+			for u := 0; u < users; u++ {
+				at := base + time.Duration(u)*200*time.Millisecond
+				steps = append(steps,
+					Step{User: userName(u), Branch: Home, At: at},
+					Step{User: userName(u), Branch: u % branches, At: at + visitGap})
+			}
+		}
+	}
+	return finish("diurnal", steps)
+}
+
+// LegacyReplay is the no-structure baseline: every visit picks a uniformly
+// random branch, per user, so user history carries no signal. It is the
+// regression guard — a history-aware policy may not waste more origin
+// bytes here than the static one.
+func LegacyReplay(users, branches, rounds int, seed int64) Hostile {
+	rng := rand.New(rand.NewSource(seed))
+	var steps []Step
+	start := teachFavorites(&steps, users, branches, func(_, _ int) int { return rng.Intn(branches) })
+	for r := 0; r < rounds; r++ {
+		base := start + time.Duration(r)*RoundGap
+		for u := 0; u < users; u++ {
+			at := base + time.Duration(u)*300*time.Millisecond
+			steps = append(steps,
+				Step{User: userName(u), Branch: Home, At: at},
+				Step{User: userName(u), Branch: rng.Intn(branches), At: at + visitGap})
+		}
+	}
+	return finish("legacy-replay", steps)
+}
+
+// Hostiles builds the full adversarial suite with shared sizing.
+func Hostiles(users, branches, rounds int, seed int64) []Hostile {
+	return []Hostile{
+		FlashCrowd(users, branches, rounds, seed),
+		MixedFleet(users, branches, rounds, seed),
+		ScanUsers(users, branches, rounds, seed),
+		Diurnal(users, branches, rounds, seed),
+		LegacyReplay(users, branches, rounds, seed),
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestHostileDeterminism: the adversarial workloads are pure functions of
+// their sizing and seed — same inputs, byte-identical scripts — and the
+// randomized ones actually use the seed.
+func TestHostileDeterminism(t *testing.T) {
+	a := Hostiles(6, 8, 4, 11)
+	b := Hostiles(6, 8, 4, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different workloads")
+	}
+	c := Hostiles(6, 8, 4, 12)
+	for i, h := range a {
+		if h.Name != c[i].Name {
+			t.Fatalf("scenario order changed: %s vs %s", h.Name, c[i].Name)
+		}
+	}
+	for _, name := range []string{"mixed-fleet", "legacy-replay"} {
+		if reflect.DeepEqual(pick(t, a, name), pick(t, c, name)) {
+			t.Fatalf("%s ignores its seed", name)
+		}
+	}
+}
+
+// TestHostileShape: every workload is time-ordered, in-range, and routes
+// every user through both home and branch views.
+func TestHostileShape(t *testing.T) {
+	const users, branches = 5, 7
+	for _, h := range Hostiles(users, branches, 3, 9) {
+		if len(h.Steps) == 0 {
+			t.Fatalf("%s: empty", h.Name)
+		}
+		if !sort.SliceIsSorted(h.Steps, func(i, j int) bool {
+			return h.Steps[i].At < h.Steps[j].At
+		}) {
+			t.Fatalf("%s: steps not time-ordered", h.Name)
+		}
+		homes, leaves := map[string]bool{}, map[string]bool{}
+		for _, st := range h.Steps {
+			if st.Branch < Home || st.Branch >= branches {
+				t.Fatalf("%s: branch %d out of range", h.Name, st.Branch)
+			}
+			if st.Branch == Home {
+				homes[st.User] = true
+			} else {
+				leaves[st.User] = true
+			}
+		}
+		if len(homes) != users || len(leaves) != users {
+			t.Fatalf("%s: %d/%d users hit home/branches, want %d",
+				h.Name, len(homes), len(leaves), users)
+		}
+	}
+}
+
+func pick(t *testing.T, hs []Hostile, name string) Hostile {
+	t.Helper()
+	for _, h := range hs {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("missing workload %s", name)
+	return Hostile{}
+}

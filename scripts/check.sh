@@ -93,4 +93,15 @@ go test -race -count=1 ./internal/proxy/ \
 go test -count=1 ./internal/proxy/ -run TestWholePathAllocBudget
 go test ./internal/stream/ -run '^$' -bench BenchmarkSpoolAppendRead -benchtime 1x
 
+# Policy gate: the static policy must stay differentially identical to the
+# pre-policy inline chain logic (randomized batches + real proxy fan-out
+# order), the markov model's locking runs race-enabled, and the policysweep
+# acceptance test pins markov ahead of static on the hostile workloads
+# without inflating wasted origin bytes on the legacy replay.
+echo "== policy gate"
+go test -race -count=1 ./internal/policy/ ./internal/trace/
+go test -race -count=1 ./internal/proxy/ \
+    -run 'TestStaticChainOrderDifferential|TestNoExemplarSkipCounted|TestMarkovPersistRoundTrip'
+go test -count=1 ./internal/exp/ -run TestPolicySweepAcceptance
+
 echo "check: OK"
